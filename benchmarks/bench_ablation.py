@@ -1,0 +1,106 @@
+"""Ablations of the reproduction's own design choices (DESIGN.md).
+
+Not figures from the paper, but quantified justifications for the places
+this model makes a choice the paper leaves open:
+
+* **Replacement-branch prediction** — the paper's conservative design
+  treats non-trigger replacement branches as predicted not-taken; this
+  model optionally lets the predictor learn them via the PC:DISEPC pair.
+  The ablation quantifies how much that matters for decompressed code
+  (where compressed loop back-edges live inside replacement sequences).
+* **Engine placement** — free vs stall vs pipe on decompression, the
+  counterpart of Figure 6's MFI placement study.
+"""
+
+from conftest import run_once
+
+from repro.acf.compression import DISE_OPTIONS
+from repro.core.config import DiseConfig
+from repro.harness.experiments import _machine
+from repro.harness.tables import ResultTable
+
+
+def _ablation_replacement_prediction(suite):
+    table = ResultTable(
+        "Ablation: predicting non-trigger replacement branches "
+        "(decompressed execution, normalized to uncompressed)",
+        ["predicted", "not-taken"],
+    )
+    for bench in suite.benchmarks:
+        base = suite.cycles(suite.trace_plain(bench),
+                            _machine(placement="free")).cycles
+        trace = suite.trace_compressed(bench, DISE_OPTIONS, "DISE")
+        cfg_on = _machine()
+        cfg_off = _machine()
+        cfg_off.predict_replacement_branches = False
+        table.set(bench, "predicted",
+                  suite.cycles(trace, cfg_on).cycles / base)
+        table.set(bench, "not-taken",
+                  suite.cycles(trace, cfg_off).cycles / base)
+    return table
+
+
+def test_ablation_replacement_branch_prediction(suite, benchmark):
+    table = run_once(benchmark, lambda: _ablation_replacement_prediction(suite))
+    print("\n" + table.render())
+    # The not-taken design pays a refill on every taken compressed
+    # back-edge, so it must be slower.
+    assert table.geomean("not-taken") > table.geomean("predicted")
+
+
+def _ablation_placement(suite):
+    table = ResultTable(
+        "Ablation: engine placement on decompression "
+        "(normalized to uncompressed)",
+        ["free", "stall", "pipe"],
+    )
+    for bench in suite.benchmarks:
+        base = suite.cycles(suite.trace_plain(bench),
+                            _machine(placement="free")).cycles
+        trace = suite.trace_compressed(bench, DISE_OPTIONS, "DISE")
+        for placement in ("free", "stall", "pipe"):
+            cfg = _machine(placement=placement)
+            table.set(bench, placement,
+                      suite.cycles(trace, cfg).cycles / base)
+    return table
+
+
+def test_ablation_placement(suite, benchmark):
+    table = run_once(benchmark, lambda: _ablation_placement(suite))
+    print("\n" + table.render())
+    free = table.geomean("free")
+    stall = table.geomean("stall")
+    pipe = table.geomean("pipe")
+    assert free <= pipe
+    assert free <= stall
+
+
+def _ablation_rt_blocks(suite):
+    """Section 2.2's RT block coalescing: read ports vs fragmentation.
+
+    At a constrained (512-entry, 2-way) RT, larger blocks fragment the
+    short decompression sequences and cost effective capacity.  (2-way
+    keeps direct-mapped conflict-hash luck from obscuring the capacity
+    effect.)"""
+    table = ResultTable(
+        "Ablation: RT block coalescing at 512 entries, 2-way "
+        "(decompressed execution, normalized to uncompressed)",
+        ["block=1", "block=2", "block=4"],
+    )
+    for bench in suite.benchmarks:
+        base = suite.cycles(suite.trace_plain(bench),
+                            _machine(placement="free")).cycles
+        trace = suite.trace_compressed(bench, DISE_OPTIONS, "DISE")
+        for block in (1, 2, 4):
+            cfg = _machine(rt_entries=512, rt_assoc=2, rt_perfect=False)
+            cfg.dise = cfg.dise.with_changes(rt_block_size=block)
+            table.set(bench, f"block={block}",
+                      suite.cycles(trace, cfg).cycles / base)
+    return table
+
+
+def test_ablation_rt_block_coalescing(suite, benchmark):
+    table = run_once(benchmark, lambda: _ablation_rt_blocks(suite))
+    print("\n" + table.render())
+    # Internal fragmentation can only cost capacity at a fixed RT size.
+    assert table.geomean("block=1") <= table.geomean("block=4") * 1.02

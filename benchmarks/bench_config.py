@@ -1,0 +1,28 @@
+"""The Section 4 configuration table, regenerated from code defaults."""
+
+from conftest import run_once
+
+from repro.core.config import DiseConfig
+from repro.harness import render_config_table
+from repro.sim.config import KB, MachineConfig
+
+
+def test_config_table(benchmark):
+    text = run_once(benchmark, render_config_table)
+    print("\n" + text)
+    machine = MachineConfig()
+    dise: DiseConfig = machine.dise
+    # The paper's Section 4 parameters.
+    assert machine.width == 4
+    assert machine.pipeline_stages == 12
+    assert machine.rob_entries == 128
+    assert machine.rs_entries == 80
+    assert machine.il1.size_bytes == 32 * KB
+    assert machine.dl1.size_bytes == 32 * KB
+    assert machine.l2.size_bytes == 1024 * KB
+    assert dise.pt_entries == 32
+    assert dise.rt_entries == 2048
+    assert dise.rt_bytes == 16 * KB
+    assert dise.simple_miss_cycles == 30
+    assert dise.compose_miss_cycles == 150
+    assert "32 entries" in text and "16 KB" in text

@@ -1,0 +1,66 @@
+"""Figure 6: memory fault isolation (Section 4.1).
+
+Regenerates the three graphs — the implementation comparison, the I-cache
+sweep, and the width sweep — and asserts the paper's qualitative claims:
+
+* DISE MFI degrades performance less than binary rewriting.
+* DISE3 (no defensive copy) beats DISE4.
+* The per-expansion stall placement is costlier than the elongated pipe
+  for MFI (expansion frequency ~30% >> misprediction frequency).
+* Rewriting's disadvantage grows as the I-cache shrinks (its static cost)
+  and as the processor widens (its relative cache-miss cost).
+"""
+
+from conftest import run_once
+
+from repro.harness import fig6_cache, fig6_top, fig6_width
+
+
+def test_fig6_top(suite, benchmark):
+    table = run_once(benchmark, lambda: fig6_top(suite))
+    print("\n" + table.render())
+
+    rewrite = table.geomean("rewrite")
+    dise4 = table.geomean("DISE4")
+    dise3 = table.geomean("DISE3")
+    stall = table.geomean("DISE4+stall")
+    pipe = table.geomean("DISE4+pipe")
+
+    assert dise4 < rewrite, "free DISE4 must beat binary rewriting"
+    assert dise3 < dise4, "DISE3 executes fewer instructions than DISE4"
+    assert pipe < stall, (
+        "MFI expands ~30% of instructions, so per-expansion stalls must "
+        "cost more than one extra pipe stage"
+    )
+    assert 1.0 < dise3 < rewrite
+
+
+def test_fig6_cache_sweep(suite, benchmark):
+    table = run_once(benchmark, lambda: fig6_cache(suite))
+    print("\n" + table.render())
+
+    # Rewriting's static cost grows as the cache shrinks: its disadvantage
+    # relative to DISE3 must be at least as large at 8K as with a perfect
+    # I-cache.
+    gap_small = table.geomean("rewrite@8K") / table.geomean("DISE3@8K")
+    gap_perfect = table.geomean("rewrite@perf") / table.geomean("DISE3@perf")
+    assert gap_small >= gap_perfect * 0.98
+    # DISE3 beats rewriting at every cache size.
+    for label in ("8K", "32K", "128K", "perf"):
+        assert table.geomean(f"DISE3@{label}") < table.geomean(f"rewrite@{label}")
+
+
+def test_fig6_width_sweep(suite, benchmark):
+    table = run_once(benchmark, lambda: fig6_width(suite))
+    print("\n" + table.render())
+
+    # Wider machines hide DISE's dynamic cost; rewriting keeps its static
+    # cost, so DISE3's relative advantage must not collapse with width.
+    # (The paper's growth trend is carried by the large-working-set
+    # benchmarks; small subsets dilute it, hence the tolerance.)
+    gap_2w = table.geomean("rewrite@2w") / table.geomean("DISE3@2w")
+    gap_8w = table.geomean("rewrite@8w") / table.geomean("DISE3@8w")
+    assert gap_8w >= gap_2w * 0.95
+    for width in (2, 4, 8):
+        assert (table.geomean(f"DISE3@{width}w")
+                < table.geomean(f"rewrite@{width}w"))

@@ -1,0 +1,69 @@
+"""Figure 7: dynamic code decompression (Section 4.2).
+
+Regenerates the compression-ratio feature ablation, the I-cache
+performance sweep, and the RT-geometry sweep, asserting the paper's
+qualitative results:
+
+* Removing the dedicated decompressor's features (single-instruction
+  compression, 2-byte codewords) degrades compression; adding DISE's
+  (parameterization, branch compression) more than wins it back, ending
+  better than the dedicated baseline.
+* Decompression costs little at 32 KB and compensates for small I-caches.
+* A 2K-entry 2-way RT comes close to a perfect RT; 512 entries hurt the
+  benchmarks with large production working sets.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig7_perf, fig7_ratio, fig7_rt
+
+
+def test_fig7_ratio(suite, benchmark):
+    table = run_once(benchmark, lambda: fig7_ratio(suite))
+    print("\n" + table.render())
+
+    dedicated = table.geomean("dedicated")
+    no_single = table.geomean("-1insn")
+    no_2byte = table.geomean("-2byteCW")
+    wide_entry = table.geomean("+8byteDE")
+    param = table.geomean("+3param")
+    dise = table.geomean("DISE")
+
+    # The feature-removal chain monotonically degrades compression...
+    assert dedicated < no_single < no_2byte < wide_entry
+    # ...and the DISE features win it back:
+    assert param < wide_entry, "parameterization must recover compression"
+    assert dise < param, "branch compression must further help"
+    assert dise < dedicated, (
+        "full DISE must out-compress the dedicated decompressor (the "
+        "paper's 65% vs 75%)"
+    )
+    # Everything compresses: ratios in (0, 1).
+    for column in table.columns:
+        assert 0.0 < table.geomean(column) <= 1.0
+
+
+def test_fig7_perf(suite, benchmark):
+    table = run_once(benchmark, lambda: fig7_perf(suite))
+    print("\n" + table.render())
+
+    # At 32 KB decompression costs little.
+    assert table.geomean("DISE@32K") < 1.15
+    # At 8 KB, compression compensates for the smaller cache: it must not
+    # be further from 1.0 than the uncompressed program.
+    assert table.geomean("DISE@8K") <= table.geomean("plain@8K") * 1.05
+    # Perfect-cache runs bound the 128K runs.
+    assert table.geomean("DISE@perf") <= table.geomean("DISE@8K")
+
+
+def test_fig7_rt(suite, benchmark):
+    table = run_once(benchmark, lambda: fig7_rt(suite))
+    print("\n" + table.render())
+
+    perfect = table.geomean("perfect")
+    assert perfect <= table.geomean("2K-2way")
+    # Associativity helps at equal capacity; capacity helps at equal assoc.
+    assert table.geomean("2K-2way") <= table.geomean("512-2way")
+    assert table.geomean("512-2way") <= table.geomean("512-DM") * 1.02
+    # The 2K 2-way RT (nearly) matches perfect.
+    assert table.geomean("2K-2way") <= perfect * 1.35

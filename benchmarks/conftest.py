@@ -1,0 +1,32 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Environment knobs:
+
+* ``REPRO_BENCHMARKS`` — comma-separated benchmark subset
+  (default: all twelve SPECint profiles).
+* ``REPRO_SCALE`` — dynamic-length scale factor (default 1.0).
+"""
+
+import os
+
+import pytest
+
+from repro.harness import Suite
+
+
+def _benchmark_names():
+    names = os.environ.get("REPRO_BENCHMARKS")
+    if names:
+        return tuple(name.strip() for name in names.split(",") if name.strip())
+    return None
+
+
+@pytest.fixture(scope="session")
+def suite():
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    return Suite(benchmarks=_benchmark_names(), scale=scale)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

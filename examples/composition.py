@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Composing ACFs (Section 3.3 / Figure 5 / Figure 8).
+
+Part 1 reproduces Figure 5 literally: nested and non-nested compositions of
+memory fault isolation with store-address tracing, rendered in the
+production language.
+
+Part 2 composes the paper's two headline ACFs — transparent MFI nested into
+aware decompression — the code-usage model the paper motivates: the server
+ships a compressed, *unmodified* application; the client inlines its own
+fault-isolation productions into the decompression dictionary.
+
+Run:  python examples/composition.py
+"""
+
+from repro.acf.composition import COMPOSITION_SCHEMES, build_composition
+from repro.acf.mfi import MFI_FAULT_CODE
+from repro.core import merge_nonnested, nest, parse_productions
+from repro.sim import run_program
+from repro.workloads import generate_by_name
+
+MFI = """
+P1: T.OPCLASS == store -> R1
+P2: T.OPCLASS == load  -> R1
+R1:
+    srl   T.RS, #26, $dr1
+    xor   $dr1, $dr2, $dr1
+    bne   $dr1, @0x400100
+    T.INSN
+"""
+
+SAT = """
+P3: T.OPCLASS == store -> R1
+R1:
+    lda   $dr4, T.IMM(T.RS)
+    stq   $dr4, 0($dr5)
+    lda   $dr5, 8($dr5)
+    T.INSN
+"""
+
+
+def figure5():
+    mfi = parse_productions(MFI, name="mfi", scope="kernel")
+    sat = parse_productions(SAT, name="sat")
+
+    print("=" * 64)
+    print("Figure 5: nested composition — fault-isolate traced code")
+    print("=" * 64)
+    print(nest(inner=sat, outer=mfi, name="mfi(sat)").render())
+
+    print()
+    print("=" * 64)
+    print("Figure 5: non-nested merge — trace and isolate, but do not")
+    print("isolate the tracing stores themselves")
+    print("=" * 64)
+    print(merge_nonnested(sat, mfi).render())
+
+
+def figure8():
+    print()
+    print("=" * 64)
+    print("Decompression + MFI on a benchmark (Figure 8's three schemes)")
+    print("=" * 64)
+    image = generate_by_name("parser", scale=0.3)
+    plain = run_program(image, record_trace=False)
+    print(f"original text: {image.text_size} B")
+    for scheme in COMPOSITION_SCHEMES:
+        result, installation = build_composition(image, scheme)
+        run = installation.run(record_trace=False)
+        ok = run.outputs == plain.outputs and run.fault_code is None
+        print(f"  {scheme:18s} text {result.compressed_text_bytes:7d} B  "
+              f"dict {result.dictionary_bytes:6d} B  "
+              f"equivalent: {ok}")
+
+    # And the security property survives: a composed dictionary still
+    # fault-isolates the *decompressed* instructions.
+    result, installation = build_composition(image, "dise+dise")
+    pset = installation.production_sets[0]
+    composed = next(
+        spec for spec in pset.replacements.values() if spec.composed_on_fill
+    )
+    print("\none composed dictionary entry (MFI inlined around the "
+          "decompressed memory ops):")
+    for rinstr in composed.instrs:
+        print(f"    {rinstr.render()}")
+
+
+if __name__ == "__main__":
+    figure5()
+    figure8()

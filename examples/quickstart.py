@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: define a DISE production and watch it expand.
+
+Reproduces the flavour of the paper's Figure 1 on a five-line program:
+a production set written in the production language matches every store,
+and the engine macro-expands each fetched store into a parameterized
+replacement sequence.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import DiseController, parse_productions
+from repro.isa import disassemble
+from repro.program import build_from_assembly
+from repro.sim import Machine
+
+# ----------------------------------------------------------------------
+# 1. A tiny application, written in assembly.
+# ----------------------------------------------------------------------
+PROGRAM = """
+main:
+    ldah  a1, 1024(zero)      # a1 = data segment base (0x0400_0000)
+    bis   zero, #7, t0
+    stq   t0, 0(a1)           # will be expanded by DISE
+    ldq   a0, 0(a1)
+    out   a0
+    halt
+"""
+
+# ----------------------------------------------------------------------
+# 2. An ACF as DISE productions: count stores in $dr0 and trace the data
+#    value into $dr3 before executing the store itself (T.INSN).
+# ----------------------------------------------------------------------
+PRODUCTIONS = """
+# transparent ACF: applies to the unmodified binary above
+P1: T.OPCLASS == store -> R1
+R1:
+    addq  $dr0, #1, $dr0      # persistent dedicated-register state
+    bis   T.RT, T.RT, $dr3    # parameterized: T.RT = the store's data reg
+    T.INSN                    # the original trigger
+"""
+
+
+def main():
+    image = build_from_assembly(PROGRAM)
+    controller = DiseController()
+    controller.install(parse_productions(PRODUCTIONS, name="count-stores"))
+
+    machine = Machine(image, controller=controller)
+    result = machine.run()
+
+    print("application output:", result.outputs)
+    print(f"dynamic instructions: {result.instructions} "
+          f"({result.app_instructions} fetched, "
+          f"{result.expansions} expanded)")
+    print("stores counted in $dr0:", result.final_regs[32])
+    print("last stored value in $dr3:", result.final_regs[35])
+
+    print("\nexecuted stream (PC:DISEPC):")
+    for op in result.ops:
+        in_replacement = op.disepc > 0 or op.expansion is not None
+        marker = "  <- replacement" if in_replacement else ""
+        print(f"  {op.pc:#010x}:{op.disepc}  {op.opcode.mnemonic}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""DISE: A Programmable Macro Engine for Customizing Applications.
+
+A from-scratch Python reproduction of Corliss, Lewis & Roth (ISCA 2003):
+the DISE engine and controller, the production language, the evaluated ACFs
+(memory fault isolation, dynamic code decompression, and their composition,
+plus the paper's secondary ACFs), and the substrates the evaluation needs --
+an Alpha-like ISA, an assembler/binary-rewriting toolchain, a functional
+simulator, a calibrated superscalar timing model, and a synthetic
+SPECint2000 workload suite.
+
+Quick start::
+
+    from repro.workloads import generate_by_name
+    from repro.acf import attach_mfi
+
+    image = generate_by_name("bzip2")
+    result = attach_mfi(image, "dise3").run()
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

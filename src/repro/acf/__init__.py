@@ -1,0 +1,94 @@
+"""Application customization functions (ACFs) built on DISE.
+
+Transparent ACFs: memory fault isolation (:mod:`repro.acf.mfi`),
+store-address tracing (:mod:`repro.acf.tracing`), path profiling
+(:mod:`repro.acf.profiling`), code assertions (:mod:`repro.acf.assertions`),
+reference monitors (:mod:`repro.acf.monitor`).
+
+Aware ACFs: dynamic code decompression (:mod:`repro.acf.compression`).
+
+Compositions: simultaneous decompression + fault isolation
+(:mod:`repro.acf.composition`).
+"""
+
+from repro.acf.assertions import (
+    WATCH_FAULT_CODE,
+    attach_value_assertion,
+    attach_watchpoint,
+)
+from repro.acf.base import AcfInstallation, plain_installation
+from repro.acf.dsm import attach_dsm, lines_present, remote_misses
+from repro.acf.specialization import (
+    Specializer,
+    attach_specialization,
+    plant_specializations,
+    specialized_sequence,
+)
+from repro.acf.composition import (
+    COMPOSITION_SCHEMES,
+    build_composition,
+    compose_dise_dise,
+    compose_rewrite_dedicated,
+    compose_rewrite_dise,
+)
+from repro.acf.compression import (
+    CompressionError,
+    CompressionOptions,
+    CompressionResult,
+    DEDICATED_OPTIONS,
+    DISE_OPTIONS,
+    FIGURE7_VARIANTS,
+    compress_image,
+    compress_installation,
+)
+from repro.acf.mfi import (
+    MFI_FAULT_CODE,
+    MfiError,
+    attach_mfi,
+    mfi_production_set,
+    mfi_production_source,
+    rewrite_mfi,
+)
+from repro.acf.monitor import POLICY_FAULT_CODE, attach_monitor
+from repro.acf.profiling import attach_path_profiling, read_path_counters
+from repro.acf.tracing import attach_sat, read_trace_buffer
+
+__all__ = [
+    "WATCH_FAULT_CODE",
+    "attach_value_assertion",
+    "attach_watchpoint",
+    "attach_dsm",
+    "lines_present",
+    "remote_misses",
+    "Specializer",
+    "attach_specialization",
+    "plant_specializations",
+    "specialized_sequence",
+    "AcfInstallation",
+    "plain_installation",
+    "COMPOSITION_SCHEMES",
+    "build_composition",
+    "compose_dise_dise",
+    "compose_rewrite_dedicated",
+    "compose_rewrite_dise",
+    "CompressionError",
+    "CompressionOptions",
+    "CompressionResult",
+    "DEDICATED_OPTIONS",
+    "DISE_OPTIONS",
+    "FIGURE7_VARIANTS",
+    "compress_image",
+    "compress_installation",
+    "MFI_FAULT_CODE",
+    "MfiError",
+    "attach_mfi",
+    "mfi_production_set",
+    "mfi_production_source",
+    "rewrite_mfi",
+    "POLICY_FAULT_CODE",
+    "attach_monitor",
+    "attach_path_profiling",
+    "read_path_counters",
+    "attach_sat",
+    "read_trace_buffer",
+]

@@ -1,0 +1,140 @@
+"""Code assertions / memory watchpoints — Section 3.1.
+
+Debugging assertions are inlined into the instruction stream by DISE and
+executed at full pipeline speed, instead of single-stepping under a
+debugger.  The assertion here is the classic generalised watchpoint: fault
+when a store writes inside a watched address range.  Assertions are added
+and removed by (de)activating the production set; inactive assertions cost
+nothing.
+"""
+
+from __future__ import annotations
+
+from repro.acf.base import AcfInstallation
+from repro.core.directives import AbsTarget, Lit, T_IMM, T_RS, TrigField
+from repro.core.pattern import match_stores
+from repro.core.production import ProductionSet
+from repro.core.replacement import (
+    TRIGGER_INSN,
+    ReplacementInstr,
+    ReplacementSpec,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import dise_reg
+from repro.program.image import ProgramImage
+
+#: Fault code raised when a watchpoint fires.
+WATCH_FAULT_CODE = 9
+
+DR_ADDR = dise_reg(4)   # effective address
+DR_TMP = dise_reg(1)    # comparison scratch
+DR_LO = dise_reg(2)     # watched range [lo, hi)
+DR_HI = dise_reg(3)
+
+
+def watch_spec() -> ReplacementSpec:
+    """Fault if T.RS + T.IMM lands in [$dr2, $dr3); else run the store.
+
+    Uses DISE-internal branches to skip the fault — the whole check is
+    contained in the replacement sequence, demonstrating sequence-internal
+    control flow (Section 2.1).
+    """
+    return ReplacementSpec(
+        name="watch-store",
+        instrs=(
+            # 0: dr4 = effective address
+            ReplacementInstr(opcode=Opcode.LDA, ra=Lit(DR_ADDR), rb=T_RS,
+                             imm=T_IMM),
+            # 1: dr1 = addr < lo  -> below range, safe
+            ReplacementInstr(opcode=Opcode.CMPULT, ra=Lit(DR_ADDR),
+                             rb=Lit(DR_LO), rc=Lit(DR_TMP)),
+            # 2: if below, skip to the store (DISEPC 6)
+            ReplacementInstr(opcode=Opcode.DBNE, ra=Lit(DR_TMP), imm=Lit(6)),
+            # 3: dr1 = addr < hi  -> inside range, fault
+            ReplacementInstr(opcode=Opcode.CMPULT, ra=Lit(DR_ADDR),
+                             rb=Lit(DR_HI), rc=Lit(DR_TMP)),
+            # 4: if not inside, skip the fault
+            ReplacementInstr(opcode=Opcode.DBEQ, ra=Lit(DR_TMP), imm=Lit(6)),
+            # 5: watched write -> fault
+            ReplacementInstr(opcode=Opcode.FAULT, ra=Lit(31),
+                             imm=Lit(WATCH_FAULT_CODE)),
+            # 6: the original store
+            TRIGGER_INSN,
+        ),
+    )
+
+
+def watch_production_set() -> ProductionSet:
+    """The watchpoint ACF as a one-production set."""
+    pset = ProductionSet("watchpoint", scope="user")
+    pset.define(match_stores(), watch_spec(), name="P-watch")
+    return pset
+
+
+def attach_watchpoint(image: ProgramImage, lo: int, hi: int) -> AcfInstallation:
+    """Watch stores into [lo, hi); fault code ``WATCH_FAULT_CODE`` on hit."""
+    if hi <= lo:
+        raise ValueError("empty watch range")
+
+    def init(machine):
+        machine.regs[DR_LO] = lo
+        machine.regs[DR_HI] = hi
+
+    return AcfInstallation(
+        image=image,
+        production_sets=[watch_production_set()],
+        init_machine=init,
+        name="watchpoint",
+    )
+
+
+# ----------------------------------------------------------------------
+# Value-invariant assertions ("assertions involving the evaluation of
+# arbitrary criteria"): fault when a store writes a forbidden value to a
+# watched address.
+# ----------------------------------------------------------------------
+def value_assertion_spec() -> ReplacementSpec:
+    """Fault if a store writes $dr3 (forbidden value) to address $dr2."""
+    return ReplacementSpec(
+        name="assert-value",
+        instrs=(
+            # 0: dr4 = effective address; skip unless it's the watched one
+            ReplacementInstr(opcode=Opcode.LDA, ra=Lit(DR_ADDR), rb=T_RS,
+                             imm=T_IMM),
+            ReplacementInstr(opcode=Opcode.CMPEQ, ra=Lit(DR_ADDR),
+                             rb=Lit(DR_LO), rc=Lit(DR_TMP)),
+            ReplacementInstr(opcode=Opcode.DBEQ, ra=Lit(DR_TMP), imm=Lit(6)),
+            # 3: compare the store's data register to the forbidden value
+            ReplacementInstr(opcode=Opcode.CMPEQ, ra=TrigField("rt"),
+                             rb=Lit(DR_HI), rc=Lit(DR_TMP)),
+            ReplacementInstr(opcode=Opcode.DBEQ, ra=Lit(DR_TMP), imm=Lit(6)),
+            ReplacementInstr(opcode=Opcode.FAULT, ra=Lit(31),
+                             imm=Lit(WATCH_FAULT_CODE)),
+            # 6: the original store
+            TRIGGER_INSN,
+        ),
+    )
+
+
+def attach_value_assertion(image: ProgramImage, address: int,
+                           forbidden_value: int) -> AcfInstallation:
+    """Assert that ``forbidden_value`` is never stored to ``address``.
+
+    Demonstrates assertions on *data* criteria: the check reads the store's
+    data register (``T.RT``) — something a hardware address watchpoint
+    cannot express — and runs at pipeline speed, unlike a single-stepping
+    debugger.
+    """
+
+    def init(machine):
+        machine.regs[DR_LO] = address
+        machine.regs[DR_HI] = forbidden_value
+
+    pset = ProductionSet("value-assert", scope="user")
+    pset.define(match_stores(), value_assertion_spec(), name="P-assert")
+    return AcfInstallation(
+        image=image,
+        production_sets=[pset],
+        init_machine=init,
+        name="value-assert",
+    )

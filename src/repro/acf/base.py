@@ -1,0 +1,58 @@
+"""Common ACF plumbing.
+
+An ACF installation bundles everything needed to run a program under an
+application customization function:
+
+* the (possibly transformed) program image,
+* zero or more production sets to install in the DISE controller,
+* an initialisation callback that seeds dedicated registers (the paper's
+  "the ACF initializes this register" step, Section 2.1).
+
+``run_acf`` wires an installation into a controller + machine and executes
+it; most tests and experiments go through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.config import DiseConfig
+from repro.core.controller import DiseController
+from repro.core.production import ProductionSet
+from repro.program.image import ProgramImage
+from repro.sim.functional import Machine
+from repro.sim.trace import TraceResult
+
+
+@dataclass
+class AcfInstallation:
+    """A ready-to-run (image, productions, init) bundle."""
+
+    image: ProgramImage
+    production_sets: List[ProductionSet] = field(default_factory=list)
+    init_machine: Optional[Callable[[Machine], None]] = None
+    name: str = "acf"
+
+    def make_machine(self, dise_config: Optional[DiseConfig] = None,
+                     record_trace=True) -> Machine:
+        controller = None
+        if self.production_sets:
+            controller = DiseController(dise_config)
+            for pset in self.production_sets:
+                controller.install(pset)
+        machine = Machine(self.image, controller=controller,
+                          record_trace=record_trace)
+        if self.init_machine is not None:
+            self.init_machine(machine)
+        return machine
+
+    def run(self, dise_config: Optional[DiseConfig] = None,
+            record_trace=True, max_steps=5_000_000) -> TraceResult:
+        machine = self.make_machine(dise_config, record_trace=record_trace)
+        return machine.run(max_steps=max_steps)
+
+
+def plain_installation(image: ProgramImage) -> AcfInstallation:
+    """An installation with no ACF (the baseline execution)."""
+    return AcfInstallation(image=image, name="plain")

@@ -1,0 +1,139 @@
+"""Composed ACFs: simultaneous decompression + memory fault isolation.
+
+Section 4.3 evaluates three implementations of the composition:
+
+* ``rewrite+dedicated`` — fault isolation by binary rewriting, then the
+  dedicated decoder-based decompressor over the bloated text.
+* ``rewrite+dise`` — fault isolation by binary rewriting, then DISE
+  decompression (parameterized, branch-compressing) over the result.
+* ``dise+dise`` — the paper's model: the server compresses the *unmodified*
+  application; the client composes the transparent MFI productions into the
+  aware decompression dictionary by inlining (Section 3.3, transparent with
+  aware).  Because aware productions live in the application's data segment,
+  composition runs in the RT miss handler — composed sequences carry the
+  long (150-cycle) miss latency.
+
+Each builder returns ``(CompressionResult, AcfInstallation)`` so experiments
+can report both static sizes and runtime behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.acf.base import AcfInstallation
+from repro.acf.compression import (
+    CompressionOptions,
+    CompressionResult,
+    DEDICATED_OPTIONS,
+    DISE_OPTIONS,
+    compress_image,
+)
+from repro.acf.mfi import (
+    DR_CODE_SEG,
+    DR_DATA_SEG,
+    attach_mfi,
+    ensure_error_stub,
+    mfi_production_set,
+    rewrite_mfi,
+    segment_ids,
+)
+from repro.core.compose import nest
+from repro.core.production import ProductionSet
+from repro.program.image import ProgramImage
+
+#: The composition strategies of Figure 8, in presentation order.
+COMPOSITION_SCHEMES = ("rewrite+dedicated", "rewrite+dise", "dise+dise")
+
+
+def _mfi_init(image: ProgramImage):
+    data_seg, code_seg = segment_ids(image)
+
+    def init(machine):
+        machine.regs[DR_DATA_SEG] = data_seg
+        machine.regs[DR_CODE_SEG] = code_seg
+
+    return init
+
+
+def compose_rewrite_dedicated(image: ProgramImage
+                              ) -> Tuple[CompressionResult, AcfInstallation]:
+    """Binary-rewritten MFI compressed by the dedicated decompressor."""
+    rewritten = rewrite_mfi(image).image
+    result = compress_image(rewritten, DEDICATED_OPTIONS)
+    return result, AcfInstallation(
+        image=result.image,
+        production_sets=[result.production_set] if result.production_set else [],
+        name="rewrite+dedicated",
+    )
+
+
+def compose_rewrite_dise(image: ProgramImage
+                         ) -> Tuple[CompressionResult, AcfInstallation]:
+    """Binary-rewritten MFI compressed by DISE decompression."""
+    rewritten = rewrite_mfi(image).image
+    result = compress_image(rewritten, DISE_OPTIONS)
+    return result, AcfInstallation(
+        image=result.image,
+        production_sets=[result.production_set] if result.production_set else [],
+        name="rewrite+dise",
+    )
+
+
+def compose_dise_dise(image: ProgramImage, mfi_variant="dise3",
+                      options: CompressionOptions = DISE_OPTIONS
+                      ) -> Tuple[CompressionResult, AcfInstallation]:
+    """DISE decompression with DISE MFI inlined into the dictionary.
+
+    The unmodified program is compressed; the MFI productions are then
+    (a) nested into every dictionary entry (fault-isolating the
+    *decompressed* program, not the codewords) and (b) kept active for the
+    naturally-occurring instructions that were not compressed away.
+    """
+    result = compress_image(image, options)
+    compressed = ensure_error_stub(result.image)
+    mfi = mfi_production_set(compressed, variant=mfi_variant)
+
+    if result.production_set is not None:
+        composed = nest(
+            inner=result.production_set, outer=mfi,
+            name="mfi(decompression)",
+            composed_on_fill=True,   # composition runs in the RT miss handler
+        )
+        production_sets = [composed]
+    else:
+        production_sets = [mfi]
+
+    installation = AcfInstallation(
+        image=compressed,
+        production_sets=production_sets,
+        init_machine=_mfi_init(compressed),
+        name="dise+dise",
+    )
+    # The image gained the error stub after compression; refresh the result's
+    # view of it so text-size accounting includes the stub consistently.
+    result = CompressionResult(
+        image=compressed,
+        production_set=result.production_set,
+        options=result.options,
+        original_text_bytes=result.original_text_bytes,
+        compressed_text_bytes=compressed.text_size,
+        dictionary_entries=result.dictionary_entries,
+        dictionary_bytes=result.dictionary_bytes,
+        instances=result.instances,
+        instructions_removed=result.instructions_removed,
+        dropped_branch_instances=result.dropped_branch_instances,
+    )
+    return result, installation
+
+
+def build_composition(image: ProgramImage, scheme: str
+                      ) -> Tuple[CompressionResult, AcfInstallation]:
+    """Dispatch on a Figure 8 composition scheme name."""
+    if scheme == "rewrite+dedicated":
+        return compose_rewrite_dedicated(image)
+    if scheme == "rewrite+dise":
+        return compose_rewrite_dise(image)
+    if scheme == "dise+dise":
+        return compose_dise_dise(image)
+    raise ValueError(f"unknown composition scheme: {scheme!r}")

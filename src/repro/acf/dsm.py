@@ -1,0 +1,147 @@
+"""Fine-grain distributed shared memory checks — Section 3.1.
+
+Software DSM built on virtual memory shares at page granularity; fine-grain
+systems (the paper cites Shasta) instead instrument every memory operation
+to test whether it touches shared data and whether that data is locally
+present.  "DISE productions for these checks are similar to those used for
+memory fault isolation ... a DISE-capable machine can be configured to have
+the appearance of hardware-supported fine-grained DSM without custom
+hardware."
+
+This module implements the access-check half of such a system over the
+simulator's single address space:
+
+* a shared address range ``[lo, hi)`` (dedicated registers ``$dr2``/``$dr3``);
+* a per-line presence table (base in ``$dr5``, one word per
+  ``LINE_BYTES``-byte line);
+* every load/store to the shared range checks presence; an absent line is
+  "fetched" — its presence word is set and the remote-miss counter
+  (``$dr6``) is bumped — entirely inside the replacement sequence, using
+  DISE-internal control flow only.
+
+Private accesses skip the machinery via two range checks, mirroring
+Shasta's fast-path/slow-path structure.
+"""
+
+from __future__ import annotations
+
+from repro.acf.base import AcfInstallation
+from repro.core.directives import Lit, T_IMM, T_RS
+from repro.core.pattern import match_loads, match_stores
+from repro.core.production import ProductionSet
+from repro.core.replacement import (
+    TRIGGER_INSN,
+    ReplacementInstr,
+    ReplacementSpec,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import ZERO_REG, dise_reg
+from repro.program.image import ProgramImage
+
+#: Granularity of sharing (a cache-line-sized block, as in Shasta).
+LINE_BYTES = 64
+_LINE_SHIFT = 6
+
+DR_VALUE = dise_reg(0)    # presence word scratch
+DR_TEST = dise_reg(1)     # comparison scratch
+DR_LO = dise_reg(2)       # shared range [lo, hi)
+DR_HI = dise_reg(3)
+DR_ADDR = dise_reg(4)     # effective address / table offset scratch
+DR_TABLE = dise_reg(5)    # presence-table base
+DR_MISSES = dise_reg(6)   # remote-fetch counter
+
+
+def dsm_check_spec() -> ReplacementSpec:
+    """The per-access check-and-fetch sequence (see module docstring)."""
+    end = 14   # DISEPC of the trigger copy
+    instrs = (
+        # 0: effective address
+        ReplacementInstr(opcode=Opcode.LDA, ra=Lit(DR_ADDR), rb=T_RS,
+                         imm=T_IMM),
+        # 1-2: below the shared range -> private fast path
+        ReplacementInstr(opcode=Opcode.CMPULT, ra=Lit(DR_ADDR),
+                         rb=Lit(DR_LO), rc=Lit(DR_TEST)),
+        ReplacementInstr(opcode=Opcode.DBNE, ra=Lit(DR_TEST), imm=Lit(end)),
+        # 3-4: at/above the top -> private fast path
+        ReplacementInstr(opcode=Opcode.CMPULT, ra=Lit(DR_ADDR),
+                         rb=Lit(DR_HI), rc=Lit(DR_TEST)),
+        ReplacementInstr(opcode=Opcode.DBEQ, ra=Lit(DR_TEST), imm=Lit(end)),
+        # 5-8: presence-table slot address
+        ReplacementInstr(opcode=Opcode.SUBQ, ra=Lit(DR_ADDR),
+                         rb=Lit(DR_LO), rc=Lit(DR_ADDR)),
+        ReplacementInstr(opcode=Opcode.SRL, ra=Lit(DR_ADDR),
+                         imm=Lit(_LINE_SHIFT), rc=Lit(DR_ADDR)),
+        ReplacementInstr(opcode=Opcode.SLL, ra=Lit(DR_ADDR), imm=Lit(3),
+                         rc=Lit(DR_ADDR)),
+        ReplacementInstr(opcode=Opcode.ADDQ, ra=Lit(DR_ADDR),
+                         rb=Lit(DR_TABLE), rc=Lit(DR_ADDR)),
+        # 9-10: present? -> done
+        ReplacementInstr(opcode=Opcode.LDQ, ra=Lit(DR_VALUE),
+                         rb=Lit(DR_ADDR), imm=Lit(0)),
+        ReplacementInstr(opcode=Opcode.DBNE, ra=Lit(DR_VALUE), imm=Lit(end)),
+        # 11-13: "fetch" the line: mark present, count the miss
+        ReplacementInstr(opcode=Opcode.BIS, ra=Lit(ZERO_REG), imm=Lit(1),
+                         rc=Lit(DR_VALUE)),
+        ReplacementInstr(opcode=Opcode.STQ, ra=Lit(DR_VALUE),
+                         rb=Lit(DR_ADDR), imm=Lit(0)),
+        ReplacementInstr(opcode=Opcode.ADDQ, ra=Lit(DR_MISSES), imm=Lit(1),
+                         rc=Lit(DR_MISSES)),
+        # 14: the original access
+        TRIGGER_INSN,
+    )
+    return ReplacementSpec(instrs=instrs, name="dsm-check")
+
+
+def dsm_production_set() -> ProductionSet:
+    """DSM check productions for loads and stores."""
+    pset = ProductionSet("dsm", scope="kernel")
+    spec = dsm_check_spec()
+    seq_id = pset.add_replacement(0, spec)
+    pset.add_production(match_loads(), seq_id=seq_id, name="P-load")
+    pset.add_production(match_stores(), seq_id=seq_id, name="P-store")
+    return pset
+
+
+def attach_dsm(image: ProgramImage, shared_lo: int,
+               shared_hi: int) -> AcfInstallation:
+    """Install fine-grain DSM checks over ``[shared_lo, shared_hi)``.
+
+    The presence table is placed past the program's data segment, one word
+    per 64-byte line, initially all-absent.
+    """
+    if shared_hi <= shared_lo:
+        raise ValueError("empty shared range")
+    if (shared_hi - shared_lo) % LINE_BYTES:
+        raise ValueError("shared range must be line-aligned in size")
+    table_base = image.data_base + image.data_size + (2 << 20)
+
+    def init(machine):
+        machine.regs[DR_LO] = shared_lo
+        machine.regs[DR_HI] = shared_hi
+        machine.regs[DR_TABLE] = table_base
+        machine.regs[DR_MISSES] = 0
+
+    installation = AcfInstallation(
+        image=image,
+        production_sets=[dsm_production_set()],
+        init_machine=init,
+        name="dsm",
+    )
+    installation.table_base = table_base
+    installation.shared_range = (shared_lo, shared_hi)
+    return installation
+
+
+def remote_misses(result) -> int:
+    """Remote line fetches performed during a finished run."""
+    return result.final_regs[DR_MISSES]
+
+
+def lines_present(result, installation) -> int:
+    """Number of shared lines marked present at the end of a run."""
+    lo, hi = installation.shared_range
+    count = 0
+    for line in range((hi - lo) // LINE_BYTES):
+        if result.final_memory.read(installation.table_base + line * 8):
+            count += 1
+    return count

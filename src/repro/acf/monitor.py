@@ -1,0 +1,107 @@
+"""Reference monitors — Section 3.1.
+
+A reference monitor observes execution and terminates the program when a
+security policy is violated.  DISE's properties make the checks tamper- and
+subversion-resistant: productions sit at the decoder and cannot be jumped
+around, and the PT/RT access model keeps the policy out of the
+application's reach.
+
+Two policy building blocks are provided:
+
+* ``deny_opcodes`` — executing any denied opcode faults immediately (e.g.
+  a sandbox that forbids the ``out`` "system call").
+* ``count_opcodes`` — a usage meter: occurrences are counted in ``$dr7``
+  and the program faults when a budget is exceeded.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.acf.base import AcfInstallation
+from repro.core.directives import Lit
+from repro.core.pattern import PatternSpec
+from repro.core.production import ProductionSet
+from repro.core.replacement import (
+    TRIGGER_INSN,
+    ReplacementInstr,
+    ReplacementSpec,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import dise_reg
+from repro.program.image import ProgramImage
+
+#: Fault code raised on a policy violation.
+POLICY_FAULT_CODE = 13
+
+DR_BUDGET = dise_reg(7)
+DR_TMP = dise_reg(1)
+
+
+def deny_spec() -> ReplacementSpec:
+    """Replace the trigger with an immediate policy fault."""
+    return ReplacementSpec(
+        name="deny",
+        instrs=(
+            ReplacementInstr(opcode=Opcode.FAULT, ra=Lit(31),
+                             imm=Lit(POLICY_FAULT_CODE)),
+        ),
+    )
+
+
+def count_spec() -> ReplacementSpec:
+    """Decrement the budget; fault when it runs out; else run the trigger."""
+    return ReplacementSpec(
+        name="count",
+        instrs=(
+            ReplacementInstr(opcode=Opcode.SUBQ, ra=Lit(DR_BUDGET),
+                             imm=Lit(1), rc=Lit(DR_BUDGET)),
+            ReplacementInstr(opcode=Opcode.DBNE, ra=Lit(DR_BUDGET),
+                             imm=Lit(3)),
+            ReplacementInstr(opcode=Opcode.FAULT, ra=Lit(31),
+                             imm=Lit(POLICY_FAULT_CODE)),
+            TRIGGER_INSN,
+        ),
+    )
+
+
+def deny_opcodes(opcodes: Iterable[Opcode]) -> ProductionSet:
+    """A policy forbidding every listed opcode."""
+    pset = ProductionSet("monitor-deny", scope="kernel")
+    spec = deny_spec()
+    for opcode in opcodes:
+        seq_id = pset.add_replacement(pset.next_seq_id(), spec)
+        pset.add_production(PatternSpec(opcode=opcode), seq_id=seq_id,
+                            name=f"deny-{opcode.mnemonic}")
+    return pset
+
+
+def count_opcodes(opcodes: Iterable[Opcode]) -> ProductionSet:
+    """A policy metering the listed opcodes against the $dr7 budget."""
+    pset = ProductionSet("monitor-count", scope="kernel")
+    spec = count_spec()
+    for opcode in opcodes:
+        seq_id = pset.add_replacement(pset.next_seq_id(), spec)
+        pset.add_production(PatternSpec(opcode=opcode), seq_id=seq_id,
+                            name=f"count-{opcode.mnemonic}")
+    return pset
+
+
+def attach_monitor(image: ProgramImage, deny=(), budgeted=(),
+                   budget=0) -> AcfInstallation:
+    """Install a reference monitor over an unmodified image."""
+    production_sets = []
+    if deny:
+        production_sets.append(deny_opcodes(deny))
+    if budgeted:
+        production_sets.append(count_opcodes(budgeted))
+
+    def init(machine):
+        machine.regs[DR_BUDGET] = budget + 1
+
+    return AcfInstallation(
+        image=image,
+        production_sets=production_sets,
+        init_machine=init if budgeted else None,
+        name="monitor",
+    )

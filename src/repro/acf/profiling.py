@@ -1,0 +1,152 @@
+"""Path profiling via "bit tracing" — Section 3.1 (other transparent ACFs).
+
+Productions for conditional branches shift each branch's outcome into a
+path register (``$dr6``).  At acyclic-path endpoints — function returns —
+a counter associated with the (endpoint PC xor path-history) tag is
+incremented in a fixed-size table and the path register is reset.  A
+post-execution pass reads the table; as the paper notes, the scheme may be
+lossy (tags can collide), which profile consumers tolerate.
+
+The branch outcome is recomputed from the test register with a compare in
+the replacement sequence — the trigger branch executes unchanged as the
+last instruction, so post-branch semantics follow the trigger-branch
+predicted-path rule of Section 2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.acf.base import AcfInstallation
+from repro.core.directives import Lit, T_PC, T_RS, TrigField
+from repro.core.pattern import PatternSpec
+from repro.core.production import ProductionSet
+from repro.core.replacement import (
+    TRIGGER_INSN,
+    ReplacementInstr,
+    ReplacementSpec,
+)
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.registers import ZERO_REG, dise_reg
+from repro.program.image import ProgramImage
+
+DR_PATH = dise_reg(6)      # path (branch-history) register
+DR_TMP = dise_reg(7)       # scratch for outcome / counter arithmetic
+
+#: log2 of the counter-table size (entries).  The tag mask must fit the
+#: 8-bit operate literal of the masking instruction, so 256 entries — the
+#: scheme is deliberately lossy (Section 3.1: "the counter maintenance
+#: scheme may be lossy").
+TABLE_BITS = 8
+TABLE_ENTRIES = 1 << TABLE_BITS
+
+#: Which compare reconstructs "branch taken" from the test register.
+_OUTCOME_OP = {
+    Opcode.BEQ: Opcode.CMPEQ,    # taken iff ra == 0
+    Opcode.BNE: Opcode.CMPULT,   # taken iff 0 < ra (unsigned)
+    Opcode.BLT: Opcode.CMPLT,    # taken iff ra < 0
+    Opcode.BLE: Opcode.CMPLE,    # taken iff ra <= 0
+}
+
+
+def _branch_production(opcode: Opcode) -> ReplacementSpec:
+    """sequence: outcome -> $dr7; path = (path << 1) | outcome; trigger."""
+    cmp_op = _OUTCOME_OP[opcode]
+    if opcode is Opcode.BNE:
+        # taken iff ra != 0: cmpult zero, ra
+        outcome = ReplacementInstr(
+            opcode=cmp_op, ra=Lit(ZERO_REG), rb=T_RS, rc=Lit(DR_TMP)
+        )
+    else:
+        outcome = ReplacementInstr(
+            opcode=cmp_op, ra=T_RS, rb=Lit(ZERO_REG), rc=Lit(DR_TMP)
+        )
+    return ReplacementSpec(
+        name=f"path-{opcode.mnemonic}",
+        instrs=(
+            outcome,
+            ReplacementInstr(opcode=Opcode.SLL, ra=Lit(DR_PATH), imm=Lit(1),
+                             rc=Lit(DR_PATH)),
+            ReplacementInstr(opcode=Opcode.BIS, ra=Lit(DR_PATH),
+                             rb=Lit(DR_TMP), rc=Lit(DR_PATH)),
+            TRIGGER_INSN,
+        ),
+    )
+
+
+def _endpoint_production(table_base: int) -> ReplacementSpec:
+    """Count the finished path at a return and reset the path register.
+
+    tag = (T.PC >> 2) xor path; slot = table_base + (tag & mask) * 8.
+    """
+    mask = TABLE_ENTRIES - 1
+    # $dr7 = T.PC; tag/index arithmetic in $dr7; $dr4 used as value scratch.
+    dr4 = dise_reg(4)
+    return ReplacementSpec(
+        name="path-endpoint",
+        instrs=(
+            ReplacementInstr(opcode=Opcode.BIS, ra=Lit(ZERO_REG),
+                             imm=T_PC, rc=Lit(DR_TMP)),
+            ReplacementInstr(opcode=Opcode.SRL, ra=Lit(DR_TMP), imm=Lit(2),
+                             rc=Lit(DR_TMP)),
+            ReplacementInstr(opcode=Opcode.XOR, ra=Lit(DR_TMP),
+                             rb=Lit(DR_PATH), rc=Lit(DR_TMP)),
+            ReplacementInstr(opcode=Opcode.AND, ra=Lit(DR_TMP),
+                             imm=Lit(mask & 0xFF), rc=Lit(DR_TMP)),
+            ReplacementInstr(opcode=Opcode.SLL, ra=Lit(DR_TMP), imm=Lit(3),
+                             rc=Lit(DR_TMP)),
+            ReplacementInstr(opcode=Opcode.LDA, ra=Lit(dr4),
+                             rb=Lit(DR_TMP), imm=Lit(0)),
+            # $dr7 = table_base + offset (table base loaded via $dr5 at init)
+            ReplacementInstr(opcode=Opcode.ADDQ, ra=Lit(dr4),
+                             rb=Lit(dise_reg(5)), rc=Lit(DR_TMP)),
+            ReplacementInstr(opcode=Opcode.LDQ, ra=Lit(dr4),
+                             rb=Lit(DR_TMP), imm=Lit(0)),
+            ReplacementInstr(opcode=Opcode.ADDQ, ra=Lit(dr4), imm=Lit(1),
+                             rc=Lit(dr4)),
+            ReplacementInstr(opcode=Opcode.STQ, ra=Lit(dr4),
+                             rb=Lit(DR_TMP), imm=Lit(0)),
+            ReplacementInstr(opcode=Opcode.BIS, ra=Lit(ZERO_REG),
+                             rb=Lit(ZERO_REG), rc=Lit(DR_PATH)),
+            TRIGGER_INSN,
+        ),
+    )
+
+
+def path_profiling_production_set(table_base: int) -> ProductionSet:
+    """Bit-tracing productions for conditional branches plus returns."""
+    pset = ProductionSet("path-profile", scope="kernel")
+    for opcode in _OUTCOME_OP:
+        pset.define(PatternSpec(opcode=opcode), _branch_production(opcode),
+                    name=f"P-{opcode.mnemonic}")
+    pset.define(PatternSpec(opcode=Opcode.RET),
+                _endpoint_production(table_base), name="P-ret")
+    return pset
+
+
+def attach_path_profiling(image: ProgramImage) -> AcfInstallation:
+    """Install the path profiler; the counter table follows the data segment."""
+    table_base = image.data_base + image.data_size + (1 << 20)
+
+    def init(machine):
+        machine.regs[dise_reg(5)] = table_base
+        machine.regs[DR_PATH] = 0
+
+    installation = AcfInstallation(
+        image=image,
+        production_sets=[path_profiling_production_set(table_base)],
+        init_machine=init,
+        name="path-profile",
+    )
+    installation.table_base = table_base
+    return installation
+
+
+def read_path_counters(result, table_base) -> Dict[int, int]:
+    """Non-zero path counters from a finished run (slot index -> count)."""
+    counters = {}
+    for slot in range(TABLE_ENTRIES):
+        value = result.final_memory.read(table_base + slot * 8)
+        if value:
+            counters[slot] = value
+    return counters

@@ -1,0 +1,69 @@
+"""Store-address tracing (SAT) — the transparent ACF of Figure 5.
+
+A single production for stores appends each store's effective address to an
+in-memory trace buffer whose cursor lives in dedicated register ``$dr5``.
+The buffer itself is placed past the program's data (in a real system the
+tracing runtime would own it); the application never sees the cursor.
+"""
+
+from __future__ import annotations
+
+from repro.acf.base import AcfInstallation
+from repro.core.language import parse_productions
+from repro.core.production import ProductionSet
+from repro.isa.registers import dise_reg
+from repro.program.image import ProgramImage
+
+#: Dedicated registers used by SAT.
+DR_ADDR = dise_reg(4)     # computed effective address
+DR_CURSOR = dise_reg(5)   # trace-buffer cursor
+
+SAT_SOURCE = """
+# Store-address tracing (Figure 5).
+P3: T.OPCLASS == store -> R3
+R3:
+    lda   $dr4, T.IMM(T.RS)
+    stq   $dr4, 0($dr5)
+    lda   $dr5, 8($dr5)
+    T.INSN
+"""
+
+
+def sat_production_set(scope="user") -> ProductionSet:
+    """SAT productions.
+
+    Tracing is typically a per-process debugging utility (``user`` scope:
+    deactivated when its process is switched out, Section 2.3); pass
+    ``scope="kernel"`` for a system-wide tracer.
+    """
+    return parse_productions(SAT_SOURCE, name="sat", scope=scope)
+
+
+def attach_sat(image: ProgramImage, buffer_words=65536,
+               scope="user") -> AcfInstallation:
+    """Install store-address tracing; the buffer follows the data segment."""
+    buffer_base = image.data_base + image.data_size + 4096
+
+    def init(machine):
+        machine.regs[DR_CURSOR] = buffer_base
+
+    installation = AcfInstallation(
+        image=image,
+        production_sets=[sat_production_set(scope=scope)],
+        init_machine=init,
+        name="sat",
+    )
+    installation.buffer_base = buffer_base
+    installation.buffer_words = buffer_words
+    return installation
+
+
+def read_trace_buffer(result, buffer_base, final_regs=None):
+    """Extract the traced addresses from a finished run's memory."""
+    cursor = (final_regs or result.final_regs)[DR_CURSOR]
+    addresses = []
+    addr = buffer_base
+    while addr < cursor:
+        addresses.append(result.final_memory.read(addr))
+        addr += 8
+    return addresses

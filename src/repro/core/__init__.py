@@ -1,0 +1,116 @@
+"""DISE core: productions, the engine (PT/RT/IL), the controller, and
+software composition — the paper's primary contribution."""
+
+from repro.core.compose import (
+    ComposeError,
+    apply_to_spec,
+    concatenate_specs,
+    merge_nonnested,
+    nest,
+    rename_dedicated,
+    spec_dedicated_usage,
+)
+from repro.core.config import (
+    DiseConfig,
+    PLACEMENT_FREE,
+    PLACEMENT_PIPE,
+    PLACEMENT_STALL,
+    PLACEMENTS,
+)
+from repro.core.controller import (
+    DiseController,
+    DiseSavedState,
+    combine_production_sets,
+)
+from repro.core.directives import (
+    AbsTarget,
+    Directive,
+    Lit,
+    T_IMM,
+    T_P1,
+    T_P2,
+    T_P23,
+    T_P3,
+    T_PC,
+    T_RD,
+    T_RS,
+    T_RT,
+    T_TAG,
+    TrigField,
+)
+from repro.core.engine import (
+    DiseEngine,
+    Expansion,
+    ExpansionError,
+    instantiate,
+)
+from repro.core.language import LanguageError, parse_productions
+from repro.core.pattern import (
+    PatternSpec,
+    match_indirect_jumps,
+    match_loads,
+    match_opcode,
+    match_stores,
+)
+from repro.core.production import Production, ProductionError, ProductionSet
+from repro.core.registers import DiseRegisterFile
+from repro.core.replacement import (
+    TRIGGER_INSN,
+    ReplacementInstr,
+    ReplacementSpec,
+    identity_replacement,
+)
+from repro.core.tables import PatternTable, ReplacementTable
+
+__all__ = [
+    "ComposeError",
+    "apply_to_spec",
+    "concatenate_specs",
+    "merge_nonnested",
+    "nest",
+    "rename_dedicated",
+    "spec_dedicated_usage",
+    "DiseConfig",
+    "PLACEMENT_FREE",
+    "PLACEMENT_PIPE",
+    "PLACEMENT_STALL",
+    "PLACEMENTS",
+    "DiseController",
+    "DiseSavedState",
+    "combine_production_sets",
+    "AbsTarget",
+    "Directive",
+    "Lit",
+    "T_IMM",
+    "T_P1",
+    "T_P2",
+    "T_P23",
+    "T_P3",
+    "T_PC",
+    "T_RD",
+    "T_RS",
+    "T_RT",
+    "T_TAG",
+    "TrigField",
+    "DiseEngine",
+    "Expansion",
+    "ExpansionError",
+    "instantiate",
+    "LanguageError",
+    "parse_productions",
+    "PatternSpec",
+    "match_indirect_jumps",
+    "match_loads",
+    "match_opcode",
+    "match_stores",
+    "Production",
+    "ProductionError",
+    "ProductionSet",
+    "DiseRegisterFile",
+    "TRIGGER_INSN",
+    "ReplacementInstr",
+    "ReplacementSpec",
+    "identity_replacement",
+    "PatternTable",
+    "ReplacementTable",
+]

@@ -1,0 +1,56 @@
+"""DISE mechanism configuration.
+
+Defaults mirror the paper's Section 4 setup: 32 PT entries and 2K RT
+entries, 8 bytes each (PT 512 B, RT 16 KB); a pipeline flush plus a 30-cycle
+stall on a simple PT/RT miss, 150 cycles when the miss handler must compose
+replacement sequences; and the elongated-pipeline engine placement chosen at
+the end of Section 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Engine placement options evaluated in Section 4.1 (Figure 6 top).
+PLACEMENT_FREE = "free"    # idealised: expansion costs nothing
+PLACEMENT_STALL = "stall"  # PT/RT in parallel: 1-cycle stall per expansion
+PLACEMENT_PIPE = "pipe"    # extra decode stage: +1 branch-misprediction cycle
+
+PLACEMENTS = (PLACEMENT_FREE, PLACEMENT_STALL, PLACEMENT_PIPE)
+
+
+@dataclass
+class DiseConfig:
+    """Sizing and placement of the DISE engine."""
+
+    pt_entries: int = 32
+    rt_entries: int = 2048
+    rt_assoc: int = 2
+    rt_perfect: bool = False
+    #: Instructions per RT block (Section 2.2's coalescing option; 1 = one
+    #: instruction per entry).
+    rt_block_size: int = 1
+    placement: str = PLACEMENT_PIPE
+    simple_miss_cycles: int = 30
+    compose_miss_cycles: int = 150
+    pt_entry_bytes: int = 8
+    rt_entry_bytes: int = 8
+
+    def __post_init__(self):
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
+            )
+
+    @property
+    def pt_bytes(self) -> int:
+        return self.pt_entries * self.pt_entry_bytes
+
+    @property
+    def rt_bytes(self) -> int:
+        return self.rt_entries * self.rt_entry_bytes
+
+    def with_changes(self, **changes) -> "DiseConfig":
+        from dataclasses import replace
+
+        return replace(self, **changes)

@@ -1,0 +1,130 @@
+"""Instantiation directives for replacement-instruction fields.
+
+Section 2.1 of the paper: "Each replacement instruction field comes with a
+directive that (optionally) instantiates it using a field from the trigger."
+
+Register fields support the paper's five directives:
+
+* ``literal``    -> :class:`Lit` wrapping a user register id
+* ``dedicated``  -> :class:`Lit` wrapping a DISE dedicated register id
+* ``T.RS`` / ``T.RT`` / ``T.RD`` -> :class:`TrigField`
+
+Immediate fields support literals, ``T.IMM``, the codeword parameters
+``T.P1``..``T.P3`` (used by aware ACFs with explicit tagging), and the
+trigger's ``T.PC`` (the non-instruction attribute the paper found useful for
+profiling ACFs).  :class:`AbsTarget` lets a replacement branch target an
+absolute application address (e.g. an error handler): the engine converts it
+to a PC-relative displacement against the trigger's PC at instantiation.
+
+The whole-instruction directive ``T.INSN`` is represented at the
+replacement-instruction level (see :mod:`repro.core.replacement`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.registers import is_dise_reg, is_user_reg, reg_name
+
+#: Trigger fields a register directive may name.
+REG_TRIGGER_FIELDS = ("rs", "rt", "rd", "p1", "p2", "p3")
+#: Trigger fields an immediate directive may name.  ``p23`` concatenates the
+#: P2 and P3 codeword parameters into one 10-bit signed immediate — the
+#: widened-parameter extension used to compress PC-relative branches whose
+#: offsets exceed a single 5-bit parameter.
+IMM_TRIGGER_FIELDS = ("imm", "p1", "p2", "p3", "p23", "pc", "tag")
+
+
+class Directive:
+    """Base class for field-instantiation directives."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Lit(Directive):
+    """A literal field value (register id or immediate).
+
+    For register fields this covers both of the paper's ``literal`` and
+    ``dedicated`` directives — the value simply names a register in the
+    combined user+dedicated id space.
+    """
+
+    value: int
+
+    def render_reg(self):
+        return reg_name(self.value)
+
+    def render_imm(self):
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class TrigField(Directive):
+    """Instantiate the field from a trigger field (``T.<FIELD>``)."""
+
+    field: str
+
+    def __post_init__(self):
+        allowed = set(REG_TRIGGER_FIELDS) | set(IMM_TRIGGER_FIELDS)
+        if self.field not in allowed:
+            raise ValueError(f"unknown trigger field: {self.field!r}")
+
+    def render(self):
+        return f"T.{self.field.upper()}"
+
+
+@dataclass(frozen=True)
+class AbsTarget(Directive):
+    """Branch to an absolute application address.
+
+    Only valid as the immediate of an application-level branch inside a
+    replacement sequence; converted to a trigger-PC-relative displacement at
+    instantiation.
+    """
+
+    address: int
+
+    def render(self):
+        return f"@{self.address:#x}"
+
+
+# Canonical shared instances for the common trigger fields.
+T_RS = TrigField("rs")
+T_RT = TrigField("rt")
+T_RD = TrigField("rd")
+T_IMM = TrigField("imm")
+T_PC = TrigField("pc")
+T_TAG = TrigField("tag")
+T_P1 = TrigField("p1")
+T_P2 = TrigField("p2")
+T_P3 = TrigField("p3")
+T_P23 = TrigField("p23")
+
+
+def validate_reg_directive(directive):
+    """Check that ``directive`` is legal for a register field."""
+    if isinstance(directive, Lit):
+        if not (is_user_reg(directive.value) or is_dise_reg(directive.value)):
+            raise ValueError(f"literal register out of range: {directive.value}")
+        return
+    if isinstance(directive, TrigField):
+        if directive.field not in REG_TRIGGER_FIELDS:
+            raise ValueError(
+                f"trigger field {directive.field!r} not usable in a register slot"
+            )
+        return
+    raise TypeError(f"not a register directive: {directive!r}")
+
+
+def validate_imm_directive(directive):
+    """Check that ``directive`` is legal for an immediate field."""
+    if isinstance(directive, (Lit, AbsTarget)):
+        return
+    if isinstance(directive, TrigField):
+        if directive.field not in IMM_TRIGGER_FIELDS:
+            raise ValueError(
+                f"trigger field {directive.field!r} not usable in an immediate slot"
+            )
+        return
+    raise TypeError(f"not an immediate directive: {directive!r}")

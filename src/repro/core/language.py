@@ -1,0 +1,335 @@
+"""A textual language for DISE productions, in the paper's notation.
+
+Example (memory fault isolation, Figure 1)::
+
+    # patterns
+    P1: T.OPCLASS == store -> R1
+    P2: T.OPCLASS == load  -> R1
+
+    # replacement sequences
+    R1:
+        srl   T.RS, #26, $dr1
+        xor   $dr1, $dr2, $dr1
+        bne   $dr1, @__mfi_error
+        T.INSN
+
+Pattern conditions are joined with ``&&``; supported forms are
+``T.OP == <mnemonic>``, ``T.OPCLASS == <class>``, ``T.RS/T.RT/T.RD == <reg>``,
+``T.IMM == <n>``, ``T.IMM < 0``, and ``T.IMM >= 0``.  The right-hand side of
+``->`` is a replacement name ``R<n>`` or ``T.TAG`` for aware (explicitly
+tagged) productions.
+
+Replacement operands may be registers (``$dr1``, ``t0``), trigger fields
+(``T.RS``, ``T.IMM``, ``T.P1``..), literals (``#26``), absolute application
+addresses (``@symbol`` or ``@0x1234``, resolved against a symbol mapping),
+or — for DISE-internal branches — local labels defined inside the block.
+``T.INSN`` on a line by itself is the whole-trigger copy.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.directives import AbsTarget, Lit, TrigField
+from repro.core.pattern import PatternSpec
+from repro.core.production import ProductionSet
+from repro.core.replacement import (
+    TRIGGER_INSN,
+    ReplacementInstr,
+    ReplacementSpec,
+)
+from repro.isa.opcodes import Format, OpClass, Opcode, parse_opcode
+from repro.isa.registers import parse_reg
+
+
+class LanguageError(ValueError):
+    """Raised on malformed production-language input."""
+
+    def __init__(self, message, lineno=None):
+        super().__init__(
+            message if lineno is None else f"line {lineno}: {message}"
+        )
+
+
+_PATTERN_RE = re.compile(r"^(P[\w.]*)\s*:\s*(.+?)\s*->\s*(\S+)$")
+_REPLACEMENT_HEADER_RE = re.compile(r"^(R\d+)\s*:\s*$")
+_LOCAL_LABEL_RE = re.compile(r"^\.(\w+)\s*:\s*$")
+_MEM_OPERAND_RE = re.compile(r"^(.*)\(([^)]+)\)$")
+
+_OPCLASS_BY_NAME = {c.value: c for c in OpClass}
+_TRIGGER_FIELD_RE = re.compile(r"^T\.(RS|RT|RD|IMM|PC|TAG|P1|P2|P3|P23)$",
+                               re.IGNORECASE)
+
+
+def _strip(line):
+    pos = line.find(";")
+    if pos >= 0:
+        line = line[:pos]
+    # '#' introduces a comment unless immediately followed by a digit or
+    # minus sign (an immediate literal); scan past literal uses.
+    search_from = 0
+    while True:
+        pos = line.find("#", search_from)
+        if pos < 0:
+            break
+        following = line[pos + 1:pos + 2]
+        if following.isdigit() or following == "-":
+            search_from = pos + 1
+            continue
+        line = line[:pos]
+        break
+    return line.strip()
+
+
+def _parse_condition(cond: str, pattern_fields: dict):
+    cond = cond.strip()
+    match = re.match(r"^T\.OPCLASS\s*==\s*(\w+)$", cond, re.IGNORECASE)
+    if match:
+        name = match.group(1).lower()
+        if name not in _OPCLASS_BY_NAME:
+            raise LanguageError(f"unknown opcode class: {name!r}")
+        pattern_fields["opclass"] = _OPCLASS_BY_NAME[name]
+        return
+    match = re.match(r"^T\.OP\s*==\s*(\w+)$", cond, re.IGNORECASE)
+    if match:
+        pattern_fields["opcode"] = parse_opcode(match.group(1))
+        return
+    match = re.match(r"^T\.(RS|RT|RD)\s*==\s*(\S+)$", cond, re.IGNORECASE)
+    if match:
+        regs = pattern_fields.setdefault("regs", {})
+        regs[match.group(1).lower()] = parse_reg(match.group(2))
+        return
+    match = re.match(r"^T\.IMM\s*==\s*(-?\w+)$", cond, re.IGNORECASE)
+    if match:
+        pattern_fields["imm"] = int(match.group(1), 0)
+        return
+    match = re.match(r"^T\.IMM\s*(<|>=)\s*0$", cond, re.IGNORECASE)
+    if match:
+        pattern_fields["imm_sign"] = -1 if match.group(1) == "<" else 1
+        return
+    match = re.match(r"^T\.PC\s*(>=|<)\s*(\w+)$", cond, re.IGNORECASE)
+    if match:
+        # PC-scoped patterns (the Section 2.1 attribute extension): both
+        # bounds must be given, e.g.  T.PC >= 0x400100 && T.PC < 0x400200.
+        key = "pc_lo" if match.group(1) == ">=" else "pc_hi"
+        pattern_fields[key] = int(match.group(2), 0)
+        return
+    raise LanguageError(f"unrecognised pattern condition: {cond!r}")
+
+
+def _parse_reg_operand(token: str):
+    token = token.strip()
+    match = _TRIGGER_FIELD_RE.match(token)
+    if match:
+        return TrigField(match.group(1).lower())
+    return Lit(parse_reg(token))
+
+
+def _parse_imm_operand(token: str, symbols, local_labels):
+    token = token.strip()
+    match = _TRIGGER_FIELD_RE.match(token)
+    if match:
+        return TrigField(match.group(1).lower())
+    if token.startswith("@"):
+        where = token[1:]
+        try:
+            return AbsTarget(int(where, 0))
+        except ValueError:
+            if symbols and where in symbols:
+                return AbsTarget(symbols[where])
+            raise LanguageError(f"unresolved absolute target: {where!r}")
+    if token.startswith("."):
+        # Local label: placeholder patched after the block is scanned.
+        return ("local", token[1:])
+    if token.startswith("#"):
+        token = token[1:]
+    try:
+        return Lit(int(token, 0))
+    except ValueError:
+        raise LanguageError(f"expected an immediate operand, got {token!r}")
+
+
+def _parse_replacement_line(text, symbols):
+    """Parse one replacement-sequence instruction line."""
+    if text.upper() == "T.INSN":
+        return TRIGGER_INSN
+    parts = text.split(None, 1)
+    opcode = parse_opcode(parts[0])
+    operands = (
+        [p.strip() for p in parts[1].split(",")] if len(parts) > 1 else []
+    )
+    fmt = opcode.format
+
+    if fmt is Format.NULLARY:
+        return ReplacementInstr(opcode=opcode)
+
+    if fmt is Format.MEM:
+        if len(operands) != 2:
+            raise LanguageError(f"{opcode.mnemonic} needs 'reg, disp(base)'")
+        ra = _parse_reg_operand(operands[0])
+        match = _MEM_OPERAND_RE.match(operands[1].replace(" ", ""))
+        if not match:
+            raise LanguageError(f"bad memory operand: {operands[1]!r}")
+        disp_text = match.group(1) or "0"
+        imm = _parse_imm_operand(disp_text, symbols, None)
+        rb = _parse_reg_operand(match.group(2))
+        return ReplacementInstr(opcode=opcode, ra=ra, rb=rb, imm=imm)
+
+    if fmt is Format.OPERATE:
+        if len(operands) != 3:
+            raise LanguageError(f"{opcode.mnemonic} needs 'src1, src2, dest'")
+        ra = _parse_reg_operand(operands[0])
+        rc = _parse_reg_operand(operands[2])
+        src2 = operands[1]
+        if src2.startswith("#") or src2.lstrip("-").isdigit():
+            return ReplacementInstr(
+                opcode=opcode, ra=ra, rc=rc,
+                imm=_parse_imm_operand(src2, symbols, None),
+            )
+        if _TRIGGER_FIELD_RE.match(src2):
+            # A trigger field in the src2 slot: register by default; use
+            # explicit '#T.P2' for immediates.
+            return ReplacementInstr(
+                opcode=opcode, ra=ra, rb=_parse_reg_operand(src2), rc=rc
+            )
+        return ReplacementInstr(
+            opcode=opcode, ra=ra, rb=_parse_reg_operand(src2), rc=rc
+        )
+
+    if fmt is Format.BRANCH:
+        if opcode is Opcode.OUT:
+            if len(operands) != 1:
+                raise LanguageError("out needs one register operand")
+            return ReplacementInstr(opcode=opcode, ra=_parse_reg_operand(operands[0]))
+        if opcode is Opcode.FAULT:
+            if len(operands) != 1:
+                raise LanguageError("fault needs one numeric code")
+            return ReplacementInstr(
+                opcode=opcode, ra=Lit(31),
+                imm=_parse_imm_operand(operands[0], symbols, None),
+            )
+        if len(operands) == 1 and opcode.opclass is not OpClass.COND_BRANCH:
+            return ReplacementInstr(
+                opcode=opcode, ra=Lit(31),
+                imm=_parse_imm_operand(operands[0], symbols, None),
+            )
+        if len(operands) != 2:
+            raise LanguageError(f"{opcode.mnemonic} needs 'reg, target'")
+        return ReplacementInstr(
+            opcode=opcode,
+            ra=_parse_reg_operand(operands[0]),
+            imm=_parse_imm_operand(operands[1], symbols, None),
+        )
+
+    if fmt is Format.JUMP:
+        if len(operands) != 2:
+            raise LanguageError(f"{opcode.mnemonic} needs 'link, (addr)'")
+        addr = operands[1].replace(" ", "")
+        if not (addr.startswith("(") and addr.endswith(")")):
+            raise LanguageError(f"bad jump operand: {operands[1]!r}")
+        return ReplacementInstr(
+            opcode=opcode,
+            ra=_parse_reg_operand(operands[0]),
+            rb=_parse_reg_operand(addr[1:-1]),
+        )
+
+    raise LanguageError(f"opcode {opcode.mnemonic} not usable in a "
+                        "replacement sequence")
+
+
+def parse_productions(source: str, name="acf", scope="user",
+                      symbols: Optional[Dict[str, int]] = None,
+                      tagged_dictionary: Optional[Dict[int, ReplacementSpec]] = None
+                      ) -> ProductionSet:
+    """Parse production-language source into a :class:`ProductionSet`.
+
+    ``symbols`` resolves ``@name`` absolute targets.  ``tagged_dictionary``
+    supplies replacement sequences for ``T.TAG`` productions (aware ACFs
+    usually build their dictionaries programmatically).
+    """
+    pset = ProductionSet(name, scope=scope)
+    patterns: List[Tuple[str, PatternSpec, str, int]] = []
+    replacements: Dict[str, Tuple[List[ReplacementInstr], Dict[str, int]]] = {}
+    current_block: Optional[str] = None
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        match = _PATTERN_RE.match(line)
+        if match:
+            pname, conditions, target = match.groups()
+            fields: dict = {}
+            for cond in conditions.split("&&"):
+                try:
+                    _parse_condition(cond, fields)
+                except LanguageError as exc:
+                    raise LanguageError(str(exc), lineno) from None
+            try:
+                pattern = PatternSpec(**fields)
+            except ValueError as exc:
+                raise LanguageError(str(exc), lineno) from None
+            patterns.append((pname, pattern, target, lineno))
+            current_block = None
+            continue
+        match = _REPLACEMENT_HEADER_RE.match(line)
+        if match:
+            current_block = match.group(1)
+            if current_block in replacements:
+                raise LanguageError(
+                    f"replacement block {current_block} redefined", lineno
+                )
+            replacements[current_block] = ([], {})
+            continue
+        match = _LOCAL_LABEL_RE.match(line)
+        if match and current_block is not None:
+            instrs, labels = replacements[current_block]
+            labels[match.group(1)] = len(instrs)
+            continue
+        if current_block is None:
+            raise LanguageError(f"instruction outside a replacement block: "
+                                f"{line!r}", lineno)
+        try:
+            rinstr = _parse_replacement_line(line, symbols)
+        except (LanguageError, ValueError) as exc:
+            raise LanguageError(str(exc), lineno) from None
+        replacements[current_block][0].append(rinstr)
+
+    # Patch local-label placeholders and register the replacement specs.
+    seq_ids: Dict[str, int] = {}
+    for block_name, (instrs, labels) in replacements.items():
+        patched = []
+        for rinstr in instrs:
+            if isinstance(rinstr.imm, tuple) and rinstr.imm[0] == "local":
+                label = rinstr.imm[1]
+                if label not in labels:
+                    raise LanguageError(
+                        f"undefined local label .{label} in {block_name}"
+                    )
+                rinstr = ReplacementInstr(
+                    opcode=rinstr.opcode, ra=rinstr.ra, rb=rinstr.rb,
+                    rc=rinstr.rc, imm=Lit(labels[label]),
+                )
+            patched.append(rinstr)
+        seq_id = int(block_name[1:])
+        pset.add_replacement(
+            seq_id, ReplacementSpec(instrs=tuple(patched), name=block_name)
+        )
+        seq_ids[block_name] = seq_id
+
+    if tagged_dictionary:
+        for seq_id, spec in tagged_dictionary.items():
+            pset.add_replacement(seq_id, spec)
+
+    for pname, pattern, target, lineno in patterns:
+        if target.upper() == "T.TAG":
+            pset.add_production(pattern, tagged=True, name=pname)
+        elif target in seq_ids:
+            pset.add_production(pattern, seq_id=seq_ids[target], name=pname)
+        else:
+            raise LanguageError(
+                f"pattern {pname} references undefined replacement {target}",
+                lineno,
+            )
+    return pset

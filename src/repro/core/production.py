@@ -1,0 +1,173 @@
+"""Productions and production sets.
+
+A production binds a pattern specification to a replacement sequence.  The
+binding is either *direct* (transparent ACFs: the PT entry names the
+replacement-sequence identifier) or *tagged* (aware ACFs: the identifier is
+taken from the trigger's explicit tag bits — Section 2.1, explicit tagging).
+
+A :class:`ProductionSet` is the unit an ACF hands to the DISE controller: a
+list of productions plus the replacement dictionary (identifier ->
+:class:`ReplacementSpec`).  Aware ACFs with many dictionary entries share a
+single tagged production whose pattern matches the reserved opcode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.pattern import PatternSpec
+from repro.core.replacement import ReplacementSpec
+
+
+class ProductionError(ValueError):
+    """Raised on ill-formed productions or production sets."""
+
+
+@dataclass(frozen=True)
+class Production:
+    """One pattern -> replacement-sequence binding."""
+
+    pattern: PatternSpec
+    #: Replacement-sequence id for direct productions; ``None`` when tagged.
+    seq_id: Optional[int] = None
+    #: True when the id comes from the trigger's tag bits (aware ACFs).
+    tagged: bool = False
+    name: str = ""
+
+    def __post_init__(self):
+        if self.tagged == (self.seq_id is not None):
+            raise ProductionError(
+                "a production is either direct (seq_id) or tagged, not both/neither"
+            )
+
+    def select_seq_id(self, trigger) -> Optional[int]:
+        """The replacement-sequence id this trigger expands to."""
+        if self.tagged:
+            return trigger.tag
+        return self.seq_id
+
+    def render(self) -> str:
+        target = "T.TAG" if self.tagged else f"R{self.seq_id}"
+        return f"{self.name or 'P?'}: {self.pattern.render()} -> {target}"
+
+
+class ProductionSet:
+    """A named collection of productions plus their replacement dictionary.
+
+    ``scope`` models the OS-kernel production-virtualization policy of
+    Section 2.3: ``"kernel"`` sets were submitted to and approved by the
+    kernel and survive context switches; ``"user"`` sets live in one
+    application's data space and are deactivated when it is switched out.
+    """
+
+    def __init__(self, name, scope="user"):
+        if scope not in ("user", "kernel"):
+            raise ProductionError(f"unknown scope: {scope!r}")
+        self.name = name
+        self.scope = scope
+        self.productions: List[Production] = []
+        self.replacements: Dict[int, ReplacementSpec] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_replacement(self, seq_id: int, spec: ReplacementSpec):
+        if seq_id in self.replacements:
+            raise ProductionError(f"replacement id {seq_id} already defined")
+        self.replacements[seq_id] = spec
+        return seq_id
+
+    def next_seq_id(self) -> int:
+        return max(self.replacements, default=-1) + 1
+
+    def add_production(self, pattern: PatternSpec, seq_id=None, tagged=False,
+                       name="") -> Production:
+        production = Production(
+            pattern=pattern, seq_id=seq_id, tagged=tagged, name=name
+        )
+        if not tagged and seq_id not in self.replacements:
+            raise ProductionError(
+                f"production references undefined replacement id {seq_id}"
+            )
+        self.productions.append(production)
+        return production
+
+    def define(self, pattern: PatternSpec, spec: ReplacementSpec, name="") -> int:
+        """Add a replacement and a direct production for it in one step."""
+        seq_id = self.add_replacement(self.next_seq_id(), spec)
+        self.add_production(pattern, seq_id=seq_id, name=name)
+        return seq_id
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return len(self.productions)
+
+    def replacement(self, seq_id: int) -> ReplacementSpec:
+        try:
+            return self.replacements[seq_id]
+        except KeyError:
+            raise ProductionError(f"no replacement sequence with id {seq_id}") from None
+
+    def total_replacement_instrs(self) -> int:
+        return sum(len(spec) for spec in self.replacements.values())
+
+    def render(self) -> str:
+        lines = [f"# production set {self.name!r} (scope={self.scope})"]
+        lines.extend(p.render() for p in self.productions)
+        for seq_id in sorted(self.replacements):
+            spec = self.replacements[seq_id]
+            lines.append(f"R{seq_id}:" if not spec.name else f"{spec.name}:")
+            lines.extend(f"    {rinstr.render()}" for rinstr in spec.instrs)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def merged_with(self, other: "ProductionSet",
+                    name: Optional[str] = None) -> "ProductionSet":
+        """Union of two sets with disjoint replacement-id namespaces.
+
+        The other set's replacement ids are shifted past this set's; tagged
+        productions keep their tag-relative ids, so tag spaces must not
+        collide — callers composing two aware ACFs must use distinct
+        reserved opcodes or disjoint tag ranges (Section 3.3, aware with
+        aware).
+        """
+        merged = ProductionSet(
+            name or f"{self.name}+{other.name}",
+            scope="kernel" if "kernel" in (self.scope, other.scope) else "user",
+        )
+        merged.productions.extend(self.productions)
+        merged.replacements.update(self.replacements)
+
+        has_tagged = any(p.tagged for p in other.productions)
+        if has_tagged:
+            overlap = set(other.replacements) & set(merged.replacements)
+            if overlap:
+                raise ProductionError(
+                    "cannot shift tagged replacement ids; tag collision on "
+                    f"{sorted(overlap)[:4]}..."
+                )
+            shift = 0
+        else:
+            shift = max(merged.replacements, default=-1) + 1 - min(
+                other.replacements, default=0
+            )
+            shift = max(shift, 0)
+        for seq_id, spec in other.replacements.items():
+            merged.replacements[seq_id + shift] = spec
+        for production in other.productions:
+            if production.tagged:
+                merged.productions.append(production)
+            else:
+                merged.productions.append(
+                    Production(
+                        pattern=production.pattern,
+                        seq_id=production.seq_id + shift,
+                        name=production.name,
+                    )
+                )
+        return merged

@@ -1,0 +1,60 @@
+"""The DISE dedicated register file.
+
+Dedicated registers (``$dr0``..``$dr7``) are accessible only from replacement
+sequences (Section 2.1).  They provide per-expansion scratch storage and
+persistent storage across expansions, letting global ACF behaviour be
+synthesised from independent local expansions (e.g. the trace-buffer cursor
+of store-address tracing, or MFI's legal-segment id).
+
+The file is part of per-process DISE state and is saved/restored across
+context switches by the OS-kernel layer (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.isa.registers import DISE_REG_BASE, NUM_DISE_REGS, is_dise_reg
+
+
+class DiseRegisterFile:
+    """Eight 64-bit dedicated registers."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values=None):
+        if values is None:
+            self._values = [0] * NUM_DISE_REGS
+        else:
+            values = list(values)
+            if len(values) != NUM_DISE_REGS:
+                raise ValueError(f"expected {NUM_DISE_REGS} values")
+            self._values = values
+
+    def read(self, reg: int) -> int:
+        return self._values[self._index(reg)]
+
+    def write(self, reg: int, value: int):
+        self._values[self._index(reg)] = value & 0xFFFFFFFFFFFFFFFF
+
+    def snapshot(self) -> Tuple[int, ...]:
+        """Immutable copy of the register contents (context-switch save)."""
+        return tuple(self._values)
+
+    def restore(self, snapshot):
+        snapshot = list(snapshot)
+        if len(snapshot) != NUM_DISE_REGS:
+            raise ValueError(f"expected {NUM_DISE_REGS} values")
+        self._values = snapshot
+
+    @staticmethod
+    def _index(reg: int) -> int:
+        if not is_dise_reg(reg):
+            raise ValueError(f"not a DISE dedicated register id: {reg}")
+        return reg - DISE_REG_BASE
+
+    def __repr__(self):
+        cells = ", ".join(
+            f"$dr{index}={value:#x}" for index, value in enumerate(self._values)
+        )
+        return f"DiseRegisterFile({cells})"

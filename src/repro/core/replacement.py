@@ -1,0 +1,181 @@
+"""Replacement-sequence specifications — the expansion half of a production.
+
+A :class:`ReplacementSpec` is a short program template: a list of
+:class:`ReplacementInstr`, each either the special whole-trigger copy
+(``T.INSN``) or an opcode plus per-field instantiation directives
+(:mod:`repro.core.directives`).
+
+Control flow inside sequences follows the paper's two-level model
+(Section 2.1):
+
+* **DISE branches** (``dbeq``/``dbne``/``dbr``) transfer control *within*
+  the dynamic replacement sequence: their immediate directive is a literal
+  target DISEPC (an offset into this sequence).  One sequence can never jump
+  into the middle of another.
+* **Application branches** transfer control at the application level; their
+  targets are absolute addresses (:class:`~repro.core.directives.AbsTarget`)
+  or trigger-relative displacements.  Replacement instructions after a
+  non-trigger application branch belong to its not-taken path and are
+  squashed if it is taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.directives import (
+    AbsTarget,
+    Directive,
+    Lit,
+    TrigField,
+    validate_imm_directive,
+    validate_reg_directive,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, OpClass, Opcode
+from repro.isa.registers import is_dise_reg
+
+
+@dataclass(frozen=True)
+class ReplacementInstr:
+    """One instruction slot of a replacement sequence specification.
+
+    ``opcode is None`` denotes the whole-trigger directive ``T.INSN``.
+    """
+
+    opcode: Optional[Opcode] = None
+    ra: Optional[Directive] = None
+    rb: Optional[Directive] = None
+    rc: Optional[Directive] = None
+    imm: Optional[Directive] = None
+
+    @property
+    def is_trigger_copy(self) -> bool:
+        return self.opcode is None
+
+    @property
+    def is_dise_branch(self) -> bool:
+        return self.opcode is not None and self.opcode.is_dise_branch
+
+    @property
+    def is_app_branch(self) -> bool:
+        return self.opcode is not None and self.opcode.is_branch
+
+    def validate(self, length: int, offset: int):
+        """Validate directives; ``length`` is the enclosing sequence length."""
+        if self.is_trigger_copy:
+            if any(d is not None for d in (self.ra, self.rb, self.rc, self.imm)):
+                raise ValueError("T.INSN carries no field directives")
+            return
+        fmt = self.opcode.format
+        for directive in (self.ra, self.rb, self.rc):
+            if directive is not None:
+                validate_reg_directive(directive)
+        if self.imm is not None:
+            validate_imm_directive(self.imm)
+        if self.is_dise_branch:
+            if not isinstance(self.imm, Lit):
+                raise ValueError("DISE branch target must be a literal DISEPC")
+            if not 0 <= self.imm.value < length:
+                raise ValueError(
+                    f"DISE branch target {self.imm.value} outside sequence "
+                    f"of length {length}"
+                )
+        if fmt is Format.OPERATE and self.rc is None:
+            raise ValueError(f"operate instruction at offset {offset} needs rc")
+
+    def render(self) -> str:
+        if self.is_trigger_copy:
+            return "T.INSN"
+
+        def show(directive, kind):
+            if directive is None:
+                return "?"
+            if isinstance(directive, Lit):
+                return directive.render_reg() if kind == "reg" else directive.render_imm()
+            if isinstance(directive, TrigField):
+                return directive.render()
+            if isinstance(directive, AbsTarget):
+                return directive.render()
+            raise AssertionError
+
+        op = self.opcode
+        fmt = op.format
+        if fmt is Format.NULLARY:
+            return op.mnemonic
+        if fmt is Format.MEM:
+            return (f"{op.mnemonic} {show(self.ra, 'reg')}, "
+                    f"{show(self.imm, 'imm')}({show(self.rb, 'reg')})")
+        if fmt is Format.OPERATE:
+            src2 = show(self.rb, "reg") if self.rb is not None else f"#{show(self.imm, 'imm')}"
+            return f"{op.mnemonic} {show(self.ra, 'reg')}, {src2}, {show(self.rc, 'reg')}"
+        if fmt is Format.BRANCH:
+            if op is Opcode.OUT:
+                return f"{op.mnemonic} {show(self.ra, 'reg')}"
+            if op is Opcode.FAULT:
+                return f"{op.mnemonic} {show(self.imm, 'imm')}"
+            return f"{op.mnemonic} {show(self.ra, 'reg')}, {show(self.imm, 'imm')}"
+        if fmt is Format.JUMP:
+            return f"{op.mnemonic} {show(self.ra, 'reg')}, ({show(self.rb, 'reg')})"
+        if fmt is Format.CODEWORD:
+            return (f"{op.mnemonic} {show(self.ra, 'reg')}, {show(self.rb, 'reg')}, "
+                    f"{show(self.rc, 'reg')}, {show(self.imm, 'imm')}")
+        raise AssertionError(f"unhandled format {fmt}")
+
+
+#: The whole-trigger replacement slot (``T.INSN``).
+TRIGGER_INSN = ReplacementInstr(opcode=None)
+
+
+@dataclass(frozen=True)
+class ReplacementSpec:
+    """An ordered, validated replacement sequence specification."""
+
+    instrs: Tuple[ReplacementInstr, ...]
+    name: str = ""
+    #: True when this sequence is produced by composition in the RT miss
+    #: handler (Section 3.3) — its RT fills cost the long miss latency.
+    composed_on_fill: bool = False
+
+    def __post_init__(self):
+        instrs = tuple(self.instrs)
+        object.__setattr__(self, "instrs", instrs)
+        if not instrs:
+            raise ValueError("replacement sequence cannot be empty")
+        for offset, rinstr in enumerate(instrs):
+            rinstr.validate(len(instrs), offset)
+
+    def __len__(self):
+        return len(self.instrs)
+
+    def __iter__(self):
+        return iter(self.instrs)
+
+    @property
+    def uses_dedicated_registers(self) -> bool:
+        for rinstr in self.instrs:
+            for directive in (rinstr.ra, rinstr.rb, rinstr.rc):
+                if isinstance(directive, Lit) and is_dise_reg(directive.value):
+                    return True
+        return False
+
+    @property
+    def trigger_copy_offsets(self) -> Tuple[int, ...]:
+        return tuple(
+            offset for offset, rinstr in enumerate(self.instrs)
+            if rinstr.is_trigger_copy
+        )
+
+    def render(self) -> str:
+        lines = [f"{self.name or 'R?'}:"]
+        lines.extend(f"    {rinstr.render()}" for rinstr in self.instrs)
+        return "\n".join(lines)
+
+
+def identity_replacement(name="identity") -> ReplacementSpec:
+    """The identity expansion: replace the trigger with itself.
+
+    Used for negative pattern specifications (Section 2.2).
+    """
+    return ReplacementSpec(instrs=(TRIGGER_INSN,), name=name)

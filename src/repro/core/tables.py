@@ -1,0 +1,162 @@
+"""Physical pattern-table (PT) and replacement-table (RT) models.
+
+Functionally, matching and replacement are defined by the active production
+set; the PT and RT determine only *when misses happen* and therefore what
+the timing model charges (Section 2.3: the PT/RT are physical caches over a
+larger virtual namespace, "faulted in" on demand like a software-managed
+TLB).
+
+* The **PT** is fully associative.  Miss detection uses the pattern counter
+  table: each opcode's active-pattern count is compared against its
+  PT-resident count; a fetched instance of an opcode whose counts differ
+  triggers a fill of all patterns for that opcode.
+* The **RT** is direct-mapped or set-associative.  Each entry holds one
+  replacement instruction, tagged by (sequence id, DISEPC offset).  A miss
+  on any entry of a sequence triggers a fill of the whole sequence.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+
+class PatternTable:
+    """Fully-associative physical PT with per-opcode fill granularity."""
+
+    def __init__(self, entries=32):
+        if entries < 1:
+            raise ValueError("PT needs at least one entry")
+        self.entries = entries
+        #: pattern index -> True, in LRU order (oldest first).
+        self._resident: "OrderedDict[int, bool]" = OrderedDict()
+        #: opcode -> list of active pattern indexes (set by the engine).
+        self._active_by_opcode: Dict[object, List[int]] = {}
+        self.accesses = 0
+        self.misses = 0
+        self.fills = 0
+
+    def set_active_patterns(self, active_by_opcode):
+        """Install the active-pattern index (invalidates residence)."""
+        self._active_by_opcode = active_by_opcode
+        self._resident.clear()
+
+    def active_count(self, opcode) -> int:
+        return len(self._active_by_opcode.get(opcode, ()))
+
+    def resident_count(self, opcode) -> int:
+        needed = self._active_by_opcode.get(opcode, ())
+        return sum(1 for index in needed if index in self._resident)
+
+    def access(self, opcode) -> bool:
+        """Record a fetch of ``opcode``; return True if it missed the PT."""
+        needed = self._active_by_opcode.get(opcode)
+        if not needed:
+            return False
+        self.accesses += 1
+        missing = [index for index in needed if index not in self._resident]
+        for index in needed:
+            if index in self._resident:
+                self._resident.move_to_end(index)
+        if not missing:
+            return False
+        self.misses += 1
+        needed_set = set(needed)
+        for index in missing:
+            if len(self._resident) >= self.entries:
+                # Evict the least-recently-used pattern that is not part of
+                # the fill group.  (A PT smaller than one opcode's pattern
+                # group transiently overflows rather than livelocking.)
+                for victim in self._resident:
+                    if victim not in needed_set:
+                        del self._resident[victim]
+                        break
+            self._resident[index] = True
+            self.fills += 1
+        return True
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class ReplacementTable:
+    """Set-associative physical RT.
+
+    By default each entry holds one replacement instruction, tagged
+    (sequence id, DISEPC offset).  ``block_size > 1`` models the paper's
+    coalescing option (Section 2.2): multiple sequential instruction
+    specifications share one block, reducing RT read ports at the expense
+    of internal fragmentation — a sequence of length L occupies
+    ``ceil(L / block_size)`` blocks regardless of how full its last block
+    is, so effective capacity drops for short sequences.
+    """
+
+    def __init__(self, entries=2048, assoc=2, perfect=False, block_size=1):
+        if block_size < 1:
+            raise ValueError("RT block size must be positive")
+        if not perfect:
+            if entries < 1 or assoc < 1 or entries % (assoc * block_size):
+                raise ValueError(
+                    "RT entries must be a positive multiple of "
+                    "assoc * block_size"
+                )
+        self.entries = entries
+        self.assoc = assoc
+        self.perfect = perfect
+        self.block_size = block_size
+        self.nsets = 1 if perfect else entries // (assoc * block_size)
+        #: set index -> OrderedDict[(seq_id, block_no) -> True], LRU order.
+        self._sets: Dict[int, "OrderedDict[Tuple[int, int], bool]"] = {}
+        self.accesses = 0
+        self.misses = 0
+        self.fills = 0
+
+    def invalidate(self):
+        self._sets.clear()
+
+    def _set_index(self, seq_id, block_no):
+        return (seq_id * 97 + block_no) % self.nsets
+
+    def _blocks(self, length):
+        return range((length + self.block_size - 1) // self.block_size)
+
+    def access_sequence(self, seq_id, length) -> bool:
+        """Access all entries of a sequence; True if any entry missed.
+
+        On a miss the whole sequence is (re)filled, modelling the
+        flush-and-procedurally-load miss handler of Section 2.3.
+        """
+        self.accesses += 1
+        if self.perfect:
+            return False
+        missed = False
+        for block_no in self._blocks(length):
+            set_index = self._set_index(seq_id, block_no)
+            entry_set = self._sets.get(set_index)
+            key = (seq_id, block_no)
+            if entry_set is not None and key in entry_set:
+                entry_set.move_to_end(key)
+            else:
+                missed = True
+        if missed:
+            self.misses += 1
+            for block_no in self._blocks(length):
+                self._fill(seq_id, block_no)
+        return missed
+
+    def _fill(self, seq_id, block_no):
+        set_index = self._set_index(seq_id, block_no)
+        entry_set = self._sets.setdefault(set_index, OrderedDict())
+        key = (seq_id, block_no)
+        if key in entry_set:
+            entry_set.move_to_end(key)
+            return
+        while len(entry_set) >= self.assoc:
+            entry_set.popitem(last=False)
+        entry_set[key] = True
+        self.fills += 1
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

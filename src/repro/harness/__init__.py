@@ -1,0 +1,47 @@
+"""Experiment harness: workload suites, per-figure experiments, tables."""
+
+from repro.harness.config import render_config_table
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    CACHE_LABELS,
+    CACHE_SIZES,
+    RT_CONFIGS,
+    RT_CONFIGS_COMPOSED,
+    WIDTHS,
+    fig6_cache,
+    fig6_top,
+    fig6_width,
+    fig7_perf,
+    fig7_ratio,
+    fig7_rt,
+    fig8_perf,
+    fig8_rt,
+    run_experiment,
+)
+from repro.harness.report import PAPER_CLAIMS, build_report, table_to_markdown
+from repro.harness.runner import Suite
+from repro.harness.tables import ResultTable
+
+__all__ = [
+    "render_config_table",
+    "ALL_EXPERIMENTS",
+    "CACHE_LABELS",
+    "CACHE_SIZES",
+    "RT_CONFIGS",
+    "RT_CONFIGS_COMPOSED",
+    "WIDTHS",
+    "fig6_cache",
+    "fig6_top",
+    "fig6_width",
+    "fig7_perf",
+    "fig7_ratio",
+    "fig7_rt",
+    "fig8_perf",
+    "fig8_rt",
+    "run_experiment",
+    "PAPER_CLAIMS",
+    "build_report",
+    "table_to_markdown",
+    "Suite",
+    "ResultTable",
+]

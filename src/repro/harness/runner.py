@@ -1,0 +1,123 @@
+"""Workload/trace management for the experiment harness.
+
+A :class:`Suite` lazily generates benchmark programs and caches the
+functional traces of each (benchmark, transformation) pair.  Timing replays
+(many per trace: cache sizes, widths, placements, RT geometries) then reuse
+the cached traces, which is what makes regenerating all of Figures 6-8
+tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.acf.base import AcfInstallation, plain_installation
+from repro.acf.composition import build_composition
+from repro.acf.compression import (
+    CompressionOptions,
+    CompressionResult,
+    compress_image,
+)
+from repro.acf.mfi import attach_mfi, rewrite_mfi
+from repro.core.config import DiseConfig
+from repro.program.image import ProgramImage
+from repro.sim.config import MachineConfig
+from repro.sim.cycle import CycleResult, simulate_trace
+from repro.sim.trace import TraceResult
+from repro.workloads.generator import generate_benchmark
+from repro.workloads.specint import BENCHMARK_NAMES, get_profile
+
+#: Functional runs use a perfect RT: RT behaviour is replayed inside the
+#: timing model, so the functional pass should not burn time there.
+_FUNCTIONAL_DISE = DiseConfig(rt_perfect=True)
+
+#: Generous dynamic-instruction budget for transformed binaries.
+_MAX_STEPS = 30_000_000
+
+
+class Suite:
+    """Lazily generated benchmarks + cached functional traces."""
+
+    def __init__(self, benchmarks: Optional[Sequence[str]] = None,
+                 scale: float = 1.0):
+        self.benchmarks = tuple(benchmarks or BENCHMARK_NAMES)
+        self.scale = scale
+        self._images: Dict[str, ProgramImage] = {}
+        self._traces: Dict[Tuple, TraceResult] = {}
+        self._compressions: Dict[Tuple, CompressionResult] = {}
+        self._cycles: Dict[Tuple, CycleResult] = {}
+
+    # ------------------------------------------------------------------
+    def image(self, bench: str) -> ProgramImage:
+        if bench not in self._images:
+            self._images[bench] = generate_benchmark(
+                get_profile(bench), scale=self.scale
+            )
+        return self._images[bench]
+
+    def _run(self, key: Tuple, installation: AcfInstallation) -> TraceResult:
+        if key not in self._traces:
+            self._traces[key] = installation.run(
+                dise_config=_FUNCTIONAL_DISE, max_steps=_MAX_STEPS
+            )
+        return self._traces[key]
+
+    # ------------------------------------------------------------------
+    # Traces per transformation
+    # ------------------------------------------------------------------
+    def trace_plain(self, bench: str) -> TraceResult:
+        return self._run((bench, "plain"),
+                         plain_installation(self.image(bench)))
+
+    def trace_mfi(self, bench: str, variant: str) -> TraceResult:
+        return self._run((bench, "mfi", variant),
+                         attach_mfi(self.image(bench), variant))
+
+    def trace_rewrite(self, bench: str) -> TraceResult:
+        return self._run((bench, "rewrite"), rewrite_mfi(self.image(bench)))
+
+    def compression(self, bench: str,
+                    options: CompressionOptions,
+                    label: str) -> CompressionResult:
+        key = (bench, "compress", label)
+        if key not in self._compressions:
+            self._compressions[key] = compress_image(
+                self.image(bench), options
+            )
+        return self._compressions[key]
+
+    def trace_compressed(self, bench: str, options: CompressionOptions,
+                         label: str) -> TraceResult:
+        result = self.compression(bench, options, label)
+        return self._run((bench, "compressed", label),
+                         result.installation())
+
+    def composition(self, bench: str, scheme: str
+                    ) -> Tuple[CompressionResult, AcfInstallation]:
+        key = (bench, "composition", scheme)
+        if key not in self._compressions:
+            result, installation = build_composition(self.image(bench),
+                                                     scheme)
+            self._compressions[key] = result
+            self._traces.setdefault(
+                (bench, "composed", scheme),
+                installation.run(dise_config=_FUNCTIONAL_DISE,
+                                 max_steps=_MAX_STEPS),
+            )
+        return self._compressions[key], None
+
+    def trace_composition(self, bench: str, scheme: str) -> TraceResult:
+        self.composition(bench, scheme)
+        return self._traces[(bench, "composed", scheme)]
+
+    # ------------------------------------------------------------------
+    def cycles(self, trace: TraceResult,
+               config: Optional[MachineConfig] = None) -> CycleResult:
+        # Steady-state measurement: our runs are shorter than the paper's
+        # complete-input runs, so cold misses are warmed away.  Results are
+        # memoised — figures share many (trace, config) replays.
+        key = (id(trace), repr(config))
+        if key not in self._cycles:
+            self._cycles[key] = simulate_trace(trace, config,
+                                               warm_start=True)
+        return self._cycles[key]

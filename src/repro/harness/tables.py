@@ -1,0 +1,82 @@
+"""Result tables: the rows/series the paper's figures report.
+
+A :class:`ResultTable` holds one value per (benchmark, column) plus derived
+geometric means, and renders as aligned ASCII — the textual equivalent of
+one bar-chart group per benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+
+class ResultTable:
+    """A named table of float cells indexed by (row, column)."""
+
+    def __init__(self, title: str, columns: Sequence[str],
+                 fmt: str = "{:.3f}"):
+        self.title = title
+        self.columns = list(columns)
+        self.fmt = fmt
+        self.rows: List[str] = []
+        self._cells: Dict[str, Dict[str, Optional[float]]] = {}
+
+    def set(self, row: str, column: str, value: Optional[float]):
+        if column not in self.columns:
+            raise KeyError(f"unknown column {column!r}")
+        if row not in self._cells:
+            self._cells[row] = {}
+            self.rows.append(row)
+        self._cells[row][column] = value
+
+    def get(self, row: str, column: str) -> Optional[float]:
+        return self._cells.get(row, {}).get(column)
+
+    def column_values(self, column: str) -> List[float]:
+        values = []
+        for row in self.rows:
+            value = self._cells[row].get(column)
+            if value is not None:
+                values.append(value)
+        return values
+
+    def geomean(self, column: str) -> Optional[float]:
+        values = [v for v in self.column_values(column) if v > 0]
+        if not values:
+            return None
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    # ------------------------------------------------------------------
+    def render(self, with_geomean=True) -> str:
+        name_width = max(
+            [len("benchmark")] + [len(row) for row in self.rows] + [7]
+        )
+        col_width = max([10] + [len(c) + 1 for c in self.columns])
+        lines = [self.title, "-" * len(self.title)]
+        header = "benchmark".ljust(name_width) + "".join(
+            column.rjust(col_width) for column in self.columns
+        )
+        lines.append(header)
+        for row in self.rows:
+            cells = []
+            for column in self.columns:
+                value = self._cells[row].get(column)
+                cells.append(
+                    (self.fmt.format(value) if value is not None else "-")
+                    .rjust(col_width)
+                )
+            lines.append(row.ljust(name_width) + "".join(cells))
+        if with_geomean:
+            cells = []
+            for column in self.columns:
+                value = self.geomean(column)
+                cells.append(
+                    (self.fmt.format(value) if value is not None else "-")
+                    .rjust(col_width)
+                )
+            lines.append("geomean".ljust(name_width) + "".join(cells))
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Dict[str, Optional[float]]]:
+        return {row: dict(cells) for row, cells in self._cells.items()}

@@ -1,0 +1,277 @@
+"""Convenience constructors for building instructions programmatically.
+
+These mirror assembly syntax so that generated code reads naturally::
+
+    ldq(a0, 8, sp)          # ldq a0, 8(sp)
+    addq(a0, 1, a0)         # addq a0, #1, a0
+    bne(t0, "loop")         # bne t0, loop
+    jsr(ra, pv)             # jsr ra, (pv)
+
+Operate-format second operands may be a register id or, when the value is an
+``int`` passed via ``imm=``-style positional use, a literal.  To keep call
+sites unambiguous the helpers take an explicit ``src2`` that is interpreted
+as a register id; use the ``*_imm`` variants (or pass ``Imm(n)``) for
+literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import ZERO_REG
+
+
+@dataclass(frozen=True)
+class Imm:
+    """Wrapper marking an operate-format second operand as a literal."""
+
+    value: int
+
+
+def _operate(opcode, src1, src2, dest):
+    if isinstance(src2, Imm):
+        return Instruction(opcode, ra=src1, rb=None, rc=dest, imm=src2.value)
+    return Instruction(opcode, ra=src1, rb=src2, rc=dest)
+
+
+def _mem(opcode, reg, disp, base):
+    return Instruction(opcode, ra=reg, rb=base, imm=disp)
+
+
+def _branch(opcode, reg, where):
+    if isinstance(where, str):
+        return Instruction(opcode, ra=reg, target=where)
+    return Instruction(opcode, ra=reg, imm=where)
+
+
+# Memory ---------------------------------------------------------------
+def lda(reg, disp, base):
+    """``lda reg, disp(base)`` — reg = base + disp."""
+    return _mem(Opcode.LDA, reg, disp, base)
+
+
+def ldah(reg, disp, base):
+    """``ldah reg, disp(base)`` — reg = base + (disp << 16)."""
+    return _mem(Opcode.LDAH, reg, disp, base)
+
+
+def ldl(reg, disp, base):
+    """``ldl reg, disp(base)`` — load sign-extended 32-bit word."""
+    return _mem(Opcode.LDL, reg, disp, base)
+
+
+def ldq(reg, disp, base):
+    """``ldq reg, disp(base)`` — load 64-bit word."""
+    return _mem(Opcode.LDQ, reg, disp, base)
+
+
+def stl(reg, disp, base):
+    """``stl reg, disp(base)`` — store low 32 bits."""
+    return _mem(Opcode.STL, reg, disp, base)
+
+
+def stq(reg, disp, base):
+    """``stq reg, disp(base)`` — store 64-bit word."""
+    return _mem(Opcode.STQ, reg, disp, base)
+
+
+# Operate ---------------------------------------------------------------
+def addq(src1, src2, dest):
+    """``addq src1, src2, dest`` — 64-bit add."""
+    return _operate(Opcode.ADDQ, src1, src2, dest)
+
+
+def subq(src1, src2, dest):
+    """``subq src1, src2, dest`` — 64-bit subtract."""
+    return _operate(Opcode.SUBQ, src1, src2, dest)
+
+
+def mulq(src1, src2, dest):
+    """``mulq src1, src2, dest`` — 64-bit multiply."""
+    return _operate(Opcode.MULQ, src1, src2, dest)
+
+
+def and_(src1, src2, dest):
+    """``and src1, src2, dest`` — bitwise AND."""
+    return _operate(Opcode.AND, src1, src2, dest)
+
+
+def bis(src1, src2, dest):
+    """``bis src1, src2, dest`` — bitwise OR (Alpha's move idiom)."""
+    return _operate(Opcode.BIS, src1, src2, dest)
+
+
+def xor(src1, src2, dest):
+    """``xor src1, src2, dest`` — bitwise XOR."""
+    return _operate(Opcode.XOR, src1, src2, dest)
+
+
+def sll(src1, src2, dest):
+    """``sll src1, src2, dest`` — shift left logical."""
+    return _operate(Opcode.SLL, src1, src2, dest)
+
+
+def srl(src1, src2, dest):
+    """``srl src1, src2, dest`` — shift right logical."""
+    return _operate(Opcode.SRL, src1, src2, dest)
+
+
+def sra(src1, src2, dest):
+    """``sra src1, src2, dest`` — shift right arithmetic."""
+    return _operate(Opcode.SRA, src1, src2, dest)
+
+
+def cmpeq(src1, src2, dest):
+    """``cmpeq src1, src2, dest`` — dest = (src1 == src2)."""
+    return _operate(Opcode.CMPEQ, src1, src2, dest)
+
+
+def cmplt(src1, src2, dest):
+    """``cmplt src1, src2, dest`` — signed less-than compare."""
+    return _operate(Opcode.CMPLT, src1, src2, dest)
+
+
+def cmple(src1, src2, dest):
+    """``cmple src1, src2, dest`` — signed less-or-equal compare."""
+    return _operate(Opcode.CMPLE, src1, src2, dest)
+
+
+def cmpult(src1, src2, dest):
+    """``cmpult src1, src2, dest`` — unsigned less-than compare."""
+    return _operate(Opcode.CMPULT, src1, src2, dest)
+
+
+def cmoveq(test, value, dest):
+    """``cmoveq test, value, dest`` — dest = value if test == 0."""
+    return _operate(Opcode.CMOVEQ, test, value, dest)
+
+
+def cmovne(test, value, dest):
+    """``cmovne test, value, dest`` — dest = value if test != 0."""
+    return _operate(Opcode.CMOVNE, test, value, dest)
+
+
+def mov(src, dest):
+    """Register move, encoded as ``bis src, src, dest``."""
+    return _operate(Opcode.BIS, src, src, dest)
+
+
+def li(value, dest):
+    """Load a small literal into a register (``bis zero, #value, dest``)."""
+    return _operate(Opcode.BIS, ZERO_REG, Imm(value), dest)
+
+
+# Branches ---------------------------------------------------------------
+def beq(reg, where):
+    """``beq reg, target`` — branch if reg == 0."""
+    return _branch(Opcode.BEQ, reg, where)
+
+
+def bne(reg, where):
+    """``bne reg, target`` — branch if reg != 0."""
+    return _branch(Opcode.BNE, reg, where)
+
+
+def blt(reg, where):
+    """``blt reg, target`` — branch if reg < 0 (signed)."""
+    return _branch(Opcode.BLT, reg, where)
+
+
+def ble(reg, where):
+    """``ble reg, target`` — branch if reg <= 0 (signed)."""
+    return _branch(Opcode.BLE, reg, where)
+
+
+def bgt(reg, where):
+    """``bgt reg, target`` — branch if reg > 0 (signed)."""
+    return _branch(Opcode.BGT, reg, where)
+
+
+def bge(reg, where):
+    """``bge reg, target`` — branch if reg >= 0 (signed)."""
+    return _branch(Opcode.BGE, reg, where)
+
+
+def br(where, link=ZERO_REG):
+    """``br target`` — unconditional direct branch (optional link)."""
+    return _branch(Opcode.BR, link, where)
+
+
+def bsr(link, where):
+    """``bsr link, target`` — direct call, return address into link."""
+    return _branch(Opcode.BSR, link, where)
+
+
+# DISE-internal branches (replacement sequences only) --------------------
+def dbeq(reg, where):
+    """DISE-internal branch if reg == 0 (moves the DISEPC only)."""
+    return _branch(Opcode.DBEQ, reg, where)
+
+
+def dbne(reg, where):
+    """DISE-internal branch if reg != 0 (moves the DISEPC only)."""
+    return _branch(Opcode.DBNE, reg, where)
+
+
+def dbr(where):
+    """DISE-internal unconditional branch (moves the DISEPC only)."""
+    return _branch(Opcode.DBR, ZERO_REG, where)
+
+
+# Indirect control flow ---------------------------------------------------
+def jmp(addr_reg, link=ZERO_REG):
+    """``jmp (addr)`` — indirect jump through a register."""
+    return Instruction(Opcode.JMP, ra=link, rb=addr_reg)
+
+
+def jsr(link, addr_reg):
+    """``jsr link, (addr)`` — indirect call through a register."""
+    return Instruction(Opcode.JSR, ra=link, rb=addr_reg)
+
+
+def ret(addr_reg, link=ZERO_REG):
+    """``ret (addr)`` — function return through a register."""
+    return Instruction(Opcode.RET, ra=link, rb=addr_reg)
+
+
+# Miscellaneous ------------------------------------------------------------
+def nop():
+    """No-operation."""
+    return Instruction(Opcode.NOP)
+
+
+def halt():
+    """Stop the machine."""
+    return Instruction(Opcode.HALT)
+
+
+def out(reg):
+    """Append the register's value to the machine's output log."""
+    return Instruction(Opcode.OUT, ra=reg)
+
+
+def fault(code):
+    """Raise a fault with the given code and stop the machine."""
+    return Instruction(Opcode.FAULT, ra=ZERO_REG, imm=code)
+
+
+def ctrl(reg, code):
+    """Controller call: invoke the registered handler for ``code``, with
+    ``reg`` as its argument register (the paper's instruction-based DISE
+    controller interface, Section 2.3)."""
+    return Instruction(Opcode.CTRL, ra=reg, imm=code)
+
+
+def codeword(opcode, p1, p2, p3, tag):
+    """Build an aware-ACF codeword from a reserved opcode.
+
+    ``p1``/``p2``/``p3`` are the three 5-bit parameters and ``tag`` is the
+    11-bit explicit replacement-sequence identifier (Section 2.1).
+    """
+    if not opcode.is_reserved:
+        raise ValueError(f"codewords require a reserved opcode, got {opcode}")
+    if not 0 <= tag < 2048:
+        raise ValueError(f"codeword tag out of range: {tag}")
+    return Instruction(opcode, ra=p1, rb=p2, rc=p3, imm=tag)

@@ -1,0 +1,49 @@
+"""Disassembler: render instructions (and whole images) as assembly text.
+
+Complements :mod:`repro.isa.assembler`; ``parse_instruction(disassemble(i))``
+round-trips for any encodable instruction.  When a symbol table is supplied,
+branch displacements are rendered as label names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
+from repro.isa.opcodes import Format, OpClass, Opcode
+from repro.isa.registers import reg_name
+
+
+def branch_target_addr(instr: Instruction, pc: int) -> Optional[int]:
+    """Absolute target address of a direct branch at ``pc``, if resolvable."""
+    if instr.format is not Format.BRANCH or instr.imm is None:
+        return None
+    if instr.opcode in (Opcode.OUT, Opcode.FAULT) or instr.opcode.is_dise_branch:
+        return None
+    return pc + INSTRUCTION_BYTES + instr.imm * INSTRUCTION_BYTES
+
+
+def disassemble(instr: Instruction, pc=None, symbols=None) -> str:
+    """Render one instruction as assembly text.
+
+    ``pc`` and ``symbols`` (an address -> name mapping) are optional; when
+    provided, branch targets are symbolised.
+    """
+    if pc is not None and symbols:
+        target = branch_target_addr(instr, pc)
+        if target is not None and target in symbols:
+            return str(instr.with_fields(imm=None, target=symbols[target]))
+    return str(instr)
+
+
+def disassemble_listing(instructions, base=0, symbols=None) -> str:
+    """Render a sequence of instructions as an address-annotated listing."""
+    by_addr = dict(symbols or {})
+    lines = []
+    for index, instr in enumerate(instructions):
+        pc = base + index * INSTRUCTION_BYTES
+        if pc in by_addr:
+            lines.append(f"{by_addr[pc]}:")
+        text = disassemble(instr, pc=pc, symbols=by_addr)
+        lines.append(f"    {pc:#010x}:  {text}")
+    return "\n".join(lines)

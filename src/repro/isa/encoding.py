@@ -1,0 +1,207 @@
+"""Binary encoding and decoding of instructions.
+
+Instructions are 32-bit words with a 6-bit opcode in the top bits.  Field
+layout by format (bit ranges are inclusive, MSB first):
+
+=========  ==============================================================
+MEM        op[31:26] ra[25:21] rb[20:16] disp[15:0] (signed)
+BRANCH     op[31:26] ra[25:21] disp[20:0] (signed, in instruction words)
+OPERATE    op[31:26] ra[25:21] rb[20:16] or lit[20:13] SBZ flag[12] rc[4:0]
+JUMP       op[31:26] ra[25:21] rb[20:16] hint[15:0] (zero)
+CODEWORD   op[31:26] p1[25:21] p2[20:16] p3[15:11] tag[10:0]
+NULLARY    op[31:26] zero[25:0]
+=========  ==============================================================
+
+Only user registers are encodable; DISE dedicated registers exist solely in
+the engine's internal replacement-table format and never appear in a binary.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, OPCODE_BY_CODE, Opcode
+from repro.isa.registers import NUM_USER_REGS, ZERO_REG
+
+#: Inclusive range of the operate-format 8-bit unsigned literal.
+OPERATE_LIT_MIN, OPERATE_LIT_MAX = 0, 255
+#: Inclusive range of the memory-format 16-bit signed displacement.
+MEM_DISP_MIN, MEM_DISP_MAX = -(1 << 15), (1 << 15) - 1
+#: Inclusive range of the branch-format 21-bit signed word displacement.
+BRANCH_DISP_MIN, BRANCH_DISP_MAX = -(1 << 20), (1 << 20) - 1
+#: Inclusive range of the codeword tag field.
+TAG_MIN, TAG_MAX = 0, (1 << 11) - 1
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be represented in the binary format."""
+
+
+def _check_reg(reg, what):
+    if reg is None:
+        raise EncodingError(f"{what} register is missing")
+    if not 0 <= reg < NUM_USER_REGS:
+        raise EncodingError(
+            f"{what} register {reg} is not encodable (DISE dedicated "
+            "registers only exist in internal replacement-table format)"
+        )
+    return reg
+
+
+def _to_signed(value, bits):
+    sign_bit = 1 << (bits - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def _to_field(value, bits):
+    return value & ((1 << bits) - 1)
+
+
+def canonicalize(instr: Instruction) -> Instruction:
+    """Return the canonical (encodable) form of ``instr``.
+
+    Fills defaulted fields with the values decoding will produce, so that
+    ``decode(encode(i)) == canonicalize(i)`` holds for every encodable
+    instruction.
+    """
+    fmt = instr.format
+    changes = {}
+    if instr.target is not None:
+        raise EncodingError(
+            f"instruction has unresolved symbolic target {instr.target!r}"
+        )
+    if fmt is Format.BRANCH and instr.imm is None:
+        changes["imm"] = 0
+    if fmt is Format.BRANCH and instr.ra is None:
+        changes["ra"] = ZERO_REG
+    if fmt is Format.JUMP and instr.ra is None:
+        changes["ra"] = ZERO_REG
+    if fmt is Format.NULLARY:
+        changes.update(ra=None, rb=None, rc=None, imm=None)
+    return instr.with_fields(**changes) if changes else instr
+
+
+def encode(instr: Instruction) -> int:
+    """Encode ``instr`` as a 32-bit word.
+
+    Raises :class:`EncodingError` for instructions that cannot be encoded:
+    unresolved symbolic targets, dedicated registers, or out-of-range
+    immediates.
+    """
+    instr = canonicalize(instr)
+    op = instr.opcode
+    word = op.code << 26
+    fmt = op.format
+
+    if fmt is Format.NULLARY:
+        return word
+
+    if fmt is Format.MEM:
+        ra = _check_reg(instr.ra, "ra")
+        rb = _check_reg(instr.rb, "rb")
+        disp = instr.imm if instr.imm is not None else 0
+        if not MEM_DISP_MIN <= disp <= MEM_DISP_MAX:
+            raise EncodingError(f"memory displacement out of range: {disp}")
+        return word | (ra << 21) | (rb << 16) | _to_field(disp, 16)
+
+    if fmt is Format.BRANCH:
+        ra = _check_reg(instr.ra, "ra")
+        disp = instr.imm
+        if not BRANCH_DISP_MIN <= disp <= BRANCH_DISP_MAX:
+            raise EncodingError(f"branch displacement out of range: {disp}")
+        return word | (ra << 21) | _to_field(disp, 21)
+
+    if fmt is Format.OPERATE:
+        ra = _check_reg(instr.ra, "ra")
+        rc = _check_reg(instr.rc, "rc")
+        if instr.rb is None:
+            lit = instr.imm
+            if lit is None:
+                raise EncodingError("operate instruction has neither rb nor imm")
+            if not OPERATE_LIT_MIN <= lit <= OPERATE_LIT_MAX:
+                raise EncodingError(f"operate literal out of range: {lit}")
+            return word | (ra << 21) | (lit << 13) | (1 << 12) | rc
+        rb = _check_reg(instr.rb, "rb")
+        return word | (ra << 21) | (rb << 16) | rc
+
+    if fmt is Format.JUMP:
+        ra = _check_reg(instr.ra, "ra")
+        rb = _check_reg(instr.rb, "rb")
+        return word | (ra << 21) | (rb << 16)
+
+    if fmt is Format.CODEWORD:
+        p1 = _check_reg(instr.ra, "p1")
+        p2 = _check_reg(instr.rb, "p2")
+        p3 = _check_reg(instr.rc, "p3")
+        tag = instr.imm
+        if tag is None or not TAG_MIN <= tag <= TAG_MAX:
+            raise EncodingError(f"codeword tag out of range: {tag}")
+        return word | (p1 << 21) | (p2 << 16) | (p3 << 11) | tag
+
+    raise AssertionError(f"unhandled format {fmt}")
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word into an :class:`Instruction`."""
+    if not 0 <= word < (1 << 32):
+        raise ValueError(f"not a 32-bit word: {word:#x}")
+    code = word >> 26
+    op = OPCODE_BY_CODE.get(code)
+    if op is None:
+        raise ValueError(f"unknown opcode encoding: {code:#x}")
+    fmt = op.format
+
+    if fmt is Format.NULLARY:
+        return Instruction(op)
+
+    if fmt is Format.MEM:
+        return Instruction(
+            op,
+            ra=(word >> 21) & 0x1F,
+            rb=(word >> 16) & 0x1F,
+            imm=_to_signed(word & 0xFFFF, 16),
+        )
+
+    if fmt is Format.BRANCH:
+        return Instruction(
+            op,
+            ra=(word >> 21) & 0x1F,
+            imm=_to_signed(word & 0x1FFFFF, 21),
+        )
+
+    if fmt is Format.OPERATE:
+        ra = (word >> 21) & 0x1F
+        rc = word & 0x1F
+        if word & (1 << 12):
+            return Instruction(op, ra=ra, rb=None, rc=rc, imm=(word >> 13) & 0xFF)
+        return Instruction(op, ra=ra, rb=(word >> 16) & 0x1F, rc=rc)
+
+    if fmt is Format.JUMP:
+        return Instruction(op, ra=(word >> 21) & 0x1F, rb=(word >> 16) & 0x1F)
+
+    if fmt is Format.CODEWORD:
+        return Instruction(
+            op,
+            ra=(word >> 21) & 0x1F,
+            rb=(word >> 16) & 0x1F,
+            rc=(word >> 11) & 0x1F,
+            imm=word & 0x7FF,
+        )
+
+    raise AssertionError(f"unhandled format {fmt}")
+
+
+def encode_stream(instructions: Iterable[Instruction]) -> bytes:
+    """Encode a sequence of instructions as little-endian bytes."""
+    words = [encode(instr) for instr in instructions]
+    return struct.pack(f"<{len(words)}I", *words)
+
+
+def decode_stream(data: bytes) -> List[Instruction]:
+    """Decode little-endian instruction bytes back into instructions."""
+    if len(data) % 4:
+        raise ValueError("instruction stream length is not a multiple of 4")
+    count = len(data) // 4
+    return [decode(word) for word in struct.unpack(f"<{count}I", data)]

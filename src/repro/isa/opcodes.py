@@ -1,0 +1,177 @@
+"""Opcode and opcode-class definitions for the Alpha-like ISA.
+
+The ISA is a compact but complete subset of the Alpha integer ISA: enough to
+compile realistic integer workloads (loads/stores, ALU ops, compares,
+conditional moves, branches, indirect jumps, calls) plus the extras DISE
+needs:
+
+* four **reserved opcodes** (``res0``..``res3``) that never occur naturally
+  and are used as aware-ACF codewords (Section 2.1, *explicit tagging*);
+* **DISE-internal branch variants** (``dbeq``/``dbne``/``dbr``) that modify
+  the DISEPC instead of the PC (Section 2.1, *replacement sequence
+  semantics*).  These only ever appear inside replacement sequences.
+
+Every opcode carries its encoding format, its opcode class (the pattern
+granularity DISE matches on), and an execution latency used by the timing
+model.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Format(enum.Enum):
+    """Binary encoding format of an instruction."""
+
+    MEM = "mem"            # op ra, disp(rb)          -- loads, stores, lda
+    BRANCH = "branch"      # op ra, disp              -- PC-relative branches
+    OPERATE = "operate"    # op ra, rb|#lit, rc       -- ALU operations
+    JUMP = "jump"          # op ra, (rb)              -- indirect control flow
+    CODEWORD = "codeword"  # op p1, p2, p3, tag       -- reserved DISE opcodes
+    NULLARY = "nullary"    # op                       -- nop / halt / ...
+
+
+class OpClass(enum.Enum):
+    """Coarse instruction classes; DISE patterns may match at this level."""
+
+    LOAD = "load"
+    STORE = "store"
+    INT_ARITH = "int_arith"
+    COND_BRANCH = "cond_branch"
+    UNCOND_BRANCH = "uncond_branch"   # direct br/bsr
+    INDIRECT_JUMP = "indirect_jump"   # jmp/jsr/ret through a register
+    NOP = "nop"
+    SYSTEM = "system"
+    RESERVED = "reserved"             # DISE codeword opcodes
+    DISE_BRANCH = "dise_branch"       # DISEPC-relative internal branches
+
+
+class Opcode(enum.Enum):
+    """All opcodes, each with encoding value, format, class and latency."""
+
+    #        code  format            opclass                 latency
+    LDA =    (0x08, Format.MEM,      OpClass.INT_ARITH,      1)
+    LDAH =   (0x09, Format.MEM,      OpClass.INT_ARITH,      1)
+    LDL =    (0x28, Format.MEM,      OpClass.LOAD,           3)
+    LDQ =    (0x29, Format.MEM,      OpClass.LOAD,           3)
+    STL =    (0x2C, Format.MEM,      OpClass.STORE,          1)
+    STQ =    (0x2D, Format.MEM,      OpClass.STORE,          1)
+
+    ADDQ =   (0x10, Format.OPERATE,  OpClass.INT_ARITH,      1)
+    SUBQ =   (0x11, Format.OPERATE,  OpClass.INT_ARITH,      1)
+    MULQ =   (0x13, Format.OPERATE,  OpClass.INT_ARITH,      7)
+    AND =    (0x14, Format.OPERATE,  OpClass.INT_ARITH,      1)
+    BIS =    (0x15, Format.OPERATE,  OpClass.INT_ARITH,      1)   # logical OR
+    XOR =    (0x16, Format.OPERATE,  OpClass.INT_ARITH,      1)
+    SLL =    (0x17, Format.OPERATE,  OpClass.INT_ARITH,      1)
+    SRL =    (0x18, Format.OPERATE,  OpClass.INT_ARITH,      1)
+    SRA =    (0x19, Format.OPERATE,  OpClass.INT_ARITH,      1)
+    CMPEQ =  (0x1A, Format.OPERATE,  OpClass.INT_ARITH,      1)
+    CMPLT =  (0x1B, Format.OPERATE,  OpClass.INT_ARITH,      1)
+    CMPLE =  (0x1C, Format.OPERATE,  OpClass.INT_ARITH,      1)
+    CMPULT = (0x1D, Format.OPERATE,  OpClass.INT_ARITH,      1)
+    CMOVEQ = (0x1E, Format.OPERATE,  OpClass.INT_ARITH,      1)
+    CMOVNE = (0x1F, Format.OPERATE,  OpClass.INT_ARITH,      1)
+
+    BEQ =    (0x39, Format.BRANCH,   OpClass.COND_BRANCH,    1)
+    BNE =    (0x3D, Format.BRANCH,   OpClass.COND_BRANCH,    1)
+    BLT =    (0x3A, Format.BRANCH,   OpClass.COND_BRANCH,    1)
+    BLE =    (0x3B, Format.BRANCH,   OpClass.COND_BRANCH,    1)
+    BGT =    (0x3F, Format.BRANCH,   OpClass.COND_BRANCH,    1)
+    BGE =    (0x3E, Format.BRANCH,   OpClass.COND_BRANCH,    1)
+    BR =     (0x30, Format.BRANCH,   OpClass.UNCOND_BRANCH,  1)
+    BSR =    (0x34, Format.BRANCH,   OpClass.UNCOND_BRANCH,  1)
+
+    JMP =    (0x37, Format.JUMP,     OpClass.INDIRECT_JUMP,  1)
+    JSR =    (0x35, Format.JUMP,     OpClass.INDIRECT_JUMP,  1)
+    RET =    (0x36, Format.JUMP,     OpClass.INDIRECT_JUMP,  1)
+
+    NOP =    (0x00, Format.NULLARY,  OpClass.NOP,            1)
+    HALT =   (0x01, Format.NULLARY,  OpClass.SYSTEM,         1)
+    OUT =    (0x02, Format.BRANCH,   OpClass.SYSTEM,         1)   # emit ra
+    FAULT =  (0x03, Format.BRANCH,   OpClass.SYSTEM,         1)   # raise error
+    CTRL =   (0x0A, Format.BRANCH,   OpClass.SYSTEM,         1)   # controller call
+
+    RES0 =   (0x04, Format.CODEWORD, OpClass.RESERVED,       1)
+    RES1 =   (0x05, Format.CODEWORD, OpClass.RESERVED,       1)
+    RES2 =   (0x06, Format.CODEWORD, OpClass.RESERVED,       1)
+    RES3 =   (0x07, Format.CODEWORD, OpClass.RESERVED,       1)
+
+    DBEQ =   (0x31, Format.BRANCH,   OpClass.DISE_BRANCH,    1)
+    DBNE =   (0x32, Format.BRANCH,   OpClass.DISE_BRANCH,    1)
+    DBR =    (0x33, Format.BRANCH,   OpClass.DISE_BRANCH,    1)
+
+    def __init__(self, code, fmt, opclass, latency):
+        self.code = code
+        self.format = fmt
+        self.opclass = opclass
+        self.latency = latency
+
+    @property
+    def mnemonic(self):
+        """Lowercase assembly mnemonic."""
+        return self.name.lower()
+
+    @property
+    def is_load(self):
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self):
+        return self.opclass is OpClass.STORE
+
+    @property
+    def is_branch(self):
+        """Any application-level control transfer (not DISE-internal)."""
+        return self.opclass in (
+            OpClass.COND_BRANCH,
+            OpClass.UNCOND_BRANCH,
+            OpClass.INDIRECT_JUMP,
+        )
+
+    @property
+    def is_cond_branch(self):
+        return self.opclass is OpClass.COND_BRANCH
+
+    @property
+    def is_dise_branch(self):
+        return self.opclass is OpClass.DISE_BRANCH
+
+    @property
+    def is_reserved(self):
+        return self.opclass is OpClass.RESERVED
+
+    @property
+    def is_memory(self):
+        return self.opclass in (OpClass.LOAD, OpClass.STORE)
+
+
+OPCODE_BY_CODE = {}
+for _op in Opcode:
+    if _op.code in OPCODE_BY_CODE:
+        raise AssertionError(
+            f"duplicate opcode encoding {_op.code:#x}: "
+            f"{_op.name} vs {OPCODE_BY_CODE[_op.code].name}"
+        )
+    OPCODE_BY_CODE[_op.code] = _op
+
+OPCODE_BY_MNEMONIC = {op.mnemonic: op for op in Opcode}
+# Friendly aliases.
+OPCODE_BY_MNEMONIC["or"] = Opcode.BIS
+OPCODE_BY_MNEMONIC["mov"] = Opcode.BIS
+
+#: Reserved opcodes available for aware-ACF codewords.
+RESERVED_OPCODES = (Opcode.RES0, Opcode.RES1, Opcode.RES2, Opcode.RES3)
+
+#: Opcode classes whose members reference memory and therefore require
+#: fault-isolation checks (Section 3.1: loads, stores, indirect jumps).
+UNSAFE_OPCLASSES = (OpClass.LOAD, OpClass.STORE, OpClass.INDIRECT_JUMP)
+
+
+def parse_opcode(mnemonic):
+    """Look up an opcode by assembly mnemonic (case-insensitive)."""
+    try:
+        return OPCODE_BY_MNEMONIC[mnemonic.strip().lower()]
+    except KeyError:
+        raise ValueError(f"unknown opcode mnemonic: {mnemonic!r}") from None

@@ -1,0 +1,125 @@
+"""Register model for the Alpha-like ISA used throughout the reproduction.
+
+Two register spaces exist:
+
+* **User registers** ``r0`` .. ``r31`` — the architectural integer registers.
+  ``r31`` always reads as zero, as on a real Alpha.  The usual Alpha software
+  names (``v0``, ``a0``-``a5``, ``t0``-``t11``, ``s0``-``s6``, ``ra``, ``sp``,
+  ``gp``, ``at``, ``zero``) are provided as aliases.
+* **DISE dedicated registers** ``$dr0`` .. ``$dr7`` — registers accessible
+  only from DISE replacement sequences (Section 2.1 of the paper).  They give
+  replacement sequences scratch space and persistent cross-expansion storage
+  without scavenging user registers.
+
+Registers are represented as plain integers for speed: user registers occupy
+``0..31`` and dedicated registers occupy ``DISE_REG_BASE..DISE_REG_BASE+7``.
+Only user registers are encodable in the 5-bit register fields of the binary
+instruction format; dedicated registers appear exclusively in the engine's
+internal replacement-table entries.
+"""
+
+from __future__ import annotations
+
+NUM_USER_REGS = 32
+NUM_DISE_REGS = 8
+
+#: First integer id used for DISE dedicated registers.
+DISE_REG_BASE = 32
+
+#: Total size of the combined register-id namespace.
+NUM_REGS = DISE_REG_BASE + NUM_DISE_REGS
+
+#: The hardwired-zero user register.
+ZERO_REG = 31
+
+
+def dise_reg(index):
+    """Return the register id of DISE dedicated register ``$dr<index>``."""
+    if not 0 <= index < NUM_DISE_REGS:
+        raise ValueError(f"no such DISE register: $dr{index}")
+    return DISE_REG_BASE + index
+
+
+def is_user_reg(reg):
+    """True if ``reg`` is a user (application-visible) register id."""
+    return 0 <= reg < NUM_USER_REGS
+
+
+def is_dise_reg(reg):
+    """True if ``reg`` is a DISE dedicated register id."""
+    return DISE_REG_BASE <= reg < DISE_REG_BASE + NUM_DISE_REGS
+
+
+def is_zero_reg(reg):
+    """True if ``reg`` is the hardwired zero register."""
+    return reg == ZERO_REG
+
+
+# Alpha software register aliases.  The numeric assignments follow the Alpha
+# calling standard.
+REG_ALIASES = {
+    "v0": 0,
+    "t0": 1, "t1": 2, "t2": 3, "t3": 4, "t4": 5, "t5": 6, "t6": 7, "t7": 8,
+    "s0": 9, "s1": 10, "s2": 11, "s3": 12, "s4": 13, "s5": 14, "s6": 15,
+    "fp": 15,
+    "a0": 16, "a1": 17, "a2": 18, "a3": 19, "a4": 20, "a5": 21,
+    "t8": 22, "t9": 23, "t10": 24, "t11": 25,
+    "ra": 26,
+    "pv": 27, "t12": 27,
+    "at": 28,
+    "gp": 29,
+    "sp": 30,
+    "zero": 31,
+}
+
+_CANONICAL_ALIAS = {}
+for _name, _num in REG_ALIASES.items():
+    # Prefer the first alias listed for each number (fp/pv/zero resolve to
+    # the friendlier primary names).
+    _CANONICAL_ALIAS.setdefault(_num, _name)
+
+
+def parse_reg(text):
+    """Parse a register name into a register id.
+
+    Accepts ``$drN`` (dedicated), ``rN``/``$N`` (numeric user), and every
+    Alpha alias (optionally ``$``-prefixed).
+
+    >>> parse_reg("sp")
+    30
+    >>> parse_reg("$dr2") == dise_reg(2)
+    True
+    """
+    name = text.strip().lower()
+    if name.startswith("$"):
+        name = name[1:]
+    if name.startswith("dr") and name[2:].isdigit():
+        return dise_reg(int(name[2:]))
+    if name in REG_ALIASES:
+        return REG_ALIASES[name]
+    if name.startswith("r") and name[1:].isdigit():
+        num = int(name[1:])
+        if 0 <= num < NUM_USER_REGS:
+            return num
+    if name.isdigit():
+        num = int(name)
+        if 0 <= num < NUM_USER_REGS:
+            return num
+    raise ValueError(f"unknown register name: {text!r}")
+
+
+def reg_name(reg, prefer_alias=True):
+    """Render a register id as assembly text.
+
+    >>> reg_name(30)
+    'sp'
+    >>> reg_name(dise_reg(1))
+    '$dr1'
+    """
+    if is_dise_reg(reg):
+        return f"$dr{reg - DISE_REG_BASE}"
+    if not is_user_reg(reg):
+        raise ValueError(f"not a register id: {reg!r}")
+    if prefer_alias and reg in _CANONICAL_ALIAS:
+        return _CANONICAL_ALIAS[reg]
+    return f"r{reg}"

@@ -1,0 +1,32 @@
+"""Program model: images, builder/layout, basic blocks, rewriting."""
+
+from repro.program.blocks import BasicBlock, find_basic_blocks, find_leaders
+from repro.program.builder import (
+    DEFAULT_DATA_BASE,
+    DEFAULT_TEXT_BASE,
+    SEGMENT_SHIFT,
+    BuildError,
+    LoadAddress,
+    ProgramBuilder,
+    build_from_assembly,
+    split_address,
+)
+from repro.program.image import ProgramImage
+from repro.program.rewriter import image_to_items, rewrite_image
+
+__all__ = [
+    "BasicBlock",
+    "find_basic_blocks",
+    "find_leaders",
+    "DEFAULT_DATA_BASE",
+    "DEFAULT_TEXT_BASE",
+    "SEGMENT_SHIFT",
+    "BuildError",
+    "LoadAddress",
+    "ProgramBuilder",
+    "build_from_assembly",
+    "split_address",
+    "ProgramImage",
+    "image_to_items",
+    "rewrite_image",
+]

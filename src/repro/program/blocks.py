@@ -1,0 +1,93 @@
+"""Basic-block discovery and a light control-flow graph over program images.
+
+Used by the compression ACF (candidate sequences "of any size that do not
+straddle basic blocks", Section 3.2) and by the binary rewriter.
+
+A leader is: the entry point, any direct-branch target, any symbol (symbols
+are conservatively treated as potential indirect-jump/call targets), and the
+instruction following any control transfer or halt/fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.isa.opcodes import OpClass, Opcode
+from repro.program.image import ProgramImage
+
+#: Opcode classes and opcodes that terminate a basic block.
+_BLOCK_ENDERS = (
+    OpClass.COND_BRANCH,
+    OpClass.UNCOND_BRANCH,
+    OpClass.INDIRECT_JUMP,
+)
+
+
+@dataclass
+class BasicBlock:
+    """Half-open instruction-index range [start, end) plus successors."""
+
+    block_id: int
+    start: int
+    end: int
+    successor_ids: List[int] = field(default_factory=list)
+
+    def __len__(self):
+        return self.end - self.start
+
+    def indices(self):
+        return range(self.start, self.end)
+
+
+def find_leaders(image: ProgramImage) -> List[int]:
+    """Return the sorted set of basic-block leader indices."""
+    count = image.instruction_count
+    leaders = {0, image.entry_index}
+    leaders.update(index for index in image.symbols.values() if index < count)
+    for index, instr in enumerate(image.instructions):
+        opclass = instr.opclass
+        if opclass in _BLOCK_ENDERS or instr.opcode in (Opcode.HALT, Opcode.FAULT):
+            if index + 1 < count:
+                leaders.add(index + 1)
+            target = image.target_index[index]
+            if target is not None and target < count:
+                leaders.add(target)
+    return sorted(leaders)
+
+
+def find_basic_blocks(image: ProgramImage) -> List[BasicBlock]:
+    """Partition the image into basic blocks with successor edges."""
+    leaders = find_leaders(image)
+    count = image.instruction_count
+    blocks: List[BasicBlock] = []
+    block_of_leader = {}
+    for block_id, start in enumerate(leaders):
+        end = leaders[block_id + 1] if block_id + 1 < len(leaders) else count
+        blocks.append(BasicBlock(block_id=block_id, start=start, end=end))
+        block_of_leader[start] = block_id
+
+    for block in blocks:
+        if block.end == block.start:
+            continue
+        last = image.instructions[block.end - 1]
+        opclass = last.opclass
+        succs = []
+        target = image.target_index[block.end - 1]
+        if opclass is OpClass.COND_BRANCH:
+            if target is not None and target in block_of_leader:
+                succs.append(block_of_leader[target])
+            if block.end in block_of_leader:
+                succs.append(block_of_leader[block.end])
+        elif opclass is OpClass.UNCOND_BRANCH:
+            if target is not None and target in block_of_leader:
+                succs.append(block_of_leader[target])
+        elif opclass is OpClass.INDIRECT_JUMP:
+            pass  # unknown successors
+        elif last.opcode in (Opcode.HALT, Opcode.FAULT):
+            pass
+        else:
+            if block.end in block_of_leader:
+                succs.append(block_of_leader[block.end])
+        block.successor_ids = succs
+    return blocks

@@ -1,0 +1,101 @@
+"""Generic static binary-rewriting support.
+
+The software ACF baselines in the paper (e.g. software fault isolation,
+Section 3.1) are built by statically rewriting the program: inserting code
+sequences before instructions that match a predicate.  Because insertion
+changes instruction positions, all branches must be retargeted — the paper
+calls this out as one of the "headaches" of software ACF implementations.
+
+This module performs the rewrite on a finished :class:`ProgramImage` by
+converting it back to symbolic form (labels at every former branch target),
+splicing in the inserted sequences, and rebuilding.  That faithfully models
+what a rewriting tool does, including the text-size growth the evaluation
+measures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Union
+
+from repro.isa.assembler import Label
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Opcode
+from repro.program.builder import BuilderItem, LoadAddress, ProgramBuilder
+from repro.program.image import ProgramImage
+
+#: An insertion callback returns the items to place before the matched
+#: instruction, and optionally a replacement for the instruction itself.
+InsertionFn = Callable[[Instruction, int], Iterable[Union[Label, Instruction]]]
+
+
+def image_to_items(image: ProgramImage) -> List[BuilderItem]:
+    """Convert an image back to symbolic builder items.
+
+    Every direct-branch target becomes a label; existing symbols are
+    preserved.  The result rebuilds to an equivalent image.
+    """
+    names = {}
+    for name, index in image.symbols.items():
+        names.setdefault(index, name)
+    # Synthesise labels for anonymous branch targets.
+    for index, target in enumerate(image.target_index):
+        if target is not None and target not in names:
+            names[target] = f".bt{target}"
+
+    items: List[BuilderItem] = []
+    skip_next = False
+    for index, instr in enumerate(image.instructions):
+        if index in names:
+            items.append(Label(names[index]))
+        if skip_next:
+            skip_next = False
+            continue
+        if index in image.load_addresses:
+            # Reconstruct the pseudo-instruction so the rebuilt image
+            # re-resolves the (possibly moved) text symbol.
+            items.append(LoadAddress(instr.ra, image.load_addresses[index]))
+            skip_next = True
+            continue
+        target = image.target_index[index]
+        if target is not None and instr.format is Format.BRANCH:
+            items.append(instr.with_fields(imm=None, target=names[target]))
+        else:
+            items.append(instr)
+    # A label may sit one past the last instruction (e.g. loop exit).
+    end = image.instruction_count
+    if end in names:
+        items.append(Label(names[end]))
+    return items
+
+
+def rewrite_image(
+    image: ProgramImage,
+    predicate: Callable[[Instruction], bool],
+    insertion: InsertionFn,
+) -> ProgramImage:
+    """Insert ``insertion(instr, index)`` items before each matching instruction.
+
+    The insertion callback may also *replace* the matched instruction by
+    including an instruction in its returned items and returning ``None``
+    markers are not supported — the matched instruction is always re-emitted
+    after the inserted items (matching the paper's "precede each unsafe
+    instruction with a code sequence" formulation).
+    """
+    items = image_to_items(image)
+    builder = ProgramBuilder(text_base=image.text_base, data_base=image.data_base)
+    builder.adopt_data(image.data_words, image.data_size)
+
+    instruction_index = 0
+    for item in items:
+        if isinstance(item, Instruction):
+            if predicate(item):
+                builder.emit_items(list(insertion(item, instruction_index)))
+            builder.emit(item)
+            instruction_index += 1
+        else:
+            builder.emit_items([item])
+
+    entry_names = [n for n, i in image.symbols.items() if i == image.entry_index]
+    if entry_names:
+        builder.set_entry(entry_names[0])
+    return builder.build()

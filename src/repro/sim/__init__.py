@@ -1,0 +1,49 @@
+"""Simulators: functional (architectural) and cycle-level (timing)."""
+
+from repro.sim.branch import BranchPredictor, BranchPredictorConfig
+from repro.sim.cache import Cache, CacheConfig, PerfectCache
+from repro.sim.config import (
+    KB,
+    MB,
+    MachineConfig,
+    dl1_config,
+    il1_config,
+    l2_config,
+)
+from repro.sim.cycle import CycleResult, CycleSimulator, simulate_trace
+from repro.sim.functional import (
+    ExecutionError,
+    FAULT_BAD_JUMP,
+    Machine,
+    run_program,
+)
+from repro.sim.memory import MASK64, Memory
+from repro.sim.multiproc import Process, Scheduler
+from repro.sim.trace import Op, TraceResult
+
+__all__ = [
+    "BranchPredictor",
+    "BranchPredictorConfig",
+    "Cache",
+    "CacheConfig",
+    "PerfectCache",
+    "KB",
+    "MB",
+    "MachineConfig",
+    "dl1_config",
+    "il1_config",
+    "l2_config",
+    "CycleResult",
+    "CycleSimulator",
+    "simulate_trace",
+    "ExecutionError",
+    "FAULT_BAD_JUMP",
+    "Machine",
+    "run_program",
+    "MASK64",
+    "Memory",
+    "Process",
+    "Scheduler",
+    "Op",
+    "TraceResult",
+]

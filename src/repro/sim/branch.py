@@ -1,0 +1,96 @@
+"""Branch prediction: gshare direction predictor + BTB + return stack.
+
+Models the "aggressive branch speculation" of the paper's R10000-like
+baseline.  The timing simulator consults it for every application-level
+control transfer.  DISE-internal branches are never predicted (Section 2.2:
+"since DISE branches are not predicted, a taken DISE branch is interpreted
+as a mis-prediction"), and non-trigger replacement-sequence branches are
+suppressed from prediction/BTB update — the simulator simply does not call
+the predictor for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    gshare_bits: int = 14          # 16K 2-bit counters
+    btb_entries: int = 2048
+    ras_entries: int = 16
+
+
+class BranchPredictor:
+    """gshare + BTB + return-address stack."""
+
+    def __init__(self, config: BranchPredictorConfig = BranchPredictorConfig()):
+        self.config = config
+        self._mask = (1 << config.gshare_bits) - 1
+        self._counters = bytearray([2] * (1 << config.gshare_bits))
+        self._history = 0
+        self._btb = {}
+        self._btb_entries = config.btb_entries
+        self._ras = []
+        self.cond_lookups = 0
+        self.cond_mispredicts = 0
+        self.target_lookups = 0
+        self.target_mispredicts = 0
+
+    # ------------------------------------------------------------------
+    # Conditional direction prediction
+    # ------------------------------------------------------------------
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict direction for the conditional branch at ``pc``, update
+        with the actual outcome, and return True iff mispredicted."""
+        self.cond_lookups += 1
+        index = ((pc >> 2) ^ self._history) & self._mask
+        counter = self._counters[index]
+        predicted_taken = counter >= 2
+        if taken and counter < 3:
+            self._counters[index] = counter + 1
+        elif not taken and counter > 0:
+            self._counters[index] = counter - 1
+        self._history = ((self._history << 1) | (1 if taken else 0)) & self._mask
+        mispredicted = predicted_taken != taken
+        if mispredicted:
+            self.cond_mispredicts += 1
+        return mispredicted
+
+    # ------------------------------------------------------------------
+    # Target prediction (indirect jumps) and the return stack
+    # ------------------------------------------------------------------
+    def predict_indirect(self, pc: int, target: int, is_return=False,
+                         is_call=False, return_addr=0) -> bool:
+        """Predict the target of an indirect jump; True iff mispredicted."""
+        self.target_lookups += 1
+        mispredicted = False
+        if is_return:
+            predicted = self._ras.pop() if self._ras else None
+            mispredicted = predicted != target
+        else:
+            index = (pc >> 2) % self._btb_entries
+            predicted = self._btb.get(index)
+            mispredicted = predicted != target
+            self._btb[index] = target
+        if is_call:
+            self.push_return(return_addr)
+        if mispredicted:
+            self.target_mispredicts += 1
+        return mispredicted
+
+    def push_return(self, return_addr: int):
+        self._ras.append(return_addr)
+        if len(self._ras) > self.config.ras_entries:
+            self._ras.pop(0)
+
+    # ------------------------------------------------------------------
+    @property
+    def mispredicts(self) -> int:
+        return self.cond_mispredicts + self.target_mispredicts
+
+    @property
+    def cond_mispredict_rate(self) -> float:
+        if not self.cond_lookups:
+            return 0.0
+        return self.cond_mispredicts / self.cond_lookups

@@ -1,0 +1,124 @@
+"""Set-associative cache model with LRU replacement.
+
+Used for the instruction cache, data cache, and unified L2 of the timing
+model (Section 4: 32 KB I and D caches, unified 1 MB L2).  The model tracks
+hits and misses only — contents are never stored, since the simulators keep
+architectural state separately.
+
+For speed, each set is an ordered dict of resident tags (LRU order) and
+lookups are O(1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+    hit_latency: int = 1
+    name: str = "cache"
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.assoc <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache dimensions must be positive")
+        lines = self.size_bytes // self.line_bytes
+        if lines == 0 or self.size_bytes % self.line_bytes:
+            raise ValueError("size must be a positive multiple of line size")
+        if lines % self.assoc:
+            raise ValueError("line count must be a multiple of associativity")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.assoc
+
+
+class Cache:
+    """One cache level.  ``access`` returns True on hit."""
+
+    __slots__ = ("config", "_sets", "_offset_bits", "_num_sets", "_assoc",
+                 "accesses", "misses")
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._sets: Dict[int, OrderedDict] = {}
+        self._offset_bits = config.line_bytes.bit_length() - 1
+        self._num_sets = config.num_sets
+        self._assoc = config.assoc
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Access the line containing ``addr``; fill on miss; True on hit."""
+        self.accesses += 1
+        line = addr >> self._offset_bits
+        index = line % self._num_sets
+        tag = line // self._num_sets
+        entry_set = self._sets.get(index)
+        if entry_set is None:
+            entry_set = OrderedDict()
+            self._sets[index] = entry_set
+        if tag in entry_set:
+            entry_set.move_to_end(tag)
+            return True
+        self.misses += 1
+        if len(entry_set) >= self._assoc:
+            entry_set.popitem(last=False)
+        entry_set[tag] = True
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check residence without updating state or statistics."""
+        line = addr >> self._offset_bits
+        entry_set = self._sets.get(line % self._num_sets)
+        return bool(entry_set) and (line // self._num_sets) in entry_set
+
+    def invalidate(self):
+        self._sets.clear()
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class PerfectCache:
+    """A cache that always hits (the paper's 'perfect' I-cache points)."""
+
+    __slots__ = ("accesses", "misses")
+
+    def __init__(self):
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        self.accesses += 1
+        return True
+
+    def probe(self, addr: int) -> bool:
+        return True
+
+    def invalidate(self):
+        pass
+
+    @property
+    def hits(self) -> int:
+        return self.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        return 0.0

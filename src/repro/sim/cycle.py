@@ -1,0 +1,377 @@
+"""Calibrated superscalar timing model.
+
+Replays a dynamic trace (from :mod:`repro.sim.functional`) under a
+:class:`~repro.sim.config.MachineConfig`.  The model is a single in-order
+pass with out-of-order issue semantics:
+
+* **Fetch**: up to ``width`` instructions per cycle.  Application-level
+  instructions access the I-cache (replacement instructions come from the
+  RT and do not); misses stall fetch through the L2/memory hierarchy.
+  Taken application branches end the fetch group.
+* **DISE engine**: per the placement option (Section 4.1) — ``free`` adds
+  nothing; ``stall`` adds one fetch bubble per expansion; ``pipe`` adds one
+  cycle to every pipeline refill (the elongated decode pipe).  PT/RT misses
+  flush the pipeline and stall for the controller's miss latency (30 cycles
+  simple, 150 when the miss handler composes sequences).
+* **Dispatch**: bounded by the reorder buffer (an instruction cannot
+  dispatch until the instruction ``rob_entries`` older has retired) and by
+  reservation-station occupancy.
+* **Issue/execute**: an instruction starts when its source registers are
+  ready; loads incur the D-cache/L2/memory latency of their access.
+* **Control**: conditional branches use a gshare predictor; indirect jumps
+  a BTB + return stack.  Mispredictions redirect fetch after the branch
+  resolves plus the front-end refill.  Non-trigger replacement branches are
+  never predicted (Section 2.2): if taken they pay a refill, and DISE
+  internal branches behave the same way.
+* **Retire**: in order, ``width`` per cycle; total cycles = last retire.
+
+Absolute cycle counts are not calibrated against the authors' testbed; the
+model's purpose is faithful *relative* behaviour across ACF implementations,
+cache sizes, widths, and RT configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import (
+    PLACEMENT_PIPE,
+    PLACEMENT_STALL,
+)
+from repro.core.tables import ReplacementTable
+from repro.sim.branch import BranchPredictor
+from repro.sim.cache import Cache, PerfectCache
+from repro.sim.config import MachineConfig
+from repro.sim.trace import (
+    CTRL_CALL,
+    CTRL_COND,
+    CTRL_DISE,
+    CTRL_INDIRECT,
+    CTRL_RET,
+    TraceResult,
+)
+
+NUM_REGS = 40
+
+
+@dataclass
+class CycleResult:
+    """Timing-model outputs for one trace replay."""
+
+    cycles: int
+    instructions: int
+    app_instructions: int
+    il1_accesses: int
+    il1_misses: int
+    dl1_accesses: int
+    dl1_misses: int
+    l2_misses: int
+    cond_branches: int
+    mispredicts: int
+    expansions: int
+    expansion_stalls: int
+    rt_miss_stalls: int
+    pt_miss_stalls: int
+    dise_redirects: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def il1_miss_rate(self) -> float:
+        if not self.il1_accesses:
+            return 0.0
+        return self.il1_misses / self.il1_accesses
+
+
+class CycleSimulator:
+    """Replays a trace; see the module docstring for the model."""
+
+    def __init__(self, config: Optional[MachineConfig] = None):
+        self.config = config or MachineConfig()
+
+    def simulate(self, trace: TraceResult, warm_start=False) -> CycleResult:
+        """Replay ``trace``.
+
+        ``warm_start=True`` first replays the trace through the caches,
+        predictor and RT without timing, then measures the second pass —
+        steady-state behaviour, as in the paper's complete-run numbers
+        (our synthetic runs are short enough that cold misses would
+        otherwise dominate).
+        """
+        config = self.config
+        ops = trace.ops
+
+        il1 = Cache(config.il1) if config.il1 is not None else PerfectCache()
+        dl1 = Cache(config.dl1) if config.dl1 is not None else PerfectCache()
+        l2 = Cache(config.l2) if config.l2 is not None else PerfectCache()
+        predictor = BranchPredictor(config.predictor)
+        # The RT is modelled here, not in the functional pass, so one trace
+        # can be replayed under many RT configurations (Figure 7 bottom,
+        # Figure 8 bottom).
+        rt = ReplacementTable(
+            entries=config.dise.rt_entries,
+            assoc=config.dise.rt_assoc,
+            perfect=config.dise.rt_perfect,
+            block_size=config.dise.rt_block_size,
+        )
+
+        if warm_start:
+            predict_replacement = config.predict_replacement_branches
+            for op in ops:
+                if op.fetch_addr is not None and not il1.access(op.fetch_addr):
+                    l2.access(op.fetch_addr)
+                if op.expansion is not None:
+                    rt.access_sequence(op.expansion[0], op.expansion[1])
+                if op.mem_addr is not None and not op.is_store:
+                    if not dl1.access(op.mem_addr):
+                        l2.access(op.mem_addr)
+                elif op.mem_addr is not None:
+                    dl1.access(op.mem_addr)
+                ctrl = op.ctrl
+                if ctrl == CTRL_COND:
+                    if op.is_trigger_ctrl:
+                        predictor.predict_and_update(op.pc, op.ctrl_taken)
+                    elif predict_replacement:
+                        predictor.predict_and_update(
+                            op.pc ^ (op.disepc << 4), op.ctrl_taken
+                        )
+                elif ctrl in (CTRL_INDIRECT, CTRL_RET, CTRL_CALL) and \
+                        op.is_trigger_ctrl and op.ctrl_target is not None:
+                    predictor.predict_indirect(
+                        op.pc, op.ctrl_target,
+                        is_return=ctrl == CTRL_RET, is_call=ctrl == CTRL_CALL,
+                        return_addr=op.pc + 4,
+                    )
+                elif ctrl is not None and not op.is_trigger_ctrl and \
+                        predict_replacement and op.ctrl_taken and \
+                        ctrl != CTRL_DISE:
+                    predictor.predict_indirect(
+                        op.pc ^ (op.disepc << 4), op.ctrl_target or 0
+                    )
+            # Reset statistics so the measured pass reports its own counts.
+            il1.accesses = il1.misses = 0
+            dl1.accesses = dl1.misses = 0
+            l2.accesses = l2.misses = 0
+            rt.accesses = rt.misses = rt.fills = 0
+            predictor.cond_lookups = predictor.cond_mispredicts = 0
+            predictor.target_lookups = predictor.target_mispredicts = 0
+
+        width = config.width
+        rob_entries = config.rob_entries
+        rs_entries = config.rs_entries
+        mem_latency = config.mem_latency
+        l2_latency = config.l2.hit_latency if config.l2 is not None else 0
+
+        placement = config.dise.placement
+        stall_per_expansion = 1 if placement == PLACEMENT_STALL else 0
+        refill = config.mispredict_penalty + (
+            1 if placement == PLACEMENT_PIPE else 0
+        )
+        simple_miss = config.dise.simple_miss_cycles
+        compose_miss = config.dise.compose_miss_cycles
+        predict_replacement = config.predict_replacement_branches
+
+        ready = [0] * NUM_REGS
+        retire_times: List[int] = []
+        start_times: List[int] = []
+        last_retire = 0
+        fetch_cycle = 1
+        slots_used = 0
+
+        expansions = 0
+        expansion_stalls = 0
+        rt_miss_stalls = 0
+        pt_miss_stalls = 0
+        dise_redirects = 0
+        mispredicts = 0
+        cond_branches = 0
+        l2_misses = 0
+
+        for i, op in enumerate(ops):
+            # ----------------------------------------------------- fetch
+            fetch_addr = op.fetch_addr
+            if fetch_addr is not None:
+                if not il1.access(fetch_addr):
+                    if l2.access(fetch_addr):
+                        fetch_cycle += l2_latency
+                    else:
+                        l2_misses += 1
+                        fetch_cycle += l2_latency + mem_latency
+                    slots_used = 0
+
+            expansion = op.expansion
+            if expansion is not None:
+                expansions += 1
+                seq_id, length, pt_miss, _, composed = expansion
+                if stall_per_expansion:
+                    fetch_cycle += stall_per_expansion
+                    expansion_stalls += 1
+                    slots_used = 0
+                if pt_miss:
+                    fetch_cycle += simple_miss + refill
+                    pt_miss_stalls += 1
+                    slots_used = 0
+                if rt.access_sequence(seq_id, length):
+                    fetch_cycle += (compose_miss if composed else simple_miss)
+                    fetch_cycle += refill
+                    rt_miss_stalls += 1
+                    slots_used = 0
+
+            if slots_used >= width:
+                fetch_cycle += 1
+                slots_used = 0
+            slots_used += 1
+
+            # -------------------------------------------------- dispatch
+            dispatch = fetch_cycle
+            if i >= rob_entries:
+                blocked = retire_times[i - rob_entries]
+                if blocked > dispatch:
+                    dispatch = blocked
+            if i >= rs_entries:
+                blocked = start_times[i - rs_entries]
+                if blocked > dispatch:
+                    dispatch = blocked
+
+            # ---------------------------------------------- issue/execute
+            start = dispatch + 1
+            for src in op.srcs:
+                t = ready[src]
+                if t > start:
+                    start = t
+
+            latency = op.opcode.latency
+            mem_addr = op.mem_addr
+            if mem_addr is not None:
+                if op.is_store:
+                    dl1.access(mem_addr)  # stores retire via the store buffer
+                else:
+                    if not dl1.access(mem_addr):
+                        if l2.access(mem_addr):
+                            latency += l2_latency
+                        else:
+                            l2_misses += 1
+                            latency += l2_latency + mem_latency
+            complete = start + latency
+
+            dest = op.dest
+            if dest is not None:
+                ready[dest] = complete
+
+            # ----------------------------------------------------- control
+            ctrl = op.ctrl
+            if ctrl is not None:
+                taken = op.ctrl_taken
+                if ctrl == CTRL_DISE:
+                    # Never predicted; a taken DISE branch redirects fetch.
+                    if taken:
+                        dise_redirects += 1
+                        redirect = complete + refill
+                        if redirect > fetch_cycle:
+                            fetch_cycle = redirect
+                            slots_used = 0
+                elif not op.is_trigger_ctrl:
+                    if predict_replacement and ctrl == CTRL_COND:
+                        # Enhanced design: the predictor learns replacement
+                        # branches, indexed by the PC:DISEPC pair.
+                        cond_branches += 1
+                        if predictor.predict_and_update(
+                            op.pc ^ (op.disepc << 4), taken
+                        ):
+                            mispredicts += 1
+                            redirect = complete + refill
+                            if redirect > fetch_cycle:
+                                fetch_cycle = redirect
+                                slots_used = 0
+                        elif taken:
+                            slots_used = width
+                    elif predict_replacement and taken:
+                        # Unconditional/indirect replacement transfer: the
+                        # BTB learns the codeword's PC:DISEPC.
+                        if predictor.predict_indirect(
+                            op.pc ^ (op.disepc << 4), op.ctrl_target or 0
+                        ):
+                            mispredicts += 1
+                            redirect = complete + refill
+                            if redirect > fetch_cycle:
+                                fetch_cycle = redirect
+                                slots_used = 0
+                        else:
+                            slots_used = width
+                    elif taken:
+                        # Paper's design: prediction suppressed, effectively
+                        # predicted not-taken.
+                        mispredicts += 1
+                        redirect = complete + refill
+                        if redirect > fetch_cycle:
+                            fetch_cycle = redirect
+                            slots_used = 0
+                elif ctrl == CTRL_COND:
+                    cond_branches += 1
+                    if predictor.predict_and_update(op.pc, taken):
+                        mispredicts += 1
+                        redirect = complete + refill
+                        if redirect > fetch_cycle:
+                            fetch_cycle = redirect
+                            slots_used = 0
+                    elif taken:
+                        slots_used = width  # taken branch ends the group
+                elif ctrl in (CTRL_INDIRECT, CTRL_RET, CTRL_CALL):
+                    if op.ctrl_target is not None:
+                        is_return = ctrl == CTRL_RET
+                        is_call = ctrl == CTRL_CALL
+                        if predictor.predict_indirect(
+                            op.pc, op.ctrl_target,
+                            is_return=is_return, is_call=is_call,
+                            return_addr=op.pc + 4,
+                        ):
+                            mispredicts += 1
+                            redirect = complete + refill
+                            if redirect > fetch_cycle:
+                                fetch_cycle = redirect
+                                slots_used = 0
+                        else:
+                            slots_used = width
+                    else:
+                        slots_used = width
+
+            # ------------------------------------------------------ retire
+            retire = complete + 1
+            if retire < last_retire:
+                retire = last_retire
+            if i >= width:
+                floor = retire_times[i - width] + 1
+                if retire < floor:
+                    retire = floor
+            retire_times.append(retire)
+            start_times.append(start)
+            last_retire = retire
+
+        cycles = last_retire if ops else 0
+        return CycleResult(
+            cycles=cycles,
+            instructions=len(ops),
+            app_instructions=trace.app_instructions,
+            il1_accesses=il1.accesses,
+            il1_misses=il1.misses,
+            dl1_accesses=dl1.accesses,
+            dl1_misses=dl1.misses,
+            l2_misses=l2_misses,
+            cond_branches=cond_branches,
+            mispredicts=mispredicts,
+            expansions=expansions,
+            expansion_stalls=expansion_stalls,
+            rt_miss_stalls=rt_miss_stalls,
+            pt_miss_stalls=pt_miss_stalls,
+            dise_redirects=dise_redirects,
+        )
+
+
+def simulate_trace(trace: TraceResult,
+                   config: Optional[MachineConfig] = None,
+                   warm_start=False) -> CycleResult:
+    """Convenience wrapper around :class:`CycleSimulator`."""
+    return CycleSimulator(config).simulate(trace, warm_start=warm_start)

@@ -1,0 +1,506 @@
+"""Functional simulator: architectural execution with DISE at fetch.
+
+The :class:`Machine` executes a :class:`~repro.program.image.ProgramImage`
+one dynamic instruction at a time.  When a DISE controller is attached, every
+fetched application instruction passes through the engine; triggers are
+replaced by their instantiated replacement sequences, executed under the
+paper's two-level PC:DISEPC control model (Section 2.1):
+
+* DISE-internal branches move the DISEPC only.
+* Non-trigger application branches inside a sequence are effectively
+  predicted not-taken — if taken, the rest of the sequence is squashed.
+* A *trigger* branch's following replacement instructions belong to its
+  predicted path: they execute regardless of the branch outcome, and the
+  outcome takes effect when the sequence ends.
+* Precise state exists at every PC:DISEPC boundary: :meth:`Machine.checkpoint`
+  /:meth:`Machine.restore` save and resume mid-sequence by re-expanding the
+  trigger and skipping the first DISEPC instructions, exactly as the paper's
+  post-interrupt fetch does.
+
+The run produces a :class:`~repro.sim.trace.TraceResult` that the timing
+simulator replays under different machine configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.controller import DiseController
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, OpClass, Opcode
+from repro.program.image import ProgramImage
+from repro.sim.memory import MASK64, Memory
+from repro.sim.trace import (
+    CTRL_CALL,
+    CTRL_COND,
+    CTRL_DISE,
+    CTRL_INDIRECT,
+    CTRL_RET,
+    CTRL_UNCOND,
+    Op,
+    TraceResult,
+)
+
+NUM_REGS = 40  # 32 user + 8 DISE dedicated
+ZERO = 31
+
+#: Fault code used when an indirect jump leaves the text segment.
+FAULT_BAD_JUMP = 0xBAD1
+
+
+class ExecutionError(RuntimeError):
+    """Raised on model-level errors (stray codewords, undefined control)."""
+
+
+def _signed(value):
+    return value - (1 << 64) if value >> 63 else value
+
+
+_DATAFLOW_CACHE: Dict[Instruction, tuple] = {}
+
+
+def _dataflow(instr: Instruction):
+    cached = _DATAFLOW_CACHE.get(instr)
+    if cached is None:
+        cached = (instr.source_regs(), instr.dest_reg())
+        _DATAFLOW_CACHE[instr] = cached
+    return cached
+
+
+class Machine:
+    """Architectural machine state plus the fetch/expand/execute loop."""
+
+    def __init__(self, image: ProgramImage,
+                 controller: Optional[DiseController] = None,
+                 record_trace=True):
+        self.image = image
+        self.controller = controller
+        self.engine = controller.engine if controller is not None else None
+        self.record_trace = record_trace
+
+        self.regs: List[int] = [0] * NUM_REGS
+        self.mem = Memory(image.data_words)
+        self.idx = image.entry_index
+        self.halted = False
+        self.fault_code: Optional[int] = None
+        self.outputs: List[int] = []
+        self.ops: List[Op] = []
+
+        self.instructions = 0
+        self.app_instructions = 0
+        self.expansions = 0
+        self.pt_misses = 0
+        self.rt_misses = 0
+
+        #: Controller-call handlers for the ``ctrl`` instruction — the
+        #: paper's instruction-based controller interface (Section 2.3).
+        #: code -> callable(machine).
+        self.control_handlers: Dict[int, callable] = {}
+
+        # In-flight expansion state.
+        self._exp = None
+        self._disepc = 0
+        self._pending: Optional[int] = None   # deferred trigger-branch target
+        self._exp_event = None                # attached to first expansion op
+
+    # ------------------------------------------------------------------
+    # Register access helpers
+    # ------------------------------------------------------------------
+    def read_reg(self, reg: int) -> int:
+        return 0 if reg == ZERO else self.regs[reg]
+
+    def write_reg(self, reg: int, value: int):
+        if reg != ZERO:
+            self.regs[reg] = value & MASK64
+
+    def register_control_handler(self, code: int, handler):
+        """Register a handler for ``ctrl <reg>, <code>`` instructions.
+
+        The handler receives the machine; it typically reads its argument
+        from a register and talks to the DISE controller — modelling the
+        user-level production-management interface of Section 2.3.
+        """
+        if code in self.control_handlers:
+            raise ValueError(f"ctrl code {code} already registered")
+        self.control_handlers[code] = handler
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_steps=5_000_000) -> TraceResult:
+        steps = 0
+        while not self.halted and steps < max_steps:
+            self.step()
+            steps += 1
+        if not self.halted and steps >= max_steps:
+            raise ExecutionError(
+                f"program did not halt within {max_steps} dynamic instructions"
+            )
+        return self.result()
+
+    def step(self):
+        """Execute exactly one dynamic instruction."""
+        if self.halted:
+            return
+        if self._exp is not None:
+            self._step_expansion()
+        else:
+            self._step_app()
+
+    def _step_app(self):
+        idx = self.idx
+        image = self.image
+        try:
+            instr = image.instructions[idx]
+        except IndexError:
+            raise ExecutionError(f"control fell off the image at index {idx}")
+        pc = image.addresses[idx]
+        if self.engine is not None:
+            exp, pt_miss, rt_miss = self.engine.process(instr, pc)
+            if pt_miss:
+                self.pt_misses += 1
+            if exp is not None:
+                if rt_miss:
+                    self.rt_misses += 1
+                self._exp = exp
+                self._disepc = 0
+                self._pending = None
+                self._exp_event = (
+                    exp.seq_id, len(exp.instrs), pt_miss, rt_miss, exp.composed
+                )
+                self.app_instructions += 1
+                self.expansions += 1
+                self._step_expansion()
+                return
+        self.app_instructions += 1
+        if instr.opcode.is_reserved:
+            raise ExecutionError(
+                f"stray codeword at {pc:#x}: no decompression production "
+                f"matches {instr}"
+            )
+        kind, taken, target_idx = self._execute(
+            instr, pc, idx, fetch_addr=pc, disepc=0, trigger_idx=idx,
+            is_trigger=True, expansion_event=None,
+        )
+        if self.halted:
+            return
+        if kind is not None and taken:
+            self.idx = target_idx
+        else:
+            self.idx = idx + 1
+
+    def _step_expansion(self):
+        exp = self._exp
+        disepc = self._disepc
+        instr = exp.instrs[disepc]
+        idx = self.idx
+        # The engine caches expansions by trigger bits; identical triggers at
+        # different addresses share one Expansion, so the *current* address
+        # (not exp.trigger_pc) must anchor PC-relative semantics.
+        pc = self.image.addresses[idx]
+        is_trigger_copy = disepc in exp.trigger_offsets
+        fetch_addr = pc if disepc == 0 else None
+        event = self._exp_event
+        self._exp_event = None
+
+        kind, taken, target_idx = self._execute(
+            instr, pc, idx, fetch_addr=fetch_addr, disepc=disepc,
+            trigger_idx=idx, is_trigger=is_trigger_copy,
+            expansion_event=event,
+        )
+        if self.halted:
+            return
+
+        if kind == CTRL_DISE:
+            self._disepc = target_idx if taken else disepc + 1
+        elif kind is not None and taken:
+            if is_trigger_copy:
+                # Predicted-path semantics: the rest of the sequence still
+                # executes; the branch outcome applies at sequence end.
+                self._pending = target_idx
+                self._disepc = disepc + 1
+            else:
+                # Effectively predicted not-taken: squash the rest.
+                self._finish_expansion(target_idx)
+                return
+        else:
+            self._disepc = disepc + 1
+
+        if self._exp is not None and self._disepc >= len(exp.instrs):
+            self._finish_expansion(
+                self._pending if self._pending is not None else idx + 1
+            )
+
+    def _finish_expansion(self, next_idx: int):
+        self._exp = None
+        self._disepc = 0
+        self._pending = None
+        self.idx = next_idx
+
+    # ------------------------------------------------------------------
+    # Precise state (PC:DISEPC checkpoints, Section 2.1/2.2)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Capture precise state at the current PC:DISEPC boundary."""
+        return {
+            "regs": list(self.regs),
+            "mem": self.mem.snapshot(),
+            "idx": self.idx,
+            "disepc": self._disepc if self._exp is not None else 0,
+            "pending": self._pending,
+            "halted": self.halted,
+            "fault_code": self.fault_code,
+            "outputs": list(self.outputs),
+        }
+
+    def restore(self, state: dict):
+        """Resume from a checkpoint, re-expanding a mid-sequence trigger."""
+        self.regs = list(state["regs"])
+        self.mem.restore(state["mem"])
+        self.idx = state["idx"]
+        self.halted = state["halted"]
+        self.fault_code = state["fault_code"]
+        self.outputs = list(state["outputs"])
+        self._exp = None
+        self._disepc = 0
+        self._pending = None
+        disepc = state["disepc"]
+        if disepc:
+            if self.engine is None:
+                raise ExecutionError("cannot resume a DISEPC without an engine")
+            instr = self.image.instructions[self.idx]
+            pc = self.image.addresses[self.idx]
+            exp, _, _ = self.engine.process(instr, pc)
+            if exp is None or disepc >= len(exp.instrs):
+                raise ExecutionError(
+                    "replacement sequence changed across restore; cannot "
+                    f"resume at DISEPC {disepc}"
+                )
+            self._exp = exp
+            self._disepc = disepc
+            self._pending = state["pending"]
+            self._exp_event = None
+
+    # ------------------------------------------------------------------
+    # Instruction semantics
+    # ------------------------------------------------------------------
+    def _execute(self, instr, pc, idx, fetch_addr, disepc, trigger_idx,
+                 is_trigger, expansion_event):
+        """Execute one dynamic instruction; returns (ctrl_kind, taken,
+        target_idx) and records the trace op."""
+        image = self.image
+        regs = self.regs
+        op = instr.opcode
+        opclass = op.opclass
+        fmt = op.format
+
+        mem_addr = None
+        is_store = False
+        ctrl = None
+        taken = False
+        target_idx = None
+        target_pc = None
+
+        if fmt is Format.OPERATE:
+            a = 0 if instr.ra == ZERO else regs[instr.ra]
+            if instr.rb is None:
+                b = instr.imm
+            else:
+                b = 0 if instr.rb == ZERO else regs[instr.rb]
+            if op is Opcode.ADDQ:
+                value = (a + b) & MASK64
+            elif op is Opcode.SUBQ:
+                value = (a - b) & MASK64
+            elif op is Opcode.MULQ:
+                value = (a * b) & MASK64
+            elif op is Opcode.AND:
+                value = a & b
+            elif op is Opcode.BIS:
+                value = a | b
+            elif op is Opcode.XOR:
+                value = a ^ b
+            elif op is Opcode.SLL:
+                value = (a << (b & 63)) & MASK64
+            elif op is Opcode.SRL:
+                value = a >> (b & 63)
+            elif op is Opcode.SRA:
+                value = (_signed(a) >> (b & 63)) & MASK64
+            elif op is Opcode.CMPEQ:
+                value = 1 if a == b else 0
+            elif op is Opcode.CMPLT:
+                value = 1 if _signed(a) < _signed(b) else 0
+            elif op is Opcode.CMPLE:
+                value = 1 if _signed(a) <= _signed(b) else 0
+            elif op is Opcode.CMPULT:
+                value = 1 if a < b else 0
+            elif op is Opcode.CMOVEQ:
+                value = b if a == 0 else regs[instr.rc] if instr.rc != ZERO else 0
+            elif op is Opcode.CMOVNE:
+                value = b if a != 0 else regs[instr.rc] if instr.rc != ZERO else 0
+            else:
+                raise ExecutionError(f"unhandled operate opcode {op}")
+            self.write_reg(instr.rc, value)
+
+        elif fmt is Format.MEM:
+            base = 0 if instr.rb == ZERO else regs[instr.rb]
+            if op is Opcode.LDA:
+                self.write_reg(instr.ra, (base + instr.imm) & MASK64)
+            elif op is Opcode.LDAH:
+                self.write_reg(instr.ra, (base + (instr.imm << 16)) & MASK64)
+            else:
+                mem_addr = (base + instr.imm) & MASK64
+                if op is Opcode.LDQ:
+                    self.write_reg(instr.ra, self.mem.read(mem_addr))
+                elif op is Opcode.LDL:
+                    raw = self.mem.read(mem_addr) & 0xFFFFFFFF
+                    if raw & 0x80000000:
+                        raw |= 0xFFFFFFFF00000000
+                    self.write_reg(instr.ra, raw)
+                elif op is Opcode.STQ:
+                    is_store = True
+                    self.mem.write(mem_addr, self.read_reg(instr.ra))
+                elif op is Opcode.STL:
+                    is_store = True
+                    self.mem.write(mem_addr, self.read_reg(instr.ra) & 0xFFFFFFFF)
+                else:
+                    raise ExecutionError(f"unhandled memory opcode {op}")
+
+        elif fmt is Format.BRANCH:
+            if op is Opcode.OUT:
+                self.outputs.append(self.read_reg(instr.ra))
+            elif op is Opcode.CTRL:
+                handler = self.control_handlers.get(instr.imm)
+                if handler is None:
+                    raise ExecutionError(
+                        f"ctrl call {instr.imm} at {pc:#x} has no registered "
+                        "handler"
+                    )
+                handler(self)
+            elif op is Opcode.FAULT:
+                self.halted = True
+                self.fault_code = instr.imm if instr.imm is not None else 0
+            elif opclass is OpClass.DISE_BRANCH:
+                if disepc is None or self._exp is None:
+                    raise ExecutionError(
+                        f"DISE branch outside a replacement sequence at {pc:#x}"
+                    )
+                ctrl = CTRL_DISE
+                test = self.read_reg(instr.ra)
+                if op is Opcode.DBR:
+                    taken = True
+                elif op is Opcode.DBEQ:
+                    taken = test == 0
+                else:  # DBNE
+                    taken = test != 0
+                target_idx = instr.imm  # a DISEPC, not an instruction index
+            else:
+                test = self.read_reg(instr.ra)
+                if op is Opcode.BEQ:
+                    taken = test == 0
+                elif op is Opcode.BNE:
+                    taken = test != 0
+                elif op is Opcode.BLT:
+                    taken = _signed(test) < 0
+                elif op is Opcode.BLE:
+                    taken = _signed(test) <= 0
+                elif op is Opcode.BGT:
+                    taken = _signed(test) > 0
+                elif op is Opcode.BGE:
+                    taken = _signed(test) >= 0
+                elif op in (Opcode.BR, Opcode.BSR):
+                    taken = True
+                    return_addr = (image.addresses[trigger_idx]
+                                   + image.sizes[trigger_idx])
+                    self.write_reg(instr.ra, return_addr)
+                else:
+                    raise ExecutionError(f"unhandled branch opcode {op}")
+                ctrl = CTRL_CALL if op is Opcode.BSR else (
+                    CTRL_UNCOND if op is Opcode.BR else CTRL_COND
+                )
+                if taken:
+                    target_idx, target_pc = self._branch_target(
+                        instr, pc, idx, is_trigger
+                    )
+
+        elif fmt is Format.JUMP:
+            target_value = self.read_reg(instr.rb)
+            return_addr = (image.addresses[trigger_idx]
+                           + image.sizes[trigger_idx])
+            self.write_reg(instr.ra, return_addr)
+            taken = True
+            ctrl = CTRL_RET if op is Opcode.RET else (
+                CTRL_CALL if op is Opcode.JSR else CTRL_INDIRECT
+            )
+            target_pc = target_value
+            target_idx = image.index_of_addr.get(target_value)
+            if target_idx is None:
+                self.halted = True
+                self.fault_code = FAULT_BAD_JUMP
+
+        elif fmt is Format.NULLARY:
+            if op is Opcode.HALT:
+                self.halted = True
+            # NOP: nothing.
+
+        elif fmt is Format.CODEWORD:
+            raise ExecutionError(f"codeword reached execution at {pc:#x}")
+
+        else:
+            raise ExecutionError(f"unhandled format {fmt}")
+
+        self.instructions += 1
+        if self.record_trace:
+            srcs, dest = _dataflow(instr)
+            if ctrl is not None and taken and target_pc is None and \
+                    target_idx is not None:
+                target_pc = image.addresses[target_idx] \
+                    if target_idx < len(image.addresses) else 0
+            self.ops.append(
+                Op(pc, disepc, op, srcs, dest, mem_addr, is_store,
+                   fetch_addr, ctrl, taken, target_pc if taken else None,
+                   is_trigger, expansion_event)
+            )
+        return ctrl, taken, target_idx
+
+    def _branch_target(self, instr, pc, idx, is_trigger):
+        """Resolve a direct branch's target to (index, address)."""
+        image = self.image
+        if is_trigger and self._exp is None:
+            target_idx = image.target_index[idx]
+            if target_idx is None:
+                raise ExecutionError(f"unresolved branch target at {pc:#x}")
+            return target_idx, image.addresses[target_idx]
+        if is_trigger and self._exp is not None:
+            target_idx = image.target_index[idx]
+            if target_idx is not None:
+                return target_idx, image.addresses[target_idx]
+        # Engine-generated branch: displacement is relative to trigger PC.
+        target_pc = pc + 4 + instr.imm * 4
+        target_idx = image.index_of_addr.get(target_pc)
+        if target_idx is None:
+            raise ExecutionError(
+                f"replacement branch to non-text address {target_pc:#x}"
+            )
+        return target_idx, target_pc
+
+    # ------------------------------------------------------------------
+    def result(self) -> TraceResult:
+        return TraceResult(
+            ops=self.ops,
+            outputs=list(self.outputs),
+            fault_code=self.fault_code,
+            halted=self.halted,
+            instructions=self.instructions,
+            app_instructions=self.app_instructions,
+            expansions=self.expansions,
+            final_regs=tuple(self.regs),
+            final_memory=self.mem,
+        )
+
+
+def run_program(image: ProgramImage,
+                controller: Optional[DiseController] = None,
+                record_trace=True, max_steps=5_000_000) -> TraceResult:
+    """Convenience wrapper: build a machine, run to halt, return the trace."""
+    machine = Machine(image, controller=controller, record_trace=record_trace)
+    return machine.run(max_steps=max_steps)

@@ -1,0 +1,37 @@
+"""Sparse data memory, 8-byte word granularity."""
+
+from __future__ import annotations
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+class Memory:
+    """Word-addressed sparse memory; unwritten locations read as zero."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self, init=None):
+        self._words = dict(init) if init else {}
+
+    def read(self, addr: int) -> int:
+        return self._words.get(addr & ~7, 0)
+
+    def write(self, addr: int, value: int):
+        self._words[addr & ~7] = value & MASK64
+
+    def snapshot(self) -> dict:
+        return dict(self._words)
+
+    def restore(self, snapshot: dict):
+        self._words = dict(snapshot)
+
+    def __len__(self):
+        return len(self._words)
+
+    def __eq__(self, other):
+        if isinstance(other, Memory):
+            return self._nonzero() == other._nonzero()
+        return NotImplemented
+
+    def _nonzero(self):
+        return {a: v for a, v in self._words.items() if v}

@@ -1,0 +1,134 @@
+"""Multiprogramming over one DISE-enabled core — the Section 2.3 OS story.
+
+The OS kernel virtualizes the resident production set: user-scope
+production sets act only on their owning process and are deactivated when
+it is switched out; kernel-approved sets persist across switches.  Per-
+process DISE state — the dedicated registers and the interrupted PC:DISEPC
+pair — is saved and restored by the kernel; the PT/RT contents themselves
+are demand-loaded and need no saving.
+
+:class:`Scheduler` round-robins several :class:`~repro.sim.functional.Machine`
+processes over one shared :class:`~repro.core.controller.DiseController`
+(one core), performing exactly those steps at each quantum boundary.
+Because machines carry their own architectural registers, the model copies
+each process's dedicated-register window through the controller's
+save/restore API — the same data movement a real context switch performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.controller import DiseController, DiseSavedState
+from repro.core.production import ProductionSet
+from repro.core.registers import DiseRegisterFile
+from repro.isa.registers import DISE_REG_BASE, NUM_DISE_REGS
+from repro.program.image import ProgramImage
+from repro.sim.functional import Machine
+
+
+@dataclass
+class Process:
+    """One schedulable program with its private DISE state."""
+
+    pid: int
+    machine: Machine
+    saved_state: Optional[DiseSavedState] = None
+    steps: int = 0
+
+    @property
+    def halted(self) -> bool:
+        return self.machine.halted
+
+
+class Scheduler:
+    """Round-robin scheduler over a shared DISE controller."""
+
+    def __init__(self, controller: Optional[DiseController] = None):
+        self.controller = controller or DiseController()
+        self.processes: List[Process] = []
+        self._next_pid = 1
+        self.switches = 0
+
+    # ------------------------------------------------------------------
+    def spawn(self, image: ProgramImage,
+              production_sets: Optional[List[ProductionSet]] = None,
+              init: Optional[Callable[[Machine], None]] = None) -> Process:
+        """Create a process; its production sets install with its pid."""
+        pid = self._next_pid
+        self._next_pid += 1
+        machine = Machine(image, controller=self.controller)
+        process = Process(pid=pid, machine=machine)
+        for pset in production_sets or []:
+            self.controller.install(pset, owner_pid=pid)
+        if init is not None:
+            # Initialisation runs in the process's context.
+            self.controller.context_switch(pid)
+            init(machine)
+            process.saved_state = self._save(process)
+        else:
+            self.controller.context_switch(pid)
+            process.saved_state = self._save(process)
+        self.processes.append(process)
+        return process
+
+    def install_kernel_acf(self, production_set: ProductionSet):
+        """Install a kernel-approved (cross-process) production set."""
+        if production_set.scope != "kernel":
+            raise ValueError("kernel ACFs must have kernel scope")
+        self.controller.install(production_set)
+
+    # ------------------------------------------------------------------
+    def _dise_view(self, machine: Machine) -> DiseRegisterFile:
+        view = DiseRegisterFile()
+        for index in range(NUM_DISE_REGS):
+            view.write(DISE_REG_BASE + index,
+                       machine.regs[DISE_REG_BASE + index])
+        return view
+
+    def _save(self, process: Process) -> DiseSavedState:
+        machine = process.machine
+        disepc = machine._disepc if machine._exp is not None else 0
+        return self.controller.save_state(
+            self._dise_view(machine),
+            pc=machine.image.addresses[machine.idx]
+            if machine.idx < len(machine.image.addresses) else 0,
+            disepc=disepc,
+        )
+
+    def _restore(self, process: Process):
+        view = DiseRegisterFile()
+        self.controller.restore_state(process.saved_state, view)
+        for index in range(NUM_DISE_REGS):
+            process.machine.regs[DISE_REG_BASE + index] = view.read(
+                DISE_REG_BASE + index
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, quantum: int = 200, max_total_steps: int = 2_000_000):
+        """Round-robin until every process halts (or the budget runs out)."""
+        total = 0
+        while total < max_total_steps:
+            live = [p for p in self.processes if not p.halted]
+            if not live:
+                return
+            for process in live:
+                self.switch_to(process)
+                for _ in range(quantum):
+                    if process.halted:
+                        break
+                    process.machine.step()
+                    process.steps += 1
+                    total += 1
+                process.saved_state = self._save(process)
+        raise RuntimeError(
+            f"processes did not all halt within {max_total_steps} steps"
+        )
+
+    def switch_to(self, process: Process):
+        """Perform one context switch: visibility + DISE state restore."""
+        self.controller.context_switch(process.pid)
+        if process.saved_state is not None:
+            self._restore(process)
+        self.switches += 1

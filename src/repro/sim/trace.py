@@ -1,0 +1,89 @@
+"""Dynamic-trace records shared by the functional and timing simulators.
+
+The functional simulator executes the program once (with DISE expansion at
+fetch) and emits one :class:`Op` per dynamic instruction.  The timing
+simulator then replays the trace under different machine configurations —
+exactly the factoring the experiments need, since one ACF transformation is
+evaluated across many cache sizes, widths, and engine placements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+# Control-transfer kinds recorded on an Op.
+CTRL_COND = "cond"          # conditional branch
+CTRL_UNCOND = "uncond"      # direct br
+CTRL_CALL = "call"          # bsr / jsr (writes a return address)
+CTRL_RET = "ret"            # ret
+CTRL_INDIRECT = "indirect"  # jmp
+CTRL_DISE = "dise"          # DISE-internal branch (never predicted)
+
+
+class Op:
+    """One dynamic instruction."""
+
+    __slots__ = (
+        "pc", "disepc", "opcode", "srcs", "dest", "mem_addr", "is_store",
+        "fetch_addr", "ctrl", "ctrl_taken", "ctrl_target", "is_trigger_ctrl",
+        "expansion",
+    )
+
+    def __init__(self, pc, disepc, opcode, srcs, dest, mem_addr, is_store,
+                 fetch_addr, ctrl, ctrl_taken, ctrl_target, is_trigger_ctrl,
+                 expansion):
+        self.pc = pc
+        self.disepc = disepc
+        self.opcode = opcode
+        #: Source register ids (user 0..31, dedicated 32..39).
+        self.srcs = srcs
+        self.dest = dest
+        self.mem_addr = mem_addr
+        self.is_store = is_store
+        #: I-cache fetch address — set on application-level instructions
+        #: (i.e. once per trigger); None for replacement instructions, which
+        #: come from the RT, not the I-cache.
+        self.fetch_addr = fetch_addr
+        #: One of the CTRL_* kinds, or None.
+        self.ctrl = ctrl
+        self.ctrl_taken = ctrl_taken
+        self.ctrl_target = ctrl_target
+        #: True when this control transfer is the expansion's trigger (it
+        #: was fetched and predicted normally); False for non-trigger
+        #: replacement branches, which are suppressed from prediction.
+        self.is_trigger_ctrl = is_trigger_ctrl
+        #: (seq_id, length, pt_miss, rt_miss, composed) on the first
+        #: instruction of an expansion; None otherwise.
+        self.expansion = expansion
+
+    def __repr__(self):
+        kind = f" {self.ctrl}{'T' if self.ctrl_taken else 'N'}" if self.ctrl else ""
+        return (f"Op(pc={self.pc:#x}:{self.disepc} {self.opcode.mnemonic}"
+                f"{kind})")
+
+
+class TraceResult:
+    """Output of one functional run."""
+
+    __slots__ = (
+        "ops", "outputs", "fault_code", "halted", "instructions",
+        "app_instructions", "expansions", "final_regs", "final_memory",
+    )
+
+    def __init__(self, ops, outputs, fault_code, halted, instructions,
+                 app_instructions, expansions, final_regs, final_memory):
+        self.ops: List[Op] = ops
+        self.outputs: List[int] = outputs
+        self.fault_code: Optional[int] = fault_code
+        self.halted: bool = halted
+        #: Total dynamic instructions (application + replacement).
+        self.instructions: int = instructions
+        #: Dynamic application-level instructions (fetch-stream length).
+        self.app_instructions: int = app_instructions
+        self.expansions: int = expansions
+        self.final_regs: Tuple[int, ...] = final_regs
+        self.final_memory = final_memory
+
+    @property
+    def faulted(self) -> bool:
+        return self.fault_code is not None

@@ -1,0 +1,232 @@
+"""Command-line tools: assemble, disassemble, run, compress, experiment.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.tools asm program.s -o program.bin
+    python -m repro.tools disasm program.bin
+    python -m repro.tools run program.s --mfi dise3
+    python -m repro.tools run --benchmark gzip --scale 0.3 --timing
+    python -m repro.tools compress --benchmark gzip --variant DISE
+    python -m repro.tools experiment fig7_ratio --benchmarks bzip2,mcf
+
+Programs are accepted either as assembly files (see
+:mod:`repro.isa.assembler` for the syntax) or as named synthetic
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.acf.compression import FIGURE7_VARIANTS, compress_image
+from repro.acf.mfi import attach_mfi, rewrite_mfi
+from repro.acf.base import plain_installation
+from repro.harness import ALL_EXPERIMENTS, Suite, render_config_table
+from repro.isa.disassembler import disassemble_listing
+from repro.isa.encoding import decode_stream, encode_stream
+from repro.program.builder import build_from_assembly
+from repro.sim.config import MachineConfig
+from repro.sim.cycle import simulate_trace
+from repro.workloads import BENCHMARK_NAMES, generate_by_name
+
+
+def _load_image(args):
+    if getattr(args, "benchmark", None):
+        return generate_by_name(args.benchmark,
+                                scale=getattr(args, "scale", 1.0))
+    if getattr(args, "source", None):
+        with open(args.source) as handle:
+            return build_from_assembly(handle.read())
+    raise SystemExit("error: provide an assembly file or --benchmark NAME")
+
+
+def cmd_asm(args):
+    """``asm``: assemble a source file into a flat binary."""
+    with open(args.source) as handle:
+        image = build_from_assembly(handle.read())
+    data = encode_stream(image.instructions)
+    out = args.output or (args.source.rsplit(".", 1)[0] + ".bin")
+    with open(out, "wb") as handle:
+        handle.write(data)
+    print(f"{len(image.instructions)} instructions -> {out} "
+          f"({len(data)} bytes)")
+    return 0
+
+
+def cmd_disasm(args):
+    """``disasm``: disassemble a binary file or a named benchmark."""
+    if args.binary:
+        with open(args.binary, "rb") as handle:
+            instructions = decode_stream(handle.read())
+        print(disassemble_listing(instructions, base=args.base))
+        return 0
+    image = _load_image(args)
+    print(disassemble_listing(
+        image.instructions, base=image.text_base,
+        symbols=image.symbol_table_by_address(),
+    ))
+    return 0
+
+
+def cmd_run(args):
+    """``run``: execute a program, optionally under MFI and timing."""
+    image = _load_image(args)
+    if args.mfi == "rewrite":
+        installation = rewrite_mfi(image)
+    elif args.mfi:
+        installation = attach_mfi(image, args.mfi)
+    else:
+        installation = plain_installation(image)
+    result = installation.run(max_steps=args.max_steps)
+    print(f"halted: {result.halted}  fault: {result.fault_code}")
+    print(f"outputs: {result.outputs}")
+    print(f"dynamic instructions: {result.instructions} "
+          f"({result.expansions} expansions)")
+    if args.timing:
+        timing = simulate_trace(result, MachineConfig(), warm_start=True)
+        print(f"cycles: {timing.cycles}  IPC: {timing.ipc:.2f}  "
+              f"I$ misses: {timing.il1_misses}  "
+              f"mispredicts: {timing.mispredicts}")
+    return 1 if result.fault_code is not None else 0
+
+
+def cmd_compress(args):
+    """``compress``: compress a program and report the ratios."""
+    image = _load_image(args)
+    variants = dict(FIGURE7_VARIANTS)
+    if args.variant not in variants:
+        raise SystemExit(
+            f"error: unknown variant {args.variant!r}; "
+            f"choose from {sorted(variants)}"
+        )
+    result = compress_image(image, variants[args.variant])
+    print(f"variant:      {args.variant}")
+    print(f"text:         {result.original_text_bytes} B -> "
+          f"{result.compressed_text_bytes} B ({result.text_ratio:.1%})")
+    print(f"dictionary:   {result.dictionary_entries} entries, "
+          f"{result.dictionary_bytes} B  (total {result.total_ratio:.1%})")
+    print(f"instances:    {result.instances} "
+          f"({result.instructions_removed} instructions removed)")
+    if args.verify:
+        from repro.sim.functional import run_program
+
+        plain = run_program(image, record_trace=False)
+        run = result.installation().run(record_trace=False)
+        ok = run.outputs == plain.outputs
+        print(f"verification: {'identical' if ok else 'MISMATCH'}")
+        return 0 if ok else 1
+    return 0
+
+
+def cmd_experiment(args):
+    """``experiment``: regenerate one (or all) paper figures."""
+    suite = Suite(
+        benchmarks=tuple(args.benchmarks.split(",")) if args.benchmarks
+        else None,
+        scale=args.scale,
+    )
+    if args.config:
+        print(render_config_table())
+        print()
+    names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            raise SystemExit(
+                f"error: unknown experiment {name!r}; choose from "
+                f"{sorted(ALL_EXPERIMENTS)} or 'all'"
+            )
+        print(ALL_EXPERIMENTS[name](suite).render())
+        print()
+    return 0
+
+
+def cmd_report(args):
+    """``report``: run experiments and emit a markdown report."""
+    from repro.harness.report import build_report
+
+    suite = Suite(
+        benchmarks=tuple(args.benchmarks.split(",")) if args.benchmarks
+        else None,
+        scale=args.scale,
+    )
+    experiments = (
+        tuple(args.experiments.split(",")) if args.experiments else None
+    )
+    report = build_report(suite, experiments=experiments)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.output} ({len(report.splitlines())} lines)")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools",
+        description="DISE reproduction command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("asm", help="assemble a source file to binary")
+    p.add_argument("source")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_asm)
+
+    p = sub.add_parser("disasm", help="disassemble a binary or program")
+    p.add_argument("binary", nargs="?")
+    p.add_argument("--benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("--scale", type=float, default=0.2)
+    p.add_argument("--base", type=lambda s: int(s, 0), default=0x400000)
+    p.set_defaults(func=cmd_disasm, source=None)
+
+    p = sub.add_parser("run", help="run a program, optionally under MFI")
+    p.add_argument("source", nargs="?")
+    p.add_argument("--benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--mfi", choices=["dise3", "dise4", "rewrite"])
+    p.add_argument("--timing", action="store_true",
+                   help="also replay under the cycle model")
+    p.add_argument("--max-steps", type=int, default=30_000_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compress", help="compress a program")
+    p.add_argument("source", nargs="?")
+    p.add_argument("--benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--variant", default="DISE",
+                   help="one of the Figure 7 variants (default DISE)")
+    p.add_argument("--verify", action="store_true",
+                   help="run compressed vs original and compare")
+    p.set_defaults(func=cmd_compress)
+
+    p = sub.add_parser("experiment", help="regenerate a paper figure")
+    p.add_argument("name", help="fig6_top .. fig8_rt, or 'all'")
+    p.add_argument("--benchmarks", help="comma-separated subset")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--config", action="store_true",
+                   help="print the machine-configuration table first")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("report",
+                       help="run experiments and emit a markdown report")
+    p.add_argument("-o", "--output", help="write to a file instead of stdout")
+    p.add_argument("--benchmarks", help="comma-separated subset")
+    p.add_argument("--experiments", help="comma-separated experiment ids")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

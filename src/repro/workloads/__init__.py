@@ -1,0 +1,25 @@
+"""Synthetic SPECint2000-profile workloads (the paper's benchmark set)."""
+
+from repro.workloads.generator import (
+    WorkloadGenerator,
+    generate_benchmark,
+    generate_by_name,
+)
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.specint import (
+    BENCHMARK_NAMES,
+    PROFILE_BY_NAME,
+    SPECINT2000,
+    get_profile,
+)
+
+__all__ = [
+    "WorkloadGenerator",
+    "generate_benchmark",
+    "generate_by_name",
+    "BenchmarkProfile",
+    "BENCHMARK_NAMES",
+    "PROFILE_BY_NAME",
+    "SPECINT2000",
+    "get_profile",
+]

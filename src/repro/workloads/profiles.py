@@ -1,0 +1,56 @@
+"""Benchmark profiles for the synthetic SPECint2000 workload generator.
+
+The paper evaluates on SPEC2000 integer benchmarks compiled for Alpha EV6.
+We cannot ship SPEC; instead each benchmark is modelled by a profile of the
+characteristics the evaluation actually exercises:
+
+* static text size (compression-ratio experiments),
+* hot-code working set (I-cache experiments at 8/32/128 KB),
+* instruction mix and branch predictability (pipeline experiments),
+* data working set (D-cache behaviour),
+* code redundancy (how much the compressor can find).
+
+The numbers are calibrated to published SPECint2000 characterisations at a
+reduced scale (sizes in instructions, not bytes, at 4 bytes/instruction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Shape parameters for one synthetic benchmark."""
+
+    name: str
+    seed: int
+    #: Number of hot functions (executed every outer iteration).
+    hot_functions: int
+    #: Number of cold functions (executed once; pad static text).
+    cold_functions: int
+    #: Basic blocks per function body (controls function size).
+    blocks_per_function: int
+    #: Inner-loop trip count inside each hot function.
+    inner_trips: int
+    #: Outer-loop iterations (dynamic-length knob; scaled by ``scale``).
+    iterations: int
+    #: Probability an emitted idiom reuses a previous concrete sequence
+    #: verbatim (exact redundancy — what unparameterized compression finds).
+    exact_redundancy: float
+    #: Probability an emitted idiom reuses a previous *shape* with fresh
+    #: registers/immediates (what parameterization additionally finds).
+    shape_redundancy: float
+    #: Probability a data-dependent branch's condition is true (bias toward
+    #: 1.0 or 0.0 means predictable; 0.5 means hard to predict).
+    branch_bias: float
+    #: Data working set in KB.
+    data_kb: int
+    #: Fraction of hot functions reached through an indirect call.
+    indirect_call_frac: float = 0.15
+
+    @property
+    def approx_static_instrs(self) -> int:
+        """Rough static text size in instructions."""
+        per_function = self.blocks_per_function * 7 + 8
+        return (self.hot_functions + self.cold_functions) * per_function + 64

@@ -1,0 +1,54 @@
+"""The twelve SPECint2000 benchmark profiles (Section 4's benchmark set).
+
+Calibration targets, following the paper's observations:
+
+* "Most of the SPEC2000 benchmarks — except for crafty, gzip, and vpr —
+  have uncompressed instruction working sets smaller than 32KB.  About half
+  have working sets larger than 8KB" (Section 4.2).  A hot function here is
+  ~50-60 instructions (~220 bytes), so hot working set ≈ hot_functions ×
+  0.22 KB.
+* gcc has by far the largest static text; mcf the smallest and the most
+  memory-bound; bzip2/gzip are small-code, loop-dominated compressors;
+  crafty and vortex have large, branchy working sets.
+* MFI expands roughly 30% of dynamic instructions (Section 4.1), so the
+  load+store dynamic fraction sits near that figure; the generator's idiom
+  mix produces comparable fractions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.profiles import BenchmarkProfile
+
+#  name      seed  hot cold blk trips iter exact shape bias data_kb
+SPECINT2000: List[BenchmarkProfile] = [
+    BenchmarkProfile("bzip2",   101,  20,  30, 5, 12, 5, 0.12, 0.55, 0.85,  96),
+    BenchmarkProfile("crafty",  102, 200,  60, 5,  3, 3, 0.08, 0.50, 0.70,  64),
+    BenchmarkProfile("eon",     103,  45,  90, 5,  6, 6, 0.14, 0.55, 0.80,  48),
+    BenchmarkProfile("gap",     104,  40, 120, 5,  6, 6, 0.12, 0.55, 0.80, 128),
+    BenchmarkProfile("gcc",     105, 120, 420, 5,  4, 3, 0.12, 0.60, 0.72, 160),
+    BenchmarkProfile("gzip",    106, 190,  25, 5,  3, 2, 0.12, 0.50, 0.88,  96),
+    BenchmarkProfile("mcf",     107,  12,  20, 5, 14, 8, 0.10, 0.45, 0.65, 512),
+    BenchmarkProfile("parser",  108,  35,  80, 5,  8, 5, 0.12, 0.55, 0.68,  96),
+    BenchmarkProfile("perlbmk", 109,  55, 200, 5,  6, 4, 0.15, 0.60, 0.75, 128),
+    BenchmarkProfile("twolf",   110,  40,  70, 5,  8, 5, 0.11, 0.52, 0.70,  96),
+    BenchmarkProfile("vortex",  111,  80, 260, 5,  5, 4, 0.15, 0.60, 0.80, 192),
+    BenchmarkProfile("vpr",     112, 190,  45, 5,  3, 2, 0.11, 0.52, 0.72,  96),
+]
+
+PROFILE_BY_NAME: Dict[str, BenchmarkProfile] = {
+    profile.name: profile for profile in SPECINT2000
+}
+
+BENCHMARK_NAMES = tuple(profile.name for profile in SPECINT2000)
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up one of the twelve benchmark profiles by name."""
+    try:
+        return PROFILE_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        ) from None

@@ -1,0 +1,153 @@
+"""Tests for code assertions (watchpoints) and reference monitors."""
+
+import pytest
+
+from repro.acf.assertions import WATCH_FAULT_CODE, attach_watchpoint
+from repro.acf.monitor import POLICY_FAULT_CODE, attach_monitor
+from repro.isa.build import Imm, addq, bis, halt, out, stq
+from repro.isa.opcodes import Opcode
+from repro.program.builder import ProgramBuilder
+from repro.sim.functional import run_program
+
+from conftest import A0, A1, T0, ZERO, build_loop_program
+
+
+def store_at_offsets(offsets):
+    b = ProgramBuilder()
+    b.alloc_data("buf", 16)
+    b.label("main")
+    b.load_address(A1, "buf")
+    for off in offsets:
+        b.emit(stq(ZERO, off, A1))
+    b.emit(out(ZERO))
+    b.emit(halt())
+    return b.build()
+
+
+class TestWatchpoints:
+    def test_store_inside_range_faults(self):
+        image = store_at_offsets([8, 40])
+        lo = image.data_base + 32
+        result = attach_watchpoint(image, lo, lo + 16).run()
+        assert result.fault_code == WATCH_FAULT_CODE
+
+    def test_store_outside_range_passes(self):
+        image = store_at_offsets([8, 16])
+        lo = image.data_base + 64
+        result = attach_watchpoint(image, lo, lo + 16).run()
+        assert result.fault_code is None
+        assert result.outputs == [0]
+
+    def test_boundary_semantics_half_open(self):
+        image = store_at_offsets([16])
+        base = image.data_base
+        # hi boundary excluded.
+        assert attach_watchpoint(image, base, base + 16).run().fault_code is None
+        # lo boundary included.
+        assert (attach_watchpoint(image, base + 16, base + 24).run()
+                .fault_code == WATCH_FAULT_CODE)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            attach_watchpoint(build_loop_program(), 100, 100)
+
+    def test_inactive_assertion_costs_nothing(self):
+        image = build_loop_program()
+        installation = attach_watchpoint(image, 0, 8)
+        machine = installation.make_machine()
+        machine.controller.set_active("watchpoint", False)
+        result = machine.run()
+        assert result.expansions == 0
+
+    def test_check_fully_contained_in_sequence(self):
+        """The watch check uses DISE-internal control only: no extra
+        application-level control transfers appear."""
+        image = store_at_offsets([8])
+        result = attach_watchpoint(image, 0, 8).run()
+        dise_branches = [o for o in result.ops if o.ctrl == "dise"]
+        assert dise_branches, "check uses DISEPC-level branches"
+
+
+class TestReferenceMonitor:
+    def test_denied_opcode_faults(self):
+        image = build_loop_program()   # uses out for its checksum
+        result = attach_monitor(image, deny=[Opcode.OUT]).run()
+        assert result.fault_code == POLICY_FAULT_CODE
+        assert result.outputs == [], "the denied out never executed"
+
+    def test_unrelated_opcodes_unaffected(self):
+        image = build_loop_program()
+        plain = run_program(image)
+        result = attach_monitor(image, deny=[Opcode.MULQ]).run()
+        assert result.outputs == plain.outputs
+        assert result.fault_code is None
+
+    def test_budgeted_opcode_within_budget(self):
+        image = build_loop_program(iterations=3)   # 3 stores
+        result = attach_monitor(image, budgeted=[Opcode.STQ], budget=5).run()
+        assert result.fault_code is None
+
+    def test_budget_exhaustion_faults(self):
+        image = build_loop_program(iterations=10)   # 10 stores
+        result = attach_monitor(image, budgeted=[Opcode.STQ], budget=4).run()
+        assert result.fault_code == POLICY_FAULT_CODE
+
+    def test_budget_boundary_exact(self):
+        image = build_loop_program(iterations=4)
+        assert attach_monitor(image, budgeted=[Opcode.STQ],
+                              budget=4).run().fault_code is None
+        assert attach_monitor(image, budgeted=[Opcode.STQ],
+                              budget=3).run().fault_code == POLICY_FAULT_CODE
+
+    def test_deny_and_budget_compose(self):
+        image = build_loop_program()
+        result = attach_monitor(image, deny=[Opcode.MULQ],
+                                budgeted=[Opcode.STQ], budget=100).run()
+        assert result.fault_code is None
+
+
+class TestValueAssertions:
+    """Assertions on data criteria (T.RT), not just addresses."""
+
+    def make_image(self, values):
+        from repro.isa.build import bis, sll
+
+        b = ProgramBuilder()
+        b.alloc_data("slot", 2)
+        b.label("main")
+        b.load_address(A1, "slot")
+        for value in values:
+            b.emit(bis(ZERO, Imm(value), T0))
+            b.emit(stq(T0, 0, A1))
+        b.emit(out(ZERO))
+        b.emit(halt())
+        return b.build()
+
+    def test_forbidden_value_faults(self):
+        from repro.acf.assertions import attach_value_assertion, WATCH_FAULT_CODE
+
+        image = self.make_image([5, 9, 13])
+        installation = attach_value_assertion(image, image.data_base, 9)
+        result = installation.run()
+        assert result.fault_code == WATCH_FAULT_CODE
+        # The faulting store never executed; the slot still holds 5.
+        assert result.final_memory.read(image.data_base) == 5
+
+    def test_allowed_values_pass(self):
+        from repro.acf.assertions import attach_value_assertion
+
+        image = self.make_image([5, 9, 13])
+        installation = attach_value_assertion(image, image.data_base, 99)
+        result = installation.run()
+        assert result.fault_code is None
+        assert result.final_memory.read(image.data_base) == 13
+
+    def test_same_value_elsewhere_passes(self):
+        from repro.acf.assertions import attach_value_assertion
+
+        image = self.make_image([9])
+        # Watch a different address: storing 9 to slot+0 is fine.
+        installation = attach_value_assertion(
+            image, image.data_base + 8, 9
+        )
+        assert installation.run().fault_code is None

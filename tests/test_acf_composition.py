@@ -1,0 +1,117 @@
+"""Tests for composed ACFs (Section 3.3 / 4.3)."""
+
+import pytest
+
+from repro.acf.composition import (
+    COMPOSITION_SCHEMES,
+    build_composition,
+    compose_dise_dise,
+    compose_rewrite_dedicated,
+    compose_rewrite_dise,
+)
+from repro.acf.mfi import MFI_FAULT_CODE
+from repro.isa.build import Imm, bis, halt, ldq, out, sll, stq
+from repro.program.builder import ProgramBuilder
+from repro.sim.functional import run_program
+from repro.workloads import generate_by_name
+
+from conftest import A0, A1, T0, ZERO, build_loop_program
+
+
+@pytest.fixture(scope="module")
+def bench_image():
+    return generate_by_name("bzip2", scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def bench_plain(bench_image):
+    return run_program(bench_image, record_trace=False)
+
+
+class TestAllSchemesEquivalent:
+    @pytest.mark.parametrize("scheme", COMPOSITION_SCHEMES)
+    def test_clean_program_equivalent(self, scheme, bench_image, bench_plain):
+        result, installation = build_composition(bench_image, scheme)
+        run = installation.run(record_trace=False)
+        assert run.outputs == bench_plain.outputs, scheme
+        assert run.fault_code is None, scheme
+
+    def test_unknown_scheme(self, bench_image):
+        with pytest.raises(ValueError):
+            build_composition(bench_image, "dedicated+dedicated")
+
+
+def wild_store_image():
+    b = ProgramBuilder()
+    b.alloc_data("buf", 8, init=[1] * 8)
+    b.label("main")
+    b.load_address(A1, "buf")
+    # Enough legal accesses to give the compressor something to chew on.
+    for off in (0, 8, 16, 24):
+        b.emit(ldq(A0, off, A1))
+        b.emit(stq(A0, off, A1))
+    b.emit(bis(ZERO, Imm(3), T0))
+    b.emit(sll(T0, Imm(26), T0))
+    b.emit(stq(A0, 0, T0))          # wild store
+    b.emit(out(A0))
+    b.emit(halt())
+    return b.build()
+
+
+class TestFaultIsolationSurvivesComposition:
+    """Composing with decompression must not weaken MFI."""
+
+    @pytest.mark.parametrize("scheme", COMPOSITION_SCHEMES)
+    def test_wild_store_still_caught(self, scheme):
+        result, installation = build_composition(wild_store_image(), scheme)
+        run = installation.run()
+        assert run.fault_code == MFI_FAULT_CODE, scheme
+        assert run.final_memory.read(3 << 26) == 0, scheme
+
+
+class TestDiseDiseStructure:
+    def test_composed_sequences_flagged_for_long_miss(self, bench_image):
+        result, installation = compose_dise_dise(bench_image)
+        pset = installation.production_sets[0]
+        composed = [
+            spec for seq_id, spec in pset.replacements.items()
+            if spec.composed_on_fill
+        ]
+        assert composed, "dictionary entries compose in the RT miss handler"
+
+    def test_dictionary_entries_grow_under_composition(self, bench_image):
+        plain_result, _ = build_composition(bench_image, "rewrite+dise")
+        composed_result, installation = compose_dise_dise(bench_image)
+        composed_pset = installation.production_sets[0]
+        from repro.acf.compression import DISE_OPTIONS, compress_image
+
+        plain_pset = compress_image(bench_image, DISE_OPTIONS).production_set
+        avg_plain = (plain_pset.total_replacement_instrs()
+                     / max(1, len(plain_pset.replacements)))
+        # Only consider dictionary entries (tags shared with the plain set).
+        composed_instrs = sum(
+            len(composed_pset.replacements[tag])
+            for tag in plain_pset.replacements
+        )
+        avg_composed = composed_instrs / len(plain_pset.replacements)
+        assert avg_composed > avg_plain, (
+            "inlining MFI into dictionary entries must lengthen them"
+        )
+
+    def test_compressed_smaller_than_rewritten(self, bench_image):
+        """The paper's code-usage story: the server ships a compressed,
+        unmodified app; MFI is composed client-side — so the dise+dise text
+        is far smaller than anything rewriting-based."""
+        dd_result, _ = compose_dise_dise(bench_image)
+        rd_result, _ = compose_rewrite_dedicated(bench_image)
+        rD_result, _ = compose_rewrite_dise(bench_image)
+        assert dd_result.compressed_text_bytes < rd_result.compressed_text_bytes
+        assert dd_result.compressed_text_bytes < rD_result.compressed_text_bytes
+
+    def test_rewrite_dise_reverses_bloat(self, bench_image):
+        """Parameterized compression factors the inserted check sequences
+        back out (Section 4.3)."""
+        rD_result, _ = compose_rewrite_dise(bench_image)
+        # The compressed rewritten text is smaller than the original
+        # rewritten text by a healthy margin.
+        assert rD_result.compressed_text_bytes < rD_result.original_text_bytes * 0.8

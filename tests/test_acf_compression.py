@@ -1,0 +1,237 @@
+"""Tests for the compression ACF: dictionary building, transformation,
+decompression identity, and the Figure 7 feature variants."""
+
+import pytest
+
+from repro.acf.compression import (
+    CompressionError,
+    CompressionOptions,
+    DEDICATED_OPTIONS,
+    DISE_OPTIONS,
+    FIGURE7_VARIANTS,
+    compress_image,
+    enumerate_candidates,
+    make_template,
+    select_dictionary,
+)
+from repro.core.directives import Lit, TrigField
+from repro.isa.build import (
+    Imm,
+    addq,
+    bis,
+    bne,
+    bsr,
+    halt,
+    jsr,
+    lda,
+    ldq,
+    out,
+    ret,
+    stq,
+    subq,
+)
+from repro.isa.instruction import INSTRUCTION_BYTES
+from repro.isa.opcodes import Opcode
+from repro.program.builder import ProgramBuilder
+from repro.sim.functional import run_program
+from repro.workloads import generate_by_name
+
+from conftest import A0, A1, T0, T1, ZERO, build_loop_program
+
+
+def redundant_program(copies=6, iterations=3):
+    """A program with several instances of the same idiom, with varying
+    registers/immediates (the Figure 4 situation)."""
+    b = ProgramBuilder()
+    b.alloc_data("buf", 64, init=list(range(16)))
+    b.label("main")
+    b.load_address(A1, "buf")
+    b.emit(bis(ZERO, Imm(iterations), T0))
+    b.label("loop")
+    regs = [1, 2, 3, 4, 5, 6, 7, 16, 17, 18]
+    for i in range(copies):
+        r = regs[i % len(regs)]
+        b.emit(ldq(r, 8 * (i % 4), A1))
+        b.emit(addq(r, Imm(1 + (i % 3)), r))
+        b.emit(stq(r, 8 * (i % 4), A1))
+    b.emit(subq(T0, Imm(1), T0))
+    b.emit(bne(T0, "loop"))
+    b.emit(ldq(A0, 0, A1))
+    b.emit(out(A0))
+    b.emit(halt())
+    b.set_entry("main")
+    return b.build()
+
+
+class TestTemplates:
+    def test_parameterized_template_shares_across_registers(self):
+        seq_a = [ldq(1, 8, 2), addq(1, Imm(1), 1)]
+        seq_b = [ldq(5, 8, 6), addq(5, Imm(1), 5)]
+        ta, pa = make_template(seq_a, DISE_OPTIONS)
+        tb, pb = make_template(seq_b, DISE_OPTIONS)
+        assert ta == tb, "same shape, different registers: one entry"
+        assert pa != pb
+
+    def test_parameterized_template_shares_small_immediates(self):
+        # Figure 4: lda r, 8(r) and lda r, -8(r) share an entry.  With three
+        # distinct registers the registers-first assignment exhausts the
+        # slots, so the immediate-first strategy provides the merge.
+        ta, pa = make_template([lda(1, 8, 1), ldq(2, 0, 3)], DISE_OPTIONS,
+                               strategy="imms_first")
+        tb, pb = make_template([lda(4, -8, 4), ldq(2, 0, 3)], DISE_OPTIONS,
+                               strategy="imms_first")
+        assert ta == tb
+        assert pa != pb
+
+    def test_strategies_disagree_when_operands_exceed_slots(self):
+        seq = [lda(1, 8, 1), ldq(2, 0, 3)]
+        regs_first, _ = make_template(seq, DISE_OPTIONS, "regs_first")
+        imms_first, _ = make_template(seq, DISE_OPTIONS, "imms_first")
+        assert regs_first != imms_first
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            make_template([addq(1, 2, 3), addq(1, 2, 3)], DISE_OPTIONS,
+                          strategy="random")
+
+    def test_large_immediates_stay_literal(self):
+        ta, _ = make_template([ldq(1, 800, 2), addq(1, 2, 3)], DISE_OPTIONS)
+        tb, _ = make_template([ldq(1, 808, 2), addq(1, 2, 3)], DISE_OPTIONS)
+        assert ta != tb, "offsets beyond the 5-bit parameter cannot merge"
+
+    def test_unparameterized_requires_exact_match(self):
+        opts = DEDICATED_OPTIONS.with_changes(min_seq_len=2)
+        ta, _ = make_template([ldq(1, 8, 2), addq(1, Imm(1), 1)], opts)
+        tb, _ = make_template([ldq(5, 8, 6), addq(5, Imm(1), 5)], opts)
+        assert ta != tb
+
+    def test_branch_only_last_and_only_with_feature(self):
+        seq = [subq(1, Imm(1), 1), bne(1, -4)]
+        assert make_template(seq, DISE_OPTIONS) is not None
+        no_branches = DISE_OPTIONS.with_changes(compress_branches=False)
+        assert make_template(seq, no_branches) is None
+
+    def test_branch_template_uses_p23(self):
+        template, _ = make_template(
+            [subq(1, Imm(1), 1), bne(1, -4)], DISE_OPTIONS
+        )
+        assert template[-1].imm == TrigField("p23")
+
+    def test_calls_and_jumps_excluded(self):
+        assert make_template([addq(1, 2, 3), bsr(26, 0)], DISE_OPTIONS) is None
+        assert make_template([addq(1, 2, 3), ret(26)], DISE_OPTIONS) is None
+        assert make_template([halt()],
+                             DISE_OPTIONS.with_changes(min_seq_len=1)) is None
+
+
+class TestDictionarySelection:
+    def test_redundant_code_found(self):
+        image = redundant_program()
+        entries = select_dictionary(image, DISE_OPTIONS)
+        assert entries, "the repeated idiom must yield a dictionary entry"
+        best = entries[0]
+        assert len(best.occurrences) >= 3
+
+    def test_selected_occurrences_disjoint(self):
+        image = redundant_program()
+        entries = select_dictionary(image, DISE_OPTIONS)
+        claimed = set()
+        for entry in entries:
+            for occ in entry.occurrences:
+                span = set(range(occ.start, occ.start + occ.length))
+                assert not span & claimed
+                claimed |= span
+
+    def test_dictionary_size_cap(self):
+        image = generate_by_name("bzip2", scale=0.2)
+        capped = DISE_OPTIONS.with_changes(max_dict_entries=3)
+        entries = select_dictionary(image, capped)
+        assert len(entries) <= 3
+
+    def test_candidates_respect_blocks(self):
+        image = redundant_program()
+        from repro.program.blocks import find_basic_blocks
+
+        block_of = {}
+        for block in find_basic_blocks(image):
+            for index in block.indices():
+                block_of[index] = block.block_id
+        for occurrences in enumerate_candidates(image, DISE_OPTIONS).values():
+            for occ in occurrences:
+                blocks = {
+                    block_of[i]
+                    for i in range(occ.start, occ.start + occ.length)
+                }
+                assert len(blocks) == 1, "candidates must not straddle blocks"
+
+
+class TestCompressionTransform:
+    def test_identity_on_small_program(self):
+        image = redundant_program()
+        plain = run_program(image)
+        result = compress_image(image, DISE_OPTIONS)
+        assert result.text_ratio < 1.0
+        decompressed = result.installation().run()
+        assert decompressed.outputs == plain.outputs
+        assert decompressed.final_memory == plain.final_memory
+
+    def test_identity_for_all_variants_on_benchmark(self):
+        image = generate_by_name("bzip2", scale=0.2)
+        plain = run_program(image, record_trace=False)
+        for name, options in FIGURE7_VARIANTS:
+            result = compress_image(image, options)
+            run = result.installation().run(record_trace=False)
+            assert run.outputs == plain.outputs, name
+            assert not run.faulted, name
+
+    def test_compressed_text_accounting(self):
+        image = redundant_program()
+        result = compress_image(image, DISE_OPTIONS)
+        assert result.original_text_bytes == image.text_size
+        assert result.compressed_text_bytes == result.image.text_size
+        expected = (image.text_size
+                    - result.instructions_removed * INSTRUCTION_BYTES)
+        assert result.compressed_text_bytes == expected
+
+    def test_dictionary_bytes(self):
+        image = redundant_program()
+        result = compress_image(image, DISE_OPTIONS)
+        total_instrs = sum(
+            len(spec) for spec in result.production_set.replacements.values()
+        )
+        assert result.dictionary_bytes == total_instrs * 8
+
+    def test_two_byte_codewords_layout(self):
+        image = generate_by_name("mcf", scale=0.2)
+        result = compress_image(image, DEDICATED_OPTIONS)
+        assert not result.image.uniform_size()
+        # Addresses remain strictly increasing and match sizes.
+        addrs, sizes = result.image.addresses, result.image.sizes
+        for i in range(1, len(addrs)):
+            assert addrs[i] == addrs[i - 1] + sizes[i - 1]
+
+    def test_compressing_twice_rejected(self):
+        image = generate_by_name("mcf", scale=0.2)
+        result = compress_image(image, DEDICATED_OPTIONS)
+        with pytest.raises(CompressionError):
+            compress_image(result.image, DEDICATED_OPTIONS)
+
+    def test_branch_compression_preserves_loops(self):
+        image = redundant_program(iterations=7)
+        result = compress_image(image, DISE_OPTIONS)
+        swallowed_branches = any(
+            any(r.opcode is not None and r.opcode.is_branch
+                for r in spec.instrs)
+            for spec in result.production_set.replacements.values()
+        ) if result.production_set else False
+        run = result.installation().run()
+        assert run.outputs == run_program(image).outputs
+        # (If a branch was compressed, the loop still iterated correctly.)
+
+    def test_ratios_ordering_matches_feature_sets(self):
+        image = generate_by_name("gzip", scale=0.2)
+        by_name = {}
+        for name, options in FIGURE7_VARIANTS:
+            by_name[name] = compress_image(image, options).text_ratio
+        assert by_name["DISE"] <= by_name["+3param"] <= by_name["+8byteDE"]
+        assert by_name["dedicated"] <= by_name["-1insn"] <= by_name["-2byteCW"]

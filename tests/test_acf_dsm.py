@@ -1,0 +1,122 @@
+"""Tests for the fine-grain DSM checks ACF."""
+
+import pytest
+
+from repro.acf.dsm import (
+    LINE_BYTES,
+    attach_dsm,
+    dsm_check_spec,
+    lines_present,
+    remote_misses,
+)
+from repro.isa.build import Imm, addq, bis, bne, halt, ldq, out, stq, subq
+from repro.program.builder import ProgramBuilder
+from repro.sim.functional import run_program
+
+from conftest import A0, A1, T0, ZERO, build_loop_program
+
+
+def shared_walk_program(words=24, passes=2):
+    """Walks a data array twice; the array will be declared shared."""
+    b = ProgramBuilder()
+    b.alloc_data("arr", words, init=list(range(words)))
+    b.label("main")
+    b.emit(bis(ZERO, Imm(passes), T0))
+    b.label("outer")
+    b.load_address(A1, "arr")
+    b.emit(bis(ZERO, Imm(words), 5))
+    b.label("inner")
+    b.emit(ldq(A0, 0, A1))
+    b.emit(addq(A0, Imm(1), A0))
+    b.emit(stq(A0, 0, A1))
+    b.emit(addq(A1, Imm(8), A1))
+    b.emit(subq(5, Imm(1), 5))
+    b.emit(bne(5, "inner"))
+    b.emit(subq(T0, Imm(1), T0))
+    b.emit(bne(T0, "outer"))
+    b.emit(out(A0))
+    b.emit(halt())
+    b.set_entry("main")
+    return b.build()
+
+
+def shared_bounds(image, words):
+    lo = image.data_base
+    size = ((words * 8 + LINE_BYTES - 1) // LINE_BYTES) * LINE_BYTES
+    return lo, lo + size
+
+
+class TestDsmSpec:
+    def test_sequence_shape(self):
+        spec = dsm_check_spec()
+        assert len(spec) == 15
+        assert spec.trigger_copy_offsets == (14,)
+        assert all(
+            r.imm.value == 14 for r in spec.instrs if r.is_dise_branch
+        ), "all fast paths skip to the trigger"
+
+    def test_range_validation(self):
+        image = build_loop_program()
+        with pytest.raises(ValueError):
+            attach_dsm(image, 100, 100)
+        with pytest.raises(ValueError):
+            attach_dsm(image, 0, 100)   # not line-aligned
+
+
+class TestDsmBehaviour:
+    def test_misses_equal_distinct_lines_first_touch(self):
+        words = 24   # 3 lines
+        image = shared_walk_program(words=words, passes=1)
+        lo, hi = shared_bounds(image, words)
+        installation = attach_dsm(image, lo, hi)
+        result = installation.run()
+        assert remote_misses(result) == (hi - lo) // LINE_BYTES
+        assert lines_present(result, installation) == (hi - lo) // LINE_BYTES
+
+    def test_second_pass_hits(self):
+        words = 24
+        image = shared_walk_program(words=words, passes=3)
+        lo, hi = shared_bounds(image, words)
+        result = attach_dsm(image, lo, hi).run()
+        # Presence persists: later passes add no misses.
+        assert remote_misses(result) == (hi - lo) // LINE_BYTES
+
+    def test_private_accesses_skip_the_machinery(self):
+        words = 24
+        image = shared_walk_program(words=words, passes=1)
+        # Declare a disjoint (higher) range shared: every access is private.
+        lo = image.data_base + (1 << 20)
+        installation = attach_dsm(image, lo, lo + 4 * LINE_BYTES)
+        result = installation.run()
+        assert remote_misses(result) == 0
+        assert lines_present(result, installation) == 0
+
+    def test_application_unperturbed(self):
+        words = 16
+        image = shared_walk_program(words=words)
+        plain = run_program(image)
+        lo, hi = shared_bounds(image, words)
+        result = attach_dsm(image, lo, hi).run()
+        assert result.outputs == plain.outputs
+        assert result.fault_code is None
+
+    def test_every_memory_op_checked(self):
+        words = 8
+        image = shared_walk_program(words=words, passes=1)
+        lo, hi = shared_bounds(image, words)
+        result = attach_dsm(image, lo, hi).run()
+        memops = sum(
+            1 for o in run_program(image).ops if o.mem_addr is not None
+        )
+        assert result.expansions == memops
+
+    def test_checks_use_only_dise_internal_control(self):
+        words = 8
+        image = shared_walk_program(words=words, passes=1)
+        lo, hi = shared_bounds(image, words)
+        result = attach_dsm(image, lo, hi).run()
+        # No application-level branches were injected: every non-trigger
+        # control transfer in replacement sequences is a DISE branch.
+        for op in result.ops:
+            if op.disepc > 0 and op.ctrl is not None:
+                assert op.ctrl == "dise" or op.is_trigger_ctrl

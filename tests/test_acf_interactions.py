@@ -1,0 +1,132 @@
+"""Interactions between ACFs: recursion limits and composition necessity."""
+
+import pytest
+
+from repro.acf.composition import compose_dise_dise
+from repro.acf.compression import DISE_OPTIONS, compress_image
+from repro.acf.mfi import MFI_FAULT_CODE, ensure_error_stub, mfi_production_set
+from repro.core.controller import DiseController
+from repro.isa.build import Imm, bis, halt, ldq, out, sll, stq
+from repro.program.builder import ProgramBuilder
+from repro.sim.functional import Machine, run_program
+
+from conftest import A0, A1, T0, ZERO
+
+
+def wild_store_with_padding():
+    """A wild store surrounded by compressible legal code, so the
+    compressor swallows the wild store into a dictionary entry."""
+    b = ProgramBuilder()
+    b.alloc_data("buf", 8, init=[1] * 8)
+    b.label("main")
+    b.load_address(A1, "buf")
+    for off in (0, 8, 0, 8, 0, 8, 0, 8):
+        b.emit(ldq(A0, off, A1))
+        b.emit(stq(A0, off, A1))
+    # Legal twins of the wild idiom below (segment 1 is the data segment):
+    # same shape, so all four share one parameterized dictionary entry and
+    # the wild store ends up inside a codeword.
+    for _ in range(3):
+        b.emit(bis(ZERO, Imm(1), T0))
+        b.emit(sll(T0, Imm(26), T0))
+        b.emit(stq(A0, 0, T0))
+    b.emit(bis(ZERO, Imm(3), T0))
+    b.emit(sll(T0, Imm(26), T0))
+    b.emit(stq(A0, 0, T0))
+    b.emit(out(A0))
+    b.emit(halt())
+    return b.build()
+
+
+class TestNoRecursiveExpansion:
+    """Section 3.3: "DISE does not treat instructions in a replacement
+    sequence as candidates for subsequent expansion." — so merely
+    installing MFI alongside decompression does NOT protect decompressed
+    instructions; composition is required."""
+
+    def test_naive_stacking_misses_compressed_stores(self):
+        image = wild_store_with_padding()
+        result = compress_image(image, DISE_OPTIONS)
+        compressed = ensure_error_stub(result.image)
+
+        # Check whether the wild store was compressed into a codeword.
+        wild_swallowed = all(
+            not (i.is_store and i.rb == T0)
+            for i in compressed.instructions
+        )
+        if not wild_swallowed:
+            pytest.skip("compressor left the wild store uncompressed")
+
+        controller = DiseController()
+        controller.install(result.production_set)
+        controller.install(mfi_production_set(compressed, "dise3"))
+        machine = Machine(compressed, controller=controller)
+        machine.regs[34] = compressed.data_base >> 26   # $dr2
+        machine.regs[35] = compressed.text_base >> 26   # $dr3
+        run = machine.run()
+
+        # The decompressed wild store executed UNCHECKED: no fault, memory
+        # corrupted — the paper's no-recursion rule in action.
+        assert run.fault_code != MFI_FAULT_CODE
+        assert run.final_memory.read(3 << 26) != 0
+
+    def test_composition_closes_the_hole(self):
+        image = wild_store_with_padding()
+        result, installation = compose_dise_dise(image)
+        run = installation.run()
+        assert run.fault_code == MFI_FAULT_CODE
+        assert run.final_memory.read(3 << 26) == 0
+
+    def test_uncompressed_residual_stores_still_checked_when_stacked(self):
+        """Naive stacking does check *naturally occurring* stores that
+        survived compression."""
+        b = ProgramBuilder()
+        b.alloc_data("buf", 4, init=[1, 2, 3, 4])
+        b.label("main")
+        b.load_address(A1, "buf")
+        b.emit(bis(ZERO, Imm(3), T0))
+        b.emit(sll(T0, Imm(26), T0))
+        b.emit(stq(A0, 0, T0))    # wild store, nothing compressible around
+        b.emit(halt())
+        image = b.build()
+        result = compress_image(image, DISE_OPTIONS)
+        compressed = ensure_error_stub(result.image)
+        controller = DiseController()
+        if result.production_set is not None:
+            controller.install(result.production_set)
+        controller.install(mfi_production_set(compressed, "dise3"))
+        machine = Machine(compressed, controller=controller)
+        machine.regs[34] = compressed.data_base >> 26
+        machine.regs[35] = compressed.text_base >> 26
+        run = machine.run()
+        assert run.fault_code == MFI_FAULT_CODE
+
+
+class TestPatternPrecedence:
+    def test_equal_specificity_first_definition_wins(self):
+        from repro.core.engine import DiseEngine
+        from repro.core.pattern import match_stores
+        from repro.core.production import ProductionSet
+        from repro.core.replacement import identity_replacement
+        from repro.acf.tracing import sat_production_set
+
+        pset = ProductionSet("both")
+        first = pset.define(match_stores(), identity_replacement())
+        second = pset.define(match_stores(), identity_replacement())
+        engine = DiseEngine()
+        engine.set_production_set(pset)
+        production = engine.match(stq(A0, 0, A1))
+        assert production.seq_id == first
+
+    def test_opcode_pattern_beats_opclass_pattern_across_sets(self):
+        """Two installed ACFs with overlapping patterns: the more specific
+        (opcode-level) pattern takes the trigger."""
+        from repro.acf.monitor import count_opcodes
+        from repro.acf.tracing import sat_production_set
+        from repro.isa.opcodes import Opcode
+
+        controller = DiseController()
+        controller.install(sat_production_set())          # store opclass
+        controller.install(count_opcodes([Opcode.STQ]))   # stq opcode
+        production = controller.engine.match(stq(A0, 0, A1))
+        assert production.name == "count-stq"

@@ -1,0 +1,248 @@
+"""Tests for dynamic code specialization (Section 3.2)."""
+
+import pytest
+
+from repro.acf.specialization import (
+    DR_SCRATCH,
+    SPECIALIZE_OPCODE,
+    SpecializationError,
+    Specializer,
+    attach_specialization,
+    plant_specializations,
+    specialized_sequence,
+)
+from repro.isa.build import Imm, addq, bis, bne, halt, ldq, mulq, out, stq, subq
+from repro.isa.opcodes import Opcode
+from repro.program.builder import ProgramBuilder
+from repro.sim.functional import Machine, run_program
+
+from conftest import A0, A1, T0, T1, ZERO
+
+
+def multiply_loop(invariant_value, iterations=4):
+    """x = sum of i * invariant for i in 1..iterations (invariant in t1).
+
+    The invariant is loaded from data — its value is genuinely unknown
+    until runtime, which is the point of the exercise.
+    """
+    b = ProgramBuilder()
+    b.alloc_data("inv", 1, init=[invariant_value])
+    b.label("main")
+    b.load_address(A1, "inv")
+    b.emit(ldq(T1, 0, A1))             # the loop-invariant operand
+    b.emit(bis(ZERO, Imm(iterations), T0))
+    b.emit(bis(ZERO, ZERO, A0))
+    b.label("preheader")
+    b.label("loop")
+    b.emit(mulq(T0, T1, 5))            # t4 = i * invariant  <- planted
+    b.emit(addq(A0, 5, A0))
+    b.emit(subq(T0, Imm(1), T0))
+    b.emit(bne(T0, "loop"))
+    b.emit(out(A0))
+    b.emit(halt())
+    b.set_entry("main")
+    return b.build()
+
+
+def run_specialized(invariant_value, iterations=4):
+    image = multiply_loop(invariant_value, iterations)
+    reference = run_program(image)
+
+    installation, specializer = attach_specialization(image)
+    machine = installation.make_machine()
+    specializer.install(machine.controller)
+    # Run to the loop preheader (3 + load_address's 2 instructions).
+    preheader = installation.image.symbols["preheader"]
+    while machine.idx != preheader:
+        machine.step()
+    specializer.bind_all(machine)
+    result = machine.run()
+    return reference, result, specializer
+
+
+class TestSpecializedSequences:
+    def test_zero(self):
+        assert len(specialized_sequence(0)) == 1
+
+    def test_one_is_a_move(self):
+        spec = specialized_sequence(1)
+        assert len(spec) == 1 and spec.instrs[0].opcode is Opcode.BIS
+
+    def test_power_of_two_is_single_shift(self):
+        spec = specialized_sequence(8)
+        assert len(spec) == 1
+        assert spec.instrs[0].opcode is Opcode.SLL
+        assert spec.instrs[0].imm.value == 3
+
+    def test_sum_of_powers_is_three_ops(self):
+        spec = specialized_sequence(12)    # 8 + 4
+        assert len(spec) == 3
+        assert spec.instrs[2].opcode is Opcode.ADDQ
+
+    def test_difference_of_powers(self):
+        spec = specialized_sequence(7)     # 8 - 1
+        assert len(spec) == 3
+        assert spec.instrs[2].opcode is Opcode.SUBQ
+
+    def test_general_fallback_keeps_multiply(self):
+        spec = specialized_sequence(11)    # not 2^a +/- 2^b
+        assert any(r.opcode is Opcode.MULQ for r in spec.instrs)
+
+    def test_scratch_register_is_dedicated(self):
+        spec = specialized_sequence(12)
+        from repro.core.directives import Lit
+
+        assert spec.instrs[0].rc == Lit(DR_SCRATCH)
+
+
+class TestPlanting:
+    def test_multiplies_replaced_by_codewords(self):
+        image = multiply_loop(8)
+        planted, sites = plant_specializations(image)
+        assert len(sites) == 1
+        cw = planted.instructions[sites[0].index]
+        assert cw.opcode is SPECIALIZE_OPCODE
+        assert cw.tag == 0
+
+    def test_site_records_registers(self):
+        image = multiply_loop(8)
+        _, sites = plant_specializations(image)
+        site = sites[0]
+        assert site.variant_reg == 1     # t0
+        assert site.invariant_reg == 2   # t1
+        assert site.dest_reg == 5
+
+    def test_non_multiply_site_rejected(self):
+        image = multiply_loop(8)
+        with pytest.raises(SpecializationError):
+            plant_specializations(image, site_indexes=[0])
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("value", [0, 1, 2, 8, 12, 7, 11, 100, 96])
+    def test_specialized_result_matches_multiply(self, value):
+        reference, result, _ = run_specialized(value)
+        assert result.outputs == reference.outputs
+        assert result.fault_code is None
+
+    def test_power_of_two_eliminates_multiplies(self):
+        reference, result, _ = run_specialized(16)
+        ref_muls = sum(1 for o in reference.ops
+                       if o.opcode is Opcode.MULQ)
+        spec_muls = sum(1 for o in result.ops if o.opcode is Opcode.MULQ)
+        assert ref_muls > 0 and spec_muls == 0
+        shifts = sum(1 for o in result.ops if o.opcode is Opcode.SLL)
+        assert shifts >= ref_muls
+
+    def test_sum_of_powers_single_codeword_three_instructions(self):
+        reference, result, _ = run_specialized(12)
+        # "With DISE, this specialization is just as easy": no rewriting,
+        # the codeword expands into the three-instruction form.
+        expansions = [o for o in result.ops if o.expansion is not None]
+        assert expansions and expansions[0].expansion[1] == 3
+
+    def test_rebinding_changes_behavior(self):
+        image = multiply_loop(8)
+        installation, specializer = attach_specialization(image)
+        machine = installation.make_machine()
+        specializer.install(machine.controller)
+        preheader = installation.image.symbols["preheader"]
+        while machine.idx != preheader:
+            machine.step()
+        first = specializer.bind(machine, 0)
+        assert first.instrs[0].opcode is Opcode.SLL
+        # Pretend the invariant changed (a new loop instance): rebind.
+        machine.write_reg(specializer.sites[0].invariant_reg, 12)
+        second = specializer.bind(machine, 0)
+        assert len(second) == 3
+        assert specializer.bindings[0] == 12
+
+    def test_unbound_codeword_fails_loudly(self):
+        image = multiply_loop(8)
+        installation, specializer = attach_specialization(image)
+        machine = installation.make_machine()
+        specializer.install(machine.controller)
+        from repro.core.engine import ExpansionError
+
+        with pytest.raises(ExpansionError):
+            machine.run()   # codeword executes before any bind()
+
+    def test_bind_unknown_tag(self):
+        image = multiply_loop(8)
+        installation, specializer = attach_specialization(image)
+        machine = installation.make_machine()
+        specializer.install(machine.controller)
+        with pytest.raises(SpecializationError):
+            specializer.bind(machine, 99)
+
+
+class TestInstructionBasedInterface:
+    """Section 2.3: the program itself invokes the controller via ``ctrl``."""
+
+    def self_specializing_program(self, invariant_value, iterations=5):
+        from repro.isa.build import ctrl
+
+        b = ProgramBuilder()
+        b.alloc_data("inv", 1, init=[invariant_value])
+        b.label("main")
+        b.load_address(A1, "inv")
+        b.emit(ldq(T1, 0, A1))
+        b.emit(bis(ZERO, Imm(iterations), T0))
+        b.emit(bis(ZERO, ZERO, A0))
+        # The application binds its own specialization site: tag 0 in a0.
+        b.emit(bis(ZERO, ZERO, 16))
+        b.emit(ctrl(16, 1))
+        b.label("loop")
+        b.emit(mulq(T0, T1, 5))
+        b.emit(addq(A0, 5, A0))
+        b.emit(subq(T0, Imm(1), T0))
+        b.emit(bne(T0, "loop"))
+        b.emit(out(A0))
+        b.emit(halt())
+        b.set_entry("main")
+        return b.build()
+
+    def test_full_protocol(self):
+        for value in (8, 12, 11):
+            image = self.self_specializing_program(value)
+            installation, specializer = attach_specialization(image)
+            machine = installation.make_machine()
+            specializer.register_with(machine)
+            result = machine.run()
+            assert result.fault_code is None
+            # result equals a plain multiply loop's result
+            plain = run_program(self._plain_equivalent(value))
+            assert result.outputs == plain.outputs
+
+    def _plain_equivalent(self, value, iterations=5):
+        b = ProgramBuilder()
+        b.alloc_data("inv", 1, init=[value])
+        b.label("main")
+        b.load_address(A1, "inv")
+        b.emit(ldq(T1, 0, A1))
+        b.emit(bis(ZERO, Imm(iterations), T0))
+        b.emit(bis(ZERO, ZERO, A0))
+        b.label("loop")
+        b.emit(mulq(T0, T1, 5))
+        b.emit(addq(A0, 5, A0))
+        b.emit(subq(T0, Imm(1), T0))
+        b.emit(bne(T0, "loop"))
+        b.emit(out(A0))
+        b.emit(halt())
+        b.set_entry("main")
+        return b.build()
+
+    def test_ctrl_without_handler_raises(self):
+        from repro.sim.functional import ExecutionError
+
+        image = self.self_specializing_program(8)
+        with pytest.raises(ExecutionError):
+            run_program(image)   # no handler registered
+
+    def test_duplicate_handler_code_rejected(self):
+        image = self.self_specializing_program(8)
+        installation, specializer = attach_specialization(image)
+        machine = installation.make_machine()
+        specializer.register_with(machine)
+        with pytest.raises(ValueError):
+            machine.register_control_handler(1, lambda m: None)

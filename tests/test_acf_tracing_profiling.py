@@ -1,0 +1,105 @@
+"""Tests for store-address tracing and path profiling."""
+
+import pytest
+
+from repro.acf.profiling import (
+    TABLE_ENTRIES,
+    attach_path_profiling,
+    read_path_counters,
+)
+from repro.acf.tracing import DR_CURSOR, attach_sat, read_trace_buffer
+from repro.isa.build import Imm, addq, bis, bne, bsr, halt, ldq, out, ret, stq, subq
+from repro.isa.registers import parse_reg
+from repro.program.builder import ProgramBuilder
+from repro.sim.functional import run_program
+
+from conftest import A0, A1, RA, T0, V0, ZERO, build_loop_program
+
+
+class TestStoreAddressTracing:
+    def test_all_store_addresses_captured_in_order(self):
+        image = build_loop_program(iterations=4)
+        installation = attach_sat(image)
+        result = installation.run()
+
+        expected = [o.mem_addr for o in run_program(image).ops if o.is_store]
+        traced = read_trace_buffer(result, installation.buffer_base)
+        assert traced == expected
+
+    def test_application_behaviour_unperturbed(self):
+        image = build_loop_program()
+        plain = run_program(image)
+        result = attach_sat(image).run()
+        assert result.outputs == plain.outputs
+
+    def test_cursor_advances_by_stores(self):
+        image = build_loop_program(iterations=3)
+        installation = attach_sat(image)
+        result = installation.run()
+        stores = sum(1 for o in run_program(image).ops if o.is_store)
+        moved = result.final_regs[DR_CURSOR] - installation.buffer_base
+        assert moved == 8 * stores
+
+    def test_displacement_folded_into_traced_address(self):
+        b = ProgramBuilder()
+        b.alloc_data("buf", 4)
+        b.label("main")
+        b.load_address(A1, "buf")
+        b.emit(stq(ZERO, 24, A1))
+        b.emit(halt())
+        image = b.build()
+        installation = attach_sat(image)
+        result = installation.run()
+        traced = read_trace_buffer(result, installation.buffer_base)
+        assert traced == [image.data_base + 24]
+
+
+def branchy_program(iterations=6):
+    b = ProgramBuilder()
+    b.alloc_data("flags", 8, init=[1, 0, 1, 1, 0, 1, 0, 0])
+    b.label("main")
+    b.emit(bis(ZERO, Imm(iterations), T0))
+    b.label("loop")
+    b.emit(bsr(RA, "leaf"))
+    b.emit(subq(T0, Imm(1), T0))
+    b.emit(bne(T0, "loop"))
+    b.emit(out(V0))
+    b.emit(halt())
+    b.label("leaf")
+    b.emit(addq(V0, Imm(1), V0))
+    b.emit(bne(V0, "leaf_end"))
+    b.emit(addq(V0, Imm(10), V0))
+    b.label("leaf_end")
+    b.emit(ret(RA))
+    b.set_entry("main")
+    return b.build()
+
+
+class TestPathProfiling:
+    def test_counters_accumulate_at_returns(self):
+        image = branchy_program(iterations=5)
+        installation = attach_path_profiling(image)
+        result = installation.run()
+        counters = read_path_counters(result, installation.table_base)
+        assert sum(counters.values()) == 5, "one endpoint per leaf return"
+
+    def test_application_behaviour_unperturbed(self):
+        image = branchy_program()
+        plain = run_program(image)
+        result = attach_path_profiling(image).run()
+        assert result.outputs == plain.outputs
+
+    def test_distinct_paths_get_distinct_tags(self):
+        # The first leaf return's path history contains only the leaf's own
+        # branch; every later return also carries the outer loop's back-edge
+        # outcome, so exactly two distinct acyclic paths are counted.
+        image = branchy_program(iterations=4)
+        installation = attach_path_profiling(image)
+        counters = read_path_counters(
+            installation.run(), installation.table_base
+        )
+        assert len(counters) == 2
+        assert sorted(counters.values()) == [1, 3]
+
+    def test_table_is_bounded(self):
+        assert TABLE_ENTRIES == 256

@@ -1,0 +1,197 @@
+"""Unit tests for the DISE controller: virtualization, scoping, state."""
+
+import pytest
+
+from repro.core.config import DiseConfig
+from repro.core.controller import (
+    DiseController,
+    combine_production_sets,
+)
+from repro.core.pattern import match_loads, match_opcode, match_stores
+from repro.core.production import ProductionError, ProductionSet
+from repro.core.registers import DiseRegisterFile
+from repro.core.replacement import identity_replacement
+from repro.isa.build import codeword, ldq, stq
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import dise_reg
+
+
+def loads_set(name="loads", scope="user"):
+    pset = ProductionSet(name, scope=scope)
+    pset.define(match_loads(), identity_replacement())
+    return pset
+
+
+def stores_set(name="stores", scope="user"):
+    pset = ProductionSet(name, scope=scope)
+    pset.define(match_stores(), identity_replacement())
+    return pset
+
+
+def tagged_set(name="aware", tags=(0, 1)):
+    pset = ProductionSet(name)
+    for tag in tags:
+        pset.add_replacement(tag, identity_replacement())
+    pset.add_production(match_opcode(Opcode.RES0), tagged=True)
+    return pset
+
+
+class TestCombine:
+    def test_empty(self):
+        assert combine_production_sets([]) is None
+
+    def test_direct_sets_remapped_above_tags(self):
+        combined = combine_production_sets([loads_set(), tagged_set()])
+        # Tag ids 0 and 1 belong to the aware set; the direct id moved up.
+        assert set(combined.replacements) == {0, 1, 2}
+        direct = [p for p in combined.productions if not p.tagged]
+        assert direct[0].seq_id == 2
+
+    def test_tag_collision_raises(self):
+        with pytest.raises(ProductionError):
+            combine_production_sets([tagged_set("a"), tagged_set("b")])
+
+    def test_disjoint_tag_spaces_combine(self):
+        combined = combine_production_sets(
+            [tagged_set("a", tags=(0, 1)), tagged_set("b", tags=(10, 11))]
+        )
+        assert set(combined.replacements) == {0, 1, 10, 11}
+
+
+class TestInstallation:
+    def test_install_activates(self):
+        ctrl = DiseController()
+        ctrl.install(loads_set())
+        assert ctrl.engine.match(ldq(1, 0, 2)) is not None
+
+    def test_duplicate_install_rejected(self):
+        ctrl = DiseController()
+        ctrl.install(loads_set())
+        with pytest.raises(ProductionError):
+            ctrl.install(loads_set())
+
+    def test_uninstall(self):
+        ctrl = DiseController()
+        ctrl.install(loads_set())
+        ctrl.uninstall("loads")
+        assert ctrl.engine.match(ldq(1, 0, 2)) is None
+        assert ctrl.installed_names() == ()
+
+    def test_deactivate_reactivate(self):
+        ctrl = DiseController()
+        ctrl.install(loads_set())
+        ctrl.set_active("loads", False)
+        assert ctrl.engine.match(ldq(1, 0, 2)) is None
+        ctrl.set_active("loads", True)
+        assert ctrl.engine.match(ldq(1, 0, 2)) is not None
+
+    def test_two_acfs_active_simultaneously(self):
+        ctrl = DiseController()
+        ctrl.install(loads_set())
+        ctrl.install(stores_set())
+        assert ctrl.engine.match(ldq(1, 0, 2)) is not None
+        assert ctrl.engine.match(stq(1, 0, 2)) is not None
+
+    def test_unknown_name_errors(self):
+        ctrl = DiseController()
+        with pytest.raises(ProductionError):
+            ctrl.uninstall("ghost")
+        with pytest.raises(ProductionError):
+            ctrl.set_active("ghost", True)
+
+
+class TestProcessScoping:
+    """Section 2.3: user-scope sets act only on their owning process."""
+
+    def test_user_set_deactivated_on_switch(self):
+        ctrl = DiseController()
+        ctrl.context_switch(1)
+        ctrl.install(loads_set(scope="user"))   # owned by pid 1
+        assert ctrl.engine.match(ldq(1, 0, 2)) is not None
+        ctrl.context_switch(2)
+        assert ctrl.engine.match(ldq(1, 0, 2)) is None
+        ctrl.context_switch(1)
+        assert ctrl.engine.match(ldq(1, 0, 2)) is not None
+
+    def test_kernel_set_survives_switch(self):
+        ctrl = DiseController()
+        ctrl.context_switch(1)
+        ctrl.install(loads_set(scope="kernel"))
+        ctrl.context_switch(2)
+        assert ctrl.engine.match(ldq(1, 0, 2)) is not None
+
+    def test_active_names_reflect_visibility(self):
+        ctrl = DiseController()
+        ctrl.context_switch(1)
+        ctrl.install(loads_set(scope="user"))
+        ctrl.install(stores_set(scope="kernel"))
+        ctrl.context_switch(2)
+        assert ctrl.active_names() == ("stores",)
+
+
+class TestSavedState:
+    def test_save_restore_registers_and_pc(self):
+        ctrl = DiseController()
+        ctrl.install(loads_set())
+        regs = DiseRegisterFile()
+        regs.write(dise_reg(2), 7)
+        state = ctrl.save_state(regs, pc=0x400010, disepc=2)
+        regs.write(dise_reg(2), 0)
+        pc, disepc = ctrl.restore_state(state, regs)
+        assert (pc, disepc) == (0x400010, 2)
+        assert regs.read(dise_reg(2)) == 7
+
+    def test_restore_reinstates_active_sets(self):
+        ctrl = DiseController()
+        ctrl.install(loads_set())
+        regs = DiseRegisterFile()
+        state = ctrl.save_state(regs)
+        ctrl.set_active("loads", False)
+        ctrl.restore_state(state, regs)
+        assert ctrl.engine.match(ldq(1, 0, 2)) is not None
+
+
+class TestMissCosts:
+    def test_penalties(self):
+        ctrl = DiseController(DiseConfig(simple_miss_cycles=30,
+                                         compose_miss_cycles=150))
+        assert ctrl.miss_penalty() == 30
+        assert ctrl.miss_penalty(composed=True) == 150
+
+    def test_config_sizes(self):
+        config = DiseConfig()
+        assert config.pt_bytes == 32 * 8
+        assert config.rt_bytes == 2048 * 8
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(ValueError):
+            DiseConfig(placement="sideways")
+
+
+class TestDiseRegisterFile:
+    def test_read_write(self):
+        regs = DiseRegisterFile()
+        regs.write(dise_reg(3), 0x1234)
+        assert regs.read(dise_reg(3)) == 0x1234
+
+    def test_64_bit_wrap(self):
+        regs = DiseRegisterFile()
+        regs.write(dise_reg(0), 1 << 70)
+        assert regs.read(dise_reg(0)) == 0
+
+    def test_rejects_user_registers(self):
+        regs = DiseRegisterFile()
+        with pytest.raises(ValueError):
+            regs.read(5)
+
+    def test_snapshot_restore(self):
+        regs = DiseRegisterFile()
+        regs.write(dise_reg(1), 42)
+        snap = regs.snapshot()
+        regs.write(dise_reg(1), 0)
+        regs.restore(snap)
+        assert regs.read(dise_reg(1)) == 42
+
+    def test_bad_snapshot_length(self):
+        with pytest.raises(ValueError):
+            DiseRegisterFile().restore((1, 2, 3))

@@ -1,0 +1,86 @@
+"""Unit tests for instantiation directives."""
+
+import pytest
+
+from repro.core.directives import (
+    AbsTarget,
+    Lit,
+    T_IMM,
+    T_P1,
+    T_P23,
+    T_PC,
+    T_RD,
+    T_RS,
+    T_RT,
+    TrigField,
+    validate_imm_directive,
+    validate_reg_directive,
+)
+from repro.isa.registers import dise_reg
+
+
+class TestDirectiveTypes:
+    def test_trigfield_validates_name(self):
+        with pytest.raises(ValueError):
+            TrigField("bogus")
+
+    def test_canonical_instances(self):
+        assert T_RS == TrigField("rs")
+        assert T_RT == TrigField("rt")
+        assert T_RD == TrigField("rd")
+        assert T_IMM == TrigField("imm")
+        assert T_PC == TrigField("pc")
+        assert T_P1 == TrigField("p1")
+        assert T_P23 == TrigField("p23")
+
+    def test_directives_hashable(self):
+        assert len({Lit(1), Lit(1), Lit(2), T_RS, TrigField("rs")}) == 3
+
+    def test_rendering(self):
+        assert Lit(dise_reg(3)).render_reg() == "$dr3"
+        assert Lit(26).render_imm() == "26"
+        assert T_RS.render() == "T.RS"
+        assert AbsTarget(0x400100).render() == "@0x400100"
+
+
+class TestRegisterValidation:
+    def test_user_and_dedicated_literals_ok(self):
+        validate_reg_directive(Lit(5))
+        validate_reg_directive(Lit(dise_reg(0)))
+
+    def test_out_of_range_literal(self):
+        with pytest.raises(ValueError):
+            validate_reg_directive(Lit(99))
+
+    def test_register_trigger_fields(self):
+        for field in ("rs", "rt", "rd", "p1", "p2", "p3"):
+            validate_reg_directive(TrigField(field))
+
+    def test_imm_fields_rejected_in_reg_slots(self):
+        with pytest.raises(ValueError):
+            validate_reg_directive(T_IMM)
+        with pytest.raises(ValueError):
+            validate_reg_directive(T_PC)
+
+    def test_abs_target_rejected_in_reg_slots(self):
+        with pytest.raises(TypeError):
+            validate_reg_directive(AbsTarget(0))
+
+
+class TestImmediateValidation:
+    def test_literal_and_target_ok(self):
+        validate_imm_directive(Lit(26))
+        validate_imm_directive(AbsTarget(0x400000))
+
+    def test_imm_trigger_fields(self):
+        for field in ("imm", "p1", "p2", "p3", "p23", "pc", "tag"):
+            validate_imm_directive(TrigField(field))
+
+    def test_reg_only_fields_rejected(self):
+        for field in ("rs", "rt", "rd"):
+            with pytest.raises(ValueError):
+                validate_imm_directive(TrigField(field))
+
+    def test_non_directive_rejected(self):
+        with pytest.raises(TypeError):
+            validate_imm_directive(42)

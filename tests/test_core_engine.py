@@ -1,0 +1,198 @@
+"""Unit tests for the DISE engine: matching, IL instantiation, caching."""
+
+import pytest
+
+from repro.core.directives import AbsTarget, Lit, T_IMM, T_PC, T_RD, T_RS, T_RT, TrigField
+from repro.core.engine import DiseEngine, ExpansionError, instantiate
+from repro.core.pattern import PatternSpec, match_loads, match_opcode, match_stores
+from repro.core.production import ProductionSet
+from repro.core.replacement import (
+    TRIGGER_INSN,
+    ReplacementInstr,
+    ReplacementSpec,
+    identity_replacement,
+)
+from repro.isa.build import addq, codeword, ldq, stq
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.registers import dise_reg
+
+
+def mfi_spec():
+    return ReplacementSpec(name="R1", instrs=(
+        ReplacementInstr(opcode=Opcode.SRL, ra=T_RS, imm=Lit(26),
+                         rc=Lit(dise_reg(1))),
+        ReplacementInstr(opcode=Opcode.XOR, ra=Lit(dise_reg(1)),
+                         rb=Lit(dise_reg(2)), rc=Lit(dise_reg(1))),
+        ReplacementInstr(opcode=Opcode.BNE, ra=Lit(dise_reg(1)),
+                         imm=AbsTarget(0x400100)),
+        TRIGGER_INSN,
+    ))
+
+
+def engine_with(pset):
+    engine = DiseEngine()
+    engine.set_production_set(pset)
+    return engine
+
+
+def mfi_engine():
+    pset = ProductionSet("mfi")
+    seq_id = pset.define(match_stores(), mfi_spec())
+    pset.add_production(match_loads(), seq_id=seq_id)
+    return engine_with(pset)
+
+
+class TestMatching:
+    def test_trigger_matches(self):
+        engine = mfi_engine()
+        assert engine.match(stq(16, 0, 18)) is not None
+        assert engine.match(ldq(16, 0, 18)) is not None
+        assert engine.match(addq(1, 2, 3)) is None
+
+    def test_most_specific_wins(self):
+        pset = ProductionSet("neg")
+        general = pset.define(match_loads(), mfi_spec())
+        specific = pset.define(
+            PatternSpec(opclass=OpClass.LOAD, regs={"rs": 30}),
+            identity_replacement(),
+        )
+        engine = engine_with(pset)
+        # sp-relative load hits the identity production.
+        exp, _, _ = engine.process(ldq(1, 0, 30), 0x400000)
+        assert len(exp.instrs) == 1
+        # other loads hit the general production.
+        exp, _, _ = engine.process(ldq(1, 0, 5), 0x400000)
+        assert len(exp.instrs) == 4
+
+    def test_no_production_set(self):
+        engine = DiseEngine()
+        exp, pt_miss, rt_miss = engine.process(ldq(1, 0, 2), 0)
+        assert exp is None and not pt_miss and not rt_miss
+
+    def test_clearing_productions(self):
+        engine = mfi_engine()
+        engine.set_production_set(None)
+        assert engine.match(stq(1, 0, 2)) is None
+
+    def test_tagged_dispatch(self):
+        pset = ProductionSet("aware")
+        pset.add_replacement(5, identity_replacement())
+        pset.add_replacement(9, mfi_spec())
+        pset.add_production(match_opcode(Opcode.RES0), tagged=True)
+        engine = engine_with(pset)
+        exp, _, _ = engine.process(codeword(Opcode.RES0, 1, 2, 3, 5), 0)
+        assert exp.seq_id == 5 and len(exp.instrs) == 1
+        exp, _, _ = engine.process(codeword(Opcode.RES0, 1, 2, 3, 9), 0)
+        assert exp.seq_id == 9 and len(exp.instrs) == 4
+
+    def test_undefined_tag_raises(self):
+        pset = ProductionSet("aware")
+        pset.add_replacement(5, identity_replacement())
+        pset.add_production(match_opcode(Opcode.RES0), tagged=True)
+        engine = engine_with(pset)
+        with pytest.raises(ExpansionError):
+            engine.process(codeword(Opcode.RES0, 1, 2, 3, 6), 0)
+
+
+class TestInstantiation:
+    def test_mfi_expansion(self):
+        engine = mfi_engine()
+        trigger = stq(16, 8, 18)     # address register a2
+        exp, _, _ = engine.process(trigger, 0x400020)
+        srl, xor, bne, copy = exp.instrs
+        assert srl.ra == 18, "T.RS instantiated from the trigger"
+        assert srl.rc == dise_reg(1)
+        assert bne.imm == (0x400100 - 0x400024) // 4
+        assert copy == trigger
+        assert exp.trigger_offsets == (3,)
+
+    def test_imm_and_rd_directives(self):
+        spec = ReplacementSpec(instrs=(
+            ReplacementInstr(opcode=Opcode.LDA, ra=T_RD, rb=T_RS, imm=T_IMM),
+        ))
+        exp = instantiate(spec, 0, ldq(5, 24, 7), 0)
+        lda = exp.instrs[0]
+        assert (lda.ra, lda.rb, lda.imm) == (5, 7, 24)
+
+    def test_pc_directive(self):
+        spec = ReplacementSpec(instrs=(
+            ReplacementInstr(opcode=Opcode.BIS, ra=Lit(31), imm=T_PC,
+                             rc=Lit(dise_reg(7))),
+        ))
+        exp = instantiate(spec, 0, ldq(5, 0, 7), 0x400123 & ~3)
+        assert exp.instrs[0].imm == 0x400120
+
+    def test_codeword_parameters(self):
+        spec = ReplacementSpec(instrs=(
+            ReplacementInstr(opcode=Opcode.LDA, ra=TrigField("p1"),
+                             rb=TrigField("p1"), imm=TrigField("p2")),
+        ))
+        trigger = codeword(Opcode.RES0, 18, 8, 31, 0)
+        exp = instantiate(spec, 0, trigger, 0)
+        lda = exp.instrs[0]
+        assert lda.ra == 18 and lda.rb == 18
+        assert lda.imm == 8
+
+    def test_p2_sign_extension(self):
+        spec = ReplacementSpec(instrs=(
+            ReplacementInstr(opcode=Opcode.LDA, ra=TrigField("p1"),
+                             rb=TrigField("p1"), imm=TrigField("p2")),
+        ))
+        trigger = codeword(Opcode.RES0, 18, (-8) & 0x1F, 31, 0)
+        exp = instantiate(spec, 0, trigger, 0)
+        assert exp.instrs[0].imm == -8
+
+    def test_p23_concatenation(self):
+        spec = ReplacementSpec(instrs=(
+            ReplacementInstr(opcode=Opcode.BNE, ra=TrigField("p1"),
+                             imm=TrigField("p23")),
+        ))
+        offset = -25
+        raw = offset & 0x3FF
+        trigger = codeword(Opcode.RES0, 21, (raw >> 5) & 0x1F, raw & 0x1F, 0)
+        exp = instantiate(spec, 0, trigger, 0)
+        assert exp.instrs[0].imm == -25
+
+    def test_missing_trigger_field_raises(self):
+        spec = ReplacementSpec(instrs=(
+            ReplacementInstr(opcode=Opcode.BIS, ra=T_RT, rb=T_RT,
+                             rc=Lit(dise_reg(0))),
+        ))
+        with pytest.raises(ExpansionError):
+            instantiate(spec, 0, ldq(5, 0, 7), 0)  # loads have no T.RT
+
+    def test_unaligned_abs_target_raises(self):
+        spec = ReplacementSpec(instrs=(
+            ReplacementInstr(opcode=Opcode.BNE, ra=Lit(1),
+                             imm=AbsTarget(0x400002)),
+        ))
+        with pytest.raises(ExpansionError):
+            instantiate(spec, 0, ldq(5, 0, 7), 0x400000)
+
+
+class TestCachingAndStats:
+    def test_expansion_cache_reuses_objects(self):
+        engine = mfi_engine()
+        exp1, _, _ = engine.process(stq(16, 8, 18), 0x400020)
+        exp2, _, _ = engine.process(stq(16, 8, 18), 0x400020)
+        assert exp1 is exp2
+
+    def test_pc_dependent_specs_not_shared_across_pcs(self):
+        engine = mfi_engine()   # MFI uses AbsTarget: pc-dependent
+        exp1, _, _ = engine.process(stq(16, 8, 18), 0x400020)
+        exp2, _, _ = engine.process(stq(16, 8, 18), 0x400040)
+        assert exp1.instrs[2].imm != exp2.instrs[2].imm
+
+    def test_counters(self):
+        engine = mfi_engine()
+        engine.process(stq(16, 8, 18), 0)
+        engine.process(addq(1, 2, 3), 0)
+        assert engine.inspected == 2
+        assert engine.expansions == 1
+
+    def test_pt_rt_miss_flags(self):
+        engine = mfi_engine()
+        _, pt1, rt1 = engine.process(stq(16, 8, 18), 0)
+        _, pt2, rt2 = engine.process(stq(16, 8, 18), 0)
+        assert pt1 and rt1, "first touch misses both tables"
+        assert not pt2 and not rt2

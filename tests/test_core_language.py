@@ -1,0 +1,158 @@
+"""Unit tests for the production-language parser."""
+
+import pytest
+
+from repro.core.directives import AbsTarget, Lit, TrigField
+from repro.core.language import LanguageError, parse_productions
+from repro.core.replacement import ReplacementSpec, TRIGGER_INSN
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.registers import dise_reg
+
+from conftest import MFI_SOURCE
+
+
+class TestPatterns:
+    def test_opclass_condition(self):
+        pset = parse_productions("P1: T.OPCLASS == store -> R1\nR1:\n    T.INSN\n")
+        assert pset.productions[0].pattern.opclass is OpClass.STORE
+
+    def test_opcode_condition(self):
+        pset = parse_productions("P1: T.OP == ldq -> R1\nR1:\n    T.INSN\n")
+        assert pset.productions[0].pattern.opcode is Opcode.LDQ
+
+    def test_register_condition(self):
+        pset = parse_productions(
+            "P1: T.OPCLASS == load && T.RS == sp -> R1\nR1:\n    T.INSN\n"
+        )
+        pattern = pset.productions[0].pattern
+        assert pattern.regs == {"rs": 30}
+
+    def test_imm_conditions(self):
+        pset = parse_productions(
+            "P1: T.OPCLASS == cond_branch && T.IMM < 0 -> R1\n"
+            "P2: T.OPCLASS == cond_branch && T.IMM == 4 -> R1\n"
+            "R1:\n    T.INSN\n"
+        )
+        assert pset.productions[0].pattern.imm_sign == -1
+        assert pset.productions[1].pattern.imm == 4
+
+    def test_tagged_production(self):
+        pset = parse_productions(
+            "P1: T.OP == res0 -> T.TAG\n",
+            tagged_dictionary={0: ReplacementSpec(instrs=(TRIGGER_INSN,))},
+        )
+        assert pset.productions[0].tagged
+        assert 0 in pset.replacements
+
+    def test_unknown_condition_rejected(self):
+        with pytest.raises(LanguageError):
+            parse_productions("P1: T.FOO == 3 -> R1\nR1:\n    T.INSN\n")
+
+    def test_undefined_replacement_rejected(self):
+        with pytest.raises(LanguageError):
+            parse_productions("P1: T.OPCLASS == load -> R9\n")
+
+
+class TestReplacements:
+    def test_mfi_block(self):
+        pset = parse_productions(MFI_SOURCE, symbols={"__mfi_error": 0x400100})
+        spec = pset.replacement(pset.productions[0].seq_id)
+        assert len(spec) == 4
+        srl = spec.instrs[0]
+        assert srl.opcode is Opcode.SRL
+        assert srl.ra == TrigField("rs")
+        assert srl.imm == Lit(26)
+        assert srl.rc == Lit(dise_reg(1))
+        bne = spec.instrs[2]
+        assert bne.imm == AbsTarget(0x400100)
+        assert spec.instrs[3].is_trigger_copy
+
+    def test_both_patterns_share_replacement(self):
+        pset = parse_productions(MFI_SOURCE, symbols={"__mfi_error": 0})
+        ids = {p.seq_id for p in pset.productions}
+        assert len(ids) == 1
+
+    def test_local_labels_for_dise_branches(self):
+        pset = parse_productions("""
+P1: T.OPCLASS == store -> R1
+R1:
+    dbne  $dr1, .skip
+    fault 9
+.skip:
+    T.INSN
+""")
+        spec = pset.replacement(pset.productions[0].seq_id)
+        assert spec.instrs[0].imm == Lit(2)
+
+    def test_undefined_local_label(self):
+        with pytest.raises(LanguageError):
+            parse_productions("""
+P1: T.OPCLASS == store -> R1
+R1:
+    dbne $dr1, .ghost
+    T.INSN
+""")
+
+    def test_unresolved_symbol_rejected(self):
+        with pytest.raises(LanguageError):
+            parse_productions("""
+P1: T.OPCLASS == store -> R1
+R1:
+    bne $dr1, @nowhere
+    T.INSN
+""")
+
+    def test_codeword_params_in_replacements(self):
+        pset = parse_productions("""
+P1: T.OP == res0 -> R5
+R5:
+    lda  T.P1, T.P2(T.P1)
+    ldq  t4, 0(T.P1)
+""")
+        spec = pset.replacement(5)
+        lda = spec.instrs[0]
+        assert lda.ra == TrigField("p1")
+        assert lda.imm == TrigField("p2")
+
+    def test_instruction_outside_block_rejected(self):
+        with pytest.raises(LanguageError):
+            parse_productions("    srl T.RS, #26, $dr1\n")
+
+    def test_redefined_block_rejected(self):
+        with pytest.raises(LanguageError):
+            parse_productions("""
+P1: T.OPCLASS == load -> R1
+R1:
+    T.INSN
+R1:
+    T.INSN
+""")
+
+    def test_comments_ignored(self):
+        pset = parse_productions("""
+# a comment
+P1: T.OPCLASS == load -> R1   ; trailing comment
+R1:
+    T.INSN   # whole trigger
+""")
+        assert len(pset) == 1
+
+
+class TestPcScopedPatterns:
+    def test_pc_range_conditions(self):
+        pset = parse_productions("""
+P1: T.OPCLASS == store && T.PC >= 0x400100 && T.PC < 0x400200 -> R1
+R1:
+    T.INSN
+""")
+        pattern = pset.productions[0].pattern
+        assert pattern.pc_lo == 0x400100
+        assert pattern.pc_hi == 0x400200
+
+    def test_half_specified_range_rejected(self):
+        with pytest.raises(LanguageError):
+            parse_productions("""
+P1: T.OPCLASS == store && T.PC >= 0x400100 -> R1
+R1:
+    T.INSN
+""")

@@ -1,0 +1,114 @@
+"""Unit and property tests for pattern specifications."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.pattern import (
+    PatternSpec,
+    match_indirect_jumps,
+    match_loads,
+    match_opcode,
+    match_stores,
+)
+from repro.isa.build import Imm, addq, beq, bne, jsr, lda, ldq, ret, stq
+from repro.isa.opcodes import OpClass, Opcode
+
+
+class TestConstruction:
+    def test_requires_opcode_or_class(self):
+        with pytest.raises(ValueError):
+            PatternSpec()
+
+    def test_opcode_class_consistency(self):
+        with pytest.raises(ValueError):
+            PatternSpec(opcode=Opcode.LDQ, opclass=OpClass.STORE)
+        PatternSpec(opcode=Opcode.LDQ, opclass=OpClass.LOAD)  # consistent
+
+    def test_unknown_register_role(self):
+        with pytest.raises(ValueError):
+            PatternSpec(opclass=OpClass.LOAD, regs={"rx": 5})
+
+    def test_bad_imm_sign(self):
+        with pytest.raises(ValueError):
+            PatternSpec(opclass=OpClass.LOAD, imm_sign=2)
+
+    def test_hashable_and_equal(self):
+        a = PatternSpec(opclass=OpClass.LOAD, regs={"rs": 30})
+        b = PatternSpec(opclass=OpClass.LOAD, regs={"rs": 30})
+        assert a == b and hash(a) == hash(b)
+        assert a != PatternSpec(opclass=OpClass.LOAD)
+
+
+class TestMatching:
+    def test_class_match(self):
+        assert match_loads().matches(ldq(1, 0, 2))
+        assert not match_loads().matches(stq(1, 0, 2))
+        assert match_stores().matches(stq(1, 0, 2))
+        assert match_indirect_jumps().matches(ret(26))
+        assert match_indirect_jumps().matches(jsr(26, 27))
+
+    def test_lda_is_not_a_load(self):
+        assert not match_loads().matches(lda(1, 0, 2))
+
+    def test_opcode_match(self):
+        assert match_opcode(Opcode.LDQ).matches(ldq(1, 0, 2))
+        assert not match_opcode(Opcode.LDQ).matches(stq(1, 0, 2))
+
+    def test_register_constraint(self):
+        sp_loads = PatternSpec(opclass=OpClass.LOAD, regs={"rs": 30})
+        assert sp_loads.matches(ldq(1, 0, 30))
+        assert not sp_loads.matches(ldq(1, 0, 2))
+
+    def test_imm_constraint(self):
+        pattern = PatternSpec(opclass=OpClass.LOAD, imm=8)
+        assert pattern.matches(ldq(1, 8, 2))
+        assert not pattern.matches(ldq(1, 16, 2))
+
+    def test_negative_offset_branches(self):
+        # "conditional branches with negative offsets" (Section 2.1).
+        pattern = PatternSpec(opclass=OpClass.COND_BRANCH, imm_sign=-1)
+        assert pattern.matches(bne(1, -4))
+        assert not pattern.matches(bne(1, 4))
+        positive = PatternSpec(opclass=OpClass.COND_BRANCH, imm_sign=1)
+        assert positive.matches(bne(1, 0))
+
+    def test_could_match_opcode(self):
+        assert match_loads().could_match_opcode(Opcode.LDQ)
+        assert match_loads().could_match_opcode(Opcode.LDL)
+        assert not match_loads().could_match_opcode(Opcode.STQ)
+        assert match_opcode(Opcode.BNE).could_match_opcode(Opcode.BNE)
+        assert not match_opcode(Opcode.BNE).could_match_opcode(Opcode.BEQ)
+
+
+class TestSpecificity:
+    def test_opcode_more_specific_than_class(self):
+        assert (match_opcode(Opcode.LDQ).specificity
+                > match_loads().specificity)
+
+    def test_register_constraints_add_specificity(self):
+        general = match_loads()
+        with_reg = PatternSpec(opclass=OpClass.LOAD, regs={"rs": 30})
+        assert with_reg.specificity > general.specificity
+
+    def test_imm_more_specific_than_sign(self):
+        by_value = PatternSpec(opclass=OpClass.LOAD, imm=0)
+        by_sign = PatternSpec(opclass=OpClass.LOAD, imm_sign=1)
+        assert by_value.specificity > by_sign.specificity
+
+    @given(st.sampled_from([Opcode.LDQ, Opcode.LDL]),
+           st.integers(0, 31), st.integers(0, 31),
+           st.integers(-100, 100))
+    def test_matching_instr_always_matches_its_own_opcode_pattern(
+            self, op, ra, rb, imm):
+        from repro.isa.instruction import Instruction
+
+        instr = Instruction(op, ra=ra, rb=rb, imm=imm)
+        assert match_opcode(op).matches(instr)
+        assert match_loads().matches(instr)
+
+    def test_render(self):
+        pattern = PatternSpec(opclass=OpClass.STORE)
+        assert pattern.render() == "T.OPCLASS == store"
+        pattern = PatternSpec(opcode=Opcode.LDQ, regs={"rs": 30})
+        assert "T.OP == ldq" in pattern.render()
+        assert "T.RS == sp" in pattern.render()

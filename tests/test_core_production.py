@@ -1,0 +1,112 @@
+"""Unit tests for productions and production sets."""
+
+import pytest
+
+from repro.core.pattern import match_loads, match_opcode, match_stores
+from repro.core.production import Production, ProductionError, ProductionSet
+from repro.core.replacement import identity_replacement
+from repro.isa.build import codeword, ldq
+from repro.isa.opcodes import Opcode
+
+
+class TestProduction:
+    def test_direct_or_tagged_exclusive(self):
+        with pytest.raises(ProductionError):
+            Production(pattern=match_loads())  # neither
+        with pytest.raises(ProductionError):
+            Production(pattern=match_loads(), seq_id=1, tagged=True)  # both
+
+    def test_direct_selects_fixed_id(self):
+        production = Production(pattern=match_loads(), seq_id=7)
+        assert production.select_seq_id(ldq(1, 0, 2)) == 7
+
+    def test_tagged_selects_trigger_tag(self):
+        production = Production(pattern=match_opcode(Opcode.RES0), tagged=True)
+        trigger = codeword(Opcode.RES0, 1, 2, 3, 321)
+        assert production.select_seq_id(trigger) == 321
+
+    def test_render(self):
+        production = Production(pattern=match_loads(), seq_id=0, name="P1")
+        assert production.render() == "P1: T.OPCLASS == load -> R0"
+        tagged = Production(pattern=match_opcode(Opcode.RES0), tagged=True)
+        assert tagged.render().endswith("T.TAG")
+
+
+class TestProductionSet:
+    def test_define(self):
+        pset = ProductionSet("t")
+        seq_id = pset.define(match_loads(), identity_replacement())
+        assert pset.replacement(seq_id) is not None
+        assert len(pset) == 1
+
+    def test_duplicate_replacement_id(self):
+        pset = ProductionSet("t")
+        pset.add_replacement(0, identity_replacement())
+        with pytest.raises(ProductionError):
+            pset.add_replacement(0, identity_replacement())
+
+    def test_production_requires_defined_replacement(self):
+        pset = ProductionSet("t")
+        with pytest.raises(ProductionError):
+            pset.add_production(match_loads(), seq_id=9)
+
+    def test_unknown_replacement_lookup(self):
+        pset = ProductionSet("t")
+        with pytest.raises(ProductionError):
+            pset.replacement(5)
+
+    def test_scope_validation(self):
+        with pytest.raises(ProductionError):
+            ProductionSet("t", scope="root")
+        assert ProductionSet("t", scope="kernel").scope == "kernel"
+
+    def test_total_replacement_instrs(self):
+        pset = ProductionSet("t")
+        pset.define(match_loads(), identity_replacement())
+        pset.define(match_stores(), identity_replacement())
+        assert pset.total_replacement_instrs() == 2
+
+
+class TestMerging:
+    def test_merge_direct_sets_shifts_ids(self):
+        a = ProductionSet("a")
+        a.define(match_loads(), identity_replacement())
+        b = ProductionSet("b")
+        b.define(match_stores(), identity_replacement())
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+        assert len(merged.replacements) == 2
+        ids = {p.seq_id for p in merged.productions}
+        assert len(ids) == 2
+
+    def test_merge_keeps_kernel_scope(self):
+        a = ProductionSet("a", scope="kernel")
+        a.define(match_loads(), identity_replacement())
+        b = ProductionSet("b")
+        b.define(match_stores(), identity_replacement())
+        assert a.merged_with(b).scope == "kernel"
+
+    def test_merge_tagged_preserves_tag_ids(self):
+        a = ProductionSet("a")
+        a.define(match_loads(), identity_replacement())
+        b = ProductionSet("b")
+        b.add_replacement(100, identity_replacement())
+        b.add_production(match_opcode(Opcode.RES0), tagged=True)
+        merged = a.merged_with(b)
+        assert 100 in merged.replacements
+
+    def test_merge_tag_collision_detected(self):
+        a = ProductionSet("a")
+        a.add_replacement(0, identity_replacement())
+        a.add_production(match_opcode(Opcode.RES0), tagged=True)
+        b = ProductionSet("b")
+        b.add_replacement(0, identity_replacement())
+        b.add_production(match_opcode(Opcode.RES1), tagged=True)
+        with pytest.raises(ProductionError):
+            a.merged_with(b)
+
+    def test_render_lists_everything(self):
+        pset = ProductionSet("mfi", scope="kernel")
+        pset.define(match_loads(), identity_replacement(), name="P1")
+        text = pset.render()
+        assert "mfi" in text and "P1" in text and "T.INSN" in text

@@ -1,0 +1,95 @@
+"""Unit tests for replacement-sequence specifications."""
+
+import pytest
+
+from repro.core.directives import AbsTarget, Lit, T_IMM, T_RS
+from repro.core.replacement import (
+    TRIGGER_INSN,
+    ReplacementInstr,
+    ReplacementSpec,
+    identity_replacement,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import dise_reg
+
+
+def srl_rs():
+    return ReplacementInstr(
+        opcode=Opcode.SRL, ra=T_RS, imm=Lit(26), rc=Lit(dise_reg(1))
+    )
+
+
+class TestReplacementInstr:
+    def test_trigger_copy(self):
+        assert TRIGGER_INSN.is_trigger_copy
+        assert not srl_rs().is_trigger_copy
+
+    def test_trigger_copy_carries_no_directives(self):
+        with pytest.raises(ValueError):
+            ReplacementSpec(instrs=(
+                ReplacementInstr(opcode=None, ra=Lit(1)),
+            ))
+
+    def test_dise_branch_flag(self):
+        dbr = ReplacementInstr(opcode=Opcode.DBR, ra=Lit(31), imm=Lit(0))
+        assert dbr.is_dise_branch
+        assert not dbr.is_app_branch
+
+    def test_app_branch_flag(self):
+        bne = ReplacementInstr(opcode=Opcode.BNE, ra=Lit(1),
+                               imm=AbsTarget(0x400000))
+        assert bne.is_app_branch and not bne.is_dise_branch
+
+    def test_render(self):
+        assert srl_rs().render() == "srl T.RS, #26, $dr1"
+        assert TRIGGER_INSN.render() == "T.INSN"
+
+
+class TestReplacementSpec:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReplacementSpec(instrs=())
+
+    def test_dise_branch_target_bounds(self):
+        good = ReplacementInstr(opcode=Opcode.DBEQ, ra=Lit(1), imm=Lit(1))
+        ReplacementSpec(instrs=(good, TRIGGER_INSN))
+        bad = ReplacementInstr(opcode=Opcode.DBEQ, ra=Lit(1), imm=Lit(5))
+        with pytest.raises(ValueError):
+            ReplacementSpec(instrs=(bad, TRIGGER_INSN))
+
+    def test_dise_branch_target_must_be_literal(self):
+        bad = ReplacementInstr(opcode=Opcode.DBEQ, ra=Lit(1), imm=T_IMM)
+        with pytest.raises(ValueError):
+            ReplacementSpec(instrs=(bad, TRIGGER_INSN))
+
+    def test_operate_needs_dest(self):
+        bad = ReplacementInstr(opcode=Opcode.SRL, ra=T_RS, imm=Lit(26))
+        with pytest.raises(ValueError):
+            ReplacementSpec(instrs=(bad,))
+
+    def test_trigger_copy_offsets(self):
+        spec = ReplacementSpec(instrs=(srl_rs(), TRIGGER_INSN))
+        assert spec.trigger_copy_offsets == (1,)
+
+    def test_uses_dedicated_registers(self):
+        assert ReplacementSpec(instrs=(srl_rs(),)).uses_dedicated_registers
+        literal_only = ReplacementInstr(
+            opcode=Opcode.ADDQ, ra=Lit(1), rb=Lit(2), rc=Lit(3)
+        )
+        assert not ReplacementSpec(
+            instrs=(literal_only,)
+        ).uses_dedicated_registers
+
+    def test_len_and_iter(self):
+        spec = ReplacementSpec(instrs=(srl_rs(), TRIGGER_INSN))
+        assert len(spec) == 2
+        assert list(spec)[1] is TRIGGER_INSN
+
+    def test_identity(self):
+        spec = identity_replacement()
+        assert len(spec) == 1
+        assert spec.instrs[0].is_trigger_copy
+
+    def test_composed_on_fill_flag(self):
+        spec = ReplacementSpec(instrs=(TRIGGER_INSN,), composed_on_fill=True)
+        assert spec.composed_on_fill

@@ -1,0 +1,44 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.harness import Suite, build_report, table_to_markdown
+from repro.harness.report import PAPER_CLAIMS
+from repro.harness.tables import ResultTable
+
+
+class TestTableMarkdown:
+    def make(self):
+        table = ResultTable("t", ["a", "b"])
+        table.set("x", "a", 1.5)
+        table.set("x", "b", 3.0)
+        return table
+
+    def test_structure(self):
+        text = table_to_markdown(self.make())
+        lines = text.splitlines()
+        assert lines[0] == "| benchmark | a | b |"
+        assert lines[1].startswith("|---")
+        assert "| x | 1.500 | 3.000 |" in text
+        assert "**geomean**" in text
+
+    def test_missing_cells(self):
+        table = ResultTable("t", ["a", "b"])
+        table.set("x", "a", 1.0)
+        assert "| x | 1.000 | - |" in table_to_markdown(table)
+
+
+class TestReport:
+    def test_claims_cover_all_experiments(self):
+        from repro.harness import ALL_EXPERIMENTS
+
+        assert set(PAPER_CLAIMS) == set(ALL_EXPERIMENTS)
+
+    def test_report_contents(self):
+        suite = Suite(benchmarks=("mcf",), scale=0.1)
+        report = build_report(suite, experiments=("fig7_ratio",))
+        assert "# DISE reproduction" in report
+        assert "Simulated machine" in report
+        assert "Figure 7 (top)" in report
+        assert "*Paper:*" in report
+        assert "| mcf |" in report

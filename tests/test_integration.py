@@ -1,0 +1,160 @@
+"""End-to-end integration scenarios crossing every subsystem."""
+
+import pytest
+
+from repro.acf.compression import DISE_OPTIONS, compress_image
+from repro.acf.mfi import MFI_FAULT_CODE, attach_mfi, rewrite_mfi
+from repro.acf.monitor import attach_monitor
+from repro.acf.tracing import attach_sat, read_trace_buffer
+from repro.core.controller import DiseController
+from repro.core.config import DiseConfig
+from repro.isa.opcodes import Opcode
+from repro.sim.config import MachineConfig
+from repro.sim.cycle import simulate_trace
+from repro.sim.functional import Machine, run_program
+from repro.workloads import generate_by_name
+
+from conftest import build_loop_program
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return generate_by_name("twolf", scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def bench_plain(bench):
+    return run_program(bench, record_trace=False)
+
+
+class TestFullBenchmarkPipelines:
+    def test_mfi_then_timing(self, bench, bench_plain):
+        """Functional MFI run feeds the timing model; DISE3 beats the
+        rewriting baseline end to end."""
+        base = simulate_trace(run_program(bench), MachineConfig(),
+                              warm_start=True)
+        d3 = simulate_trace(attach_mfi(bench, "dise3").run(),
+                            MachineConfig(), warm_start=True)
+        rw = simulate_trace(rewrite_mfi(bench).run(),
+                            MachineConfig(), warm_start=True)
+        assert base.cycles < d3.cycles < rw.cycles
+
+    def test_compression_then_timing(self, bench, bench_plain):
+        result = compress_image(bench, DISE_OPTIONS)
+        trace = result.installation().run()
+        timing = simulate_trace(trace, MachineConfig(), warm_start=True)
+        assert timing.expansions == trace.expansions > 0
+
+    def test_trace_reuse_across_configs(self, bench):
+        """One functional trace replayed under different machines gives
+        deterministic, distinct results — the harness's core factoring."""
+        trace = run_program(bench)
+        small = simulate_trace(trace, MachineConfig().with_il1_size(8 * 1024),
+                               warm_start=True)
+        large = simulate_trace(trace, MachineConfig().with_il1_size(None),
+                               warm_start=True)
+        again = simulate_trace(trace, MachineConfig().with_il1_size(8 * 1024),
+                               warm_start=True)
+        assert small.cycles == again.cycles
+        assert large.cycles <= small.cycles
+
+
+class TestMultipleAcfsOneController:
+    def test_tracing_and_monitor_together(self):
+        """Two transparent ACFs active simultaneously in one controller."""
+        image = build_loop_program(iterations=4)
+        plain = run_program(image)
+
+        sat = attach_sat(image)
+        monitor_sets = attach_monitor(image, budgeted=[Opcode.STQ],
+                                      budget=10 ** 6)
+        controller = DiseController()
+        for pset in sat.production_sets + monitor_sets.production_sets:
+            controller.install(pset)
+        machine = Machine(image, controller=controller)
+        sat.init_machine(machine)
+        monitor_sets.init_machine(machine)
+        result = machine.run()
+
+        assert result.outputs == plain.outputs
+        traced = read_trace_buffer(result, sat.buffer_base)
+        # The budget-counting production wins on stores only if more
+        # specific; both are opclass/opcode level — the opcode pattern
+        # (STQ) is more specific than SAT's store opclass pattern, so
+        # stores are counted, not traced.
+        assert result.fault_code is None
+
+    def test_context_switch_between_processes(self):
+        """User-scope productions follow their process across switches."""
+        image = build_loop_program(iterations=3)
+        sat = attach_sat(image)
+        controller = DiseController()
+        controller.context_switch(1)
+        controller.install(sat.production_sets[0], owner_pid=1)
+
+        machine = Machine(image, controller=controller)
+        sat.init_machine(machine)
+        # Run a few instructions as process 1, switch away and back.
+        for _ in range(5):
+            machine.step()
+        saved = controller.save_state.__self__  # controller itself
+        controller.context_switch(2)
+        assert controller.engine.match(image.instructions[0]) is None or \
+            controller.active_names() == ()
+        controller.context_switch(1)
+        result = machine.run()
+        assert result.halted
+
+
+class TestDiseConfigEndToEnd:
+    def test_tiny_rt_still_correct_just_slower(self, bench, bench_plain):
+        """Functional correctness is RT-size independent; only timing
+        changes (virtualization, Section 2.3)."""
+        installation = attach_mfi(bench, "dise3")
+        tiny = installation.run(
+            dise_config=DiseConfig(rt_entries=8, rt_assoc=1)
+        )
+        assert tiny.outputs == bench_plain.outputs
+
+        trace = installation.run()
+        fast = simulate_trace(
+            trace,
+            MachineConfig(dise=DiseConfig(rt_perfect=True)),
+            warm_start=True,
+        )
+        slow = simulate_trace(
+            trace,
+            MachineConfig(dise=DiseConfig(rt_entries=8, rt_assoc=1)),
+            warm_start=True,
+        )
+        assert slow.cycles > fast.cycles
+        assert slow.rt_miss_stalls > 0
+
+    def test_mfi_on_compressed_image_via_nesting_catches_faults(self):
+        """The composed dise+dise pipeline still enforces MFI on a program
+        whose wild store got compressed into a dictionary entry."""
+        from repro.acf.composition import compose_dise_dise
+        from repro.isa.build import Imm, bis, halt, ldq, out, sll, stq
+        from repro.isa.registers import parse_reg
+        from repro.program import ProgramBuilder
+
+        A0, A1, T0 = (parse_reg(r) for r in ("a0", "a1", "t0"))
+        ZERO = parse_reg("zero")
+        b = ProgramBuilder()
+        b.alloc_data("buf", 8, init=[1] * 8)
+        b.label("main")
+        b.load_address(A1, "buf")
+        for off in (0, 8, 16, 24, 0, 8, 16, 24):
+            b.emit(ldq(A0, off, A1))
+            b.emit(stq(A0, off, A1))
+        b.emit(bis(ZERO, Imm(9), T0))
+        b.emit(sll(T0, Imm(26), T0))
+        b.emit(stq(A0, 16, T0))
+        b.emit(out(A0))
+        b.emit(halt())
+        image = b.build()
+
+        result, installation = compose_dise_dise(image)
+        run = installation.run()
+        assert run.fault_code == MFI_FAULT_CODE
+        assert run.final_memory.read((9 << 26) + 16) == 0

@@ -1,0 +1,134 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.isa.assembler import (
+    AssemblyError,
+    Label,
+    assemble,
+    parse_instruction,
+    parse_line,
+)
+from repro.isa.build import (
+    Imm,
+    addq,
+    beq,
+    bne,
+    br,
+    bsr,
+    codeword,
+    dbne,
+    fault,
+    halt,
+    jsr,
+    ldq,
+    nop,
+    out,
+    ret,
+    stq,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import ZERO_REG, parse_reg
+
+
+class TestInstructionParsing:
+    @pytest.mark.parametrize("text,expected", [
+        ("ldq a0, 8(sp)", ldq(16, 8, 30)),
+        ("ldq a0, (sp)", ldq(16, 0, 30)),
+        ("stq t0, -16(a1)", stq(1, -16, 17)),
+        ("addq t0, t1, t2", addq(1, 2, 3)),
+        ("addq t0, #5, t2", addq(1, Imm(5), 3)),
+        ("addq t0, 5, t2", addq(1, Imm(5), 3)),
+        ("bne t0, loop", bne(1, "loop")),
+        ("bne t0, -4", bne(1, -4)),
+        ("beq zero, 0", beq(ZERO_REG, 0)),
+        ("br zero, done", br("done")),
+        ("br done", br("done")),
+        ("bsr ra, callee", bsr(26, "callee")),
+        ("jsr ra, (pv)", jsr(26, 27)),
+        ("ret zero, (ra)", ret(26)),
+        ("ret (ra)", ret(26)),
+        ("nop", nop()),
+        ("halt", halt()),
+        ("out a0", out(16)),
+        ("fault 7", fault(7)),
+        ("dbne $dr1, 3", None),  # checked below: dise reg operand
+    ])
+    def test_parse(self, text, expected):
+        parsed = parse_instruction(text)
+        if expected is not None:
+            assert parsed == expected
+
+    def test_parse_dise_branch(self):
+        parsed = parse_instruction("dbne $dr1, 3")
+        assert parsed.opcode is Opcode.DBNE
+        assert parsed.ra == parse_reg("$dr1")
+        assert parsed.imm == 3
+
+    def test_parse_codeword_positional(self):
+        parsed = parse_instruction("res0 a0, a1, a2, 42")
+        assert parsed == codeword(Opcode.RES0, 16, 17, 18, 42)
+
+    def test_parse_codeword_keyvalue(self):
+        parsed = parse_instruction("res1 p1=t0, p2=t1, p3=t2, tag=100")
+        assert parsed == codeword(Opcode.RES1, 1, 2, 3, 100)
+
+    @pytest.mark.parametrize("bad", [
+        "ldq a0",
+        "ldq a0, sp",
+        "addq a0, a1",
+        "jsr ra, pv",
+        "nop 3",
+        "halt now",
+        "out",
+        "frob a0, a1",
+    ])
+    def test_parse_errors(self, bad):
+        with pytest.raises((AssemblyError, ValueError)):
+            parse_instruction(bad)
+
+
+class TestLinesAndComments:
+    def test_label_alone(self):
+        assert parse_line("main:") == [Label("main")]
+
+    def test_label_with_instruction(self):
+        items = parse_line("loop: subq t0, #1, t0")
+        assert items[0] == Label("loop")
+        assert items[1].opcode is Opcode.SUBQ
+
+    def test_multiple_labels(self):
+        items = parse_line("a: b: nop")
+        assert items[:2] == [Label("a"), Label("b")]
+
+    def test_comment_stripped(self):
+        assert parse_line("nop  # does nothing") == [nop()]
+        assert parse_line("; pure comment") == []
+
+    def test_hash_immediate_not_comment(self):
+        items = parse_line("addq t0, #12, t0")
+        assert items[0].imm == 12
+
+    def test_blank_line(self):
+        assert parse_line("   ") == []
+
+
+class TestAssemble:
+    def test_program(self):
+        items = assemble("""
+        main:
+            bis zero, #3, t0
+        loop:
+            subq t0, #1, t0
+            bne t0, loop
+            halt
+        """)
+        labels = [i for i in items if isinstance(i, Label)]
+        instrs = [i for i in items if not isinstance(i, Label)]
+        assert [l.name for l in labels] == ["main", "loop"]
+        assert len(instrs) == 4
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as err:
+            assemble("nop\nbadop x, y\n")
+        assert "line 2" in str(err.value)

@@ -1,0 +1,52 @@
+"""Unit and property tests for the disassembler."""
+
+from hypothesis import given
+
+from repro.isa.assembler import parse_instruction
+from repro.isa.build import beq, bne, br, halt, ldq, nop
+from repro.isa.disassembler import (
+    branch_target_addr,
+    disassemble,
+    disassemble_listing,
+)
+from repro.isa.encoding import canonicalize
+from test_isa_encoding import any_instr
+
+
+class TestAsmDisasmRoundTrip:
+    @given(any_instr)
+    def test_round_trip(self, instr):
+        text = disassemble(instr)
+        assert parse_instruction(text) == canonicalize(instr)
+
+
+class TestSymbolisation:
+    def test_branch_target_addr(self):
+        # beq at 0x1000 with displacement 3 -> 0x1000 + 4 + 12.
+        assert branch_target_addr(beq(1, 3), 0x1000) == 0x1010
+        assert branch_target_addr(beq(1, -1), 0x1000) == 0x1000
+
+    def test_non_branches_have_no_target(self):
+        assert branch_target_addr(ldq(1, 0, 2), 0x1000) is None
+        assert branch_target_addr(nop(), 0x1000) is None
+
+    def test_symbolised_disassembly(self):
+        symbols = {0x1010: "loop"}
+        text = disassemble(beq(1, 3), pc=0x1000, symbols=symbols)
+        assert text == "beq t0, loop"
+
+    def test_unknown_target_stays_numeric(self):
+        text = disassemble(beq(1, 3), pc=0x1000, symbols={0x9999: "x"})
+        assert text == "beq t0, 3"
+
+    def test_listing(self):
+        listing = disassemble_listing(
+            [nop(), bne(1, -2), halt()],
+            base=0x400000,
+            symbols={0x400000: "main"},
+        )
+        assert "main:" in listing
+        assert "0x00400000" in listing
+        assert "halt" in listing
+        # The backward branch targets main and is symbolised.
+        assert "bne t0, main" in listing

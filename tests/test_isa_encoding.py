@@ -1,0 +1,179 @@
+"""Unit and property tests for binary encoding/decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.build import (
+    Imm,
+    addq,
+    beq,
+    bis,
+    codeword,
+    fault,
+    halt,
+    jsr,
+    ldq,
+    nop,
+    out,
+    ret,
+    stq,
+)
+from repro.isa.encoding import (
+    BRANCH_DISP_MAX,
+    BRANCH_DISP_MIN,
+    EncodingError,
+    MEM_DISP_MAX,
+    MEM_DISP_MIN,
+    OPERATE_LIT_MAX,
+    canonicalize,
+    decode,
+    decode_stream,
+    encode,
+    encode_stream,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Opcode
+from repro.isa.registers import dise_reg
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies for encodable instructions
+# ----------------------------------------------------------------------
+user_reg = st.integers(min_value=0, max_value=31)
+
+mem_instr = st.builds(
+    lambda op, ra, rb, disp: Instruction(op, ra=ra, rb=rb, imm=disp),
+    st.sampled_from([Opcode.LDA, Opcode.LDAH, Opcode.LDL, Opcode.LDQ,
+                     Opcode.STL, Opcode.STQ]),
+    user_reg, user_reg,
+    st.integers(min_value=MEM_DISP_MIN, max_value=MEM_DISP_MAX),
+)
+
+operate_reg_instr = st.builds(
+    lambda op, ra, rb, rc: Instruction(op, ra=ra, rb=rb, rc=rc),
+    st.sampled_from([Opcode.ADDQ, Opcode.SUBQ, Opcode.MULQ, Opcode.AND,
+                     Opcode.BIS, Opcode.XOR, Opcode.SLL, Opcode.SRL,
+                     Opcode.SRA, Opcode.CMPEQ, Opcode.CMPLT, Opcode.CMPLE,
+                     Opcode.CMPULT, Opcode.CMOVEQ, Opcode.CMOVNE]),
+    user_reg, user_reg, user_reg,
+)
+
+operate_imm_instr = st.builds(
+    lambda op, ra, lit, rc: Instruction(op, ra=ra, rb=None, rc=rc, imm=lit),
+    st.sampled_from([Opcode.ADDQ, Opcode.SUBQ, Opcode.AND, Opcode.BIS,
+                     Opcode.SLL, Opcode.SRL]),
+    user_reg,
+    st.integers(min_value=0, max_value=OPERATE_LIT_MAX),
+    user_reg,
+)
+
+branch_instr = st.builds(
+    lambda op, ra, disp: Instruction(op, ra=ra, imm=disp),
+    st.sampled_from([Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BLE,
+                     Opcode.BGT, Opcode.BGE, Opcode.BR, Opcode.BSR,
+                     Opcode.DBEQ, Opcode.DBNE, Opcode.DBR]),
+    user_reg,
+    st.integers(min_value=BRANCH_DISP_MIN, max_value=BRANCH_DISP_MAX),
+)
+
+jump_instr = st.builds(
+    lambda op, ra, rb: Instruction(op, ra=ra, rb=rb),
+    st.sampled_from([Opcode.JMP, Opcode.JSR, Opcode.RET]),
+    user_reg, user_reg,
+)
+
+codeword_instr = st.builds(
+    lambda op, p1, p2, p3, tag: Instruction(op, ra=p1, rb=p2, rc=p3, imm=tag),
+    st.sampled_from([Opcode.RES0, Opcode.RES1, Opcode.RES2, Opcode.RES3]),
+    user_reg, user_reg, user_reg,
+    st.integers(min_value=0, max_value=2047),
+)
+
+nullary_instr = st.sampled_from([Instruction(Opcode.NOP),
+                                 Instruction(Opcode.HALT)])
+
+any_instr = st.one_of(mem_instr, operate_reg_instr, operate_imm_instr,
+                      branch_instr, jump_instr, codeword_instr,
+                      nullary_instr)
+
+
+class TestRoundTripProperty:
+    @given(any_instr)
+    def test_decode_encode_round_trip(self, instr):
+        assert decode(encode(instr)) == canonicalize(instr)
+
+    @given(st.lists(any_instr, max_size=32))
+    def test_stream_round_trip(self, instrs):
+        data = encode_stream(instrs)
+        assert len(data) == 4 * len(instrs)
+        assert decode_stream(data) == [canonicalize(i) for i in instrs]
+
+    @given(any_instr)
+    def test_encoding_is_32_bits(self, instr):
+        assert 0 <= encode(instr) < (1 << 32)
+
+    @given(any_instr, any_instr)
+    def test_encoding_injective_modulo_canonical(self, a, b):
+        if canonicalize(a) != canonicalize(b):
+            assert encode(a) != encode(b)
+
+
+class TestSpecificEncodings:
+    def test_opcode_in_top_bits(self):
+        assert encode(ldq(1, 0, 2)) >> 26 == Opcode.LDQ.code
+
+    def test_negative_displacement(self):
+        instr = ldq(1, -8, 2)
+        assert decode(encode(instr)) == instr
+
+    def test_negative_branch_displacement(self):
+        instr = beq(1, -100)
+        assert decode(encode(instr)) == instr
+
+    def test_operate_literal_flag(self):
+        word = encode(addq(1, Imm(5), 2))
+        assert word & (1 << 12), "imm flag must be set"
+        word = encode(addq(1, 3, 2))
+        assert not word & (1 << 12)
+
+
+class TestEncodingErrors:
+    def test_unresolved_target_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(beq(1, "label"))
+
+    def test_dise_register_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(addq(dise_reg(1), 2, 3))
+
+    def test_mem_disp_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(ldq(1, MEM_DISP_MAX + 1, 2))
+
+    def test_operate_literal_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(addq(1, Imm(256), 2))
+        with pytest.raises(EncodingError):
+            encode(addq(1, Imm(-1), 2))
+
+    def test_branch_disp_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(beq(1, BRANCH_DISP_MAX + 1))
+
+    def test_codeword_tag_out_of_range(self):
+        cw = codeword(Opcode.RES0, 1, 2, 3, 0).with_fields(imm=4096)
+        with pytest.raises(EncodingError):
+            encode(cw)
+
+    def test_decode_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            decode(1 << 32)
+
+    def test_decode_rejects_unknown_opcode(self):
+        unused = next(c for c in range(64)
+                      if c not in {op.code for op in Opcode})
+        with pytest.raises(ValueError):
+            decode(unused << 26)
+
+    def test_stream_rejects_ragged_length(self):
+        with pytest.raises(ValueError):
+            decode_stream(b"\x00" * 6)

@@ -1,0 +1,155 @@
+"""Unit tests for the Instruction value type: trigger roles and dataflow."""
+
+import pytest
+
+from repro.isa.build import (
+    Imm,
+    addq,
+    beq,
+    bis,
+    bne,
+    br,
+    bsr,
+    cmoveq,
+    codeword,
+    fault,
+    halt,
+    jmp,
+    jsr,
+    lda,
+    ldq,
+    mulq,
+    nop,
+    out,
+    ret,
+    stq,
+)
+from repro.isa.instruction import Instruction, NOP
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import ZERO_REG
+
+
+class TestTriggerRoles:
+    """T.RS / T.RT / T.RD / T.IMM per Section 2.1."""
+
+    def test_load_roles(self):
+        instr = ldq(5, 16, 7)      # ldq r5, 16(r7)
+        assert instr.rs == 7, "T.RS of a memory op is the address register"
+        assert instr.rd == 5
+        assert instr.rt is None
+        assert instr.imm == 16
+
+    def test_store_roles(self):
+        instr = stq(5, 16, 7)
+        assert instr.rs == 7
+        assert instr.rt == 5, "T.RT of a store is the data register"
+        assert instr.rd is None
+
+    def test_operate_roles(self):
+        instr = addq(1, 2, 3)
+        assert (instr.rs, instr.rt, instr.rd) == (1, 2, 3)
+
+    def test_operate_immediate_roles(self):
+        instr = addq(1, Imm(7), 3)
+        assert instr.rs == 1 and instr.rt is None and instr.rd == 3
+        assert instr.imm == 7
+
+    def test_branch_roles(self):
+        instr = bne(9, 4)
+        assert instr.rs == 9
+        assert instr.rd is None
+
+    def test_jump_roles(self):
+        instr = jsr(26, 27)
+        assert instr.rs == 27, "T.RS of an indirect jump is the target reg"
+        assert instr.rd == 26
+
+    def test_codeword_params(self):
+        cw = codeword(Opcode.RES0, 1, 2, 3, 77)
+        assert (cw.ra, cw.rb, cw.rc) == (1, 2, 3)
+        assert cw.tag == 77
+        assert cw.is_codeword
+
+    def test_codeword_tag_range(self):
+        with pytest.raises(ValueError):
+            codeword(Opcode.RES0, 1, 2, 3, 2048)
+        with pytest.raises(ValueError):
+            codeword(Opcode.ADDQ, 1, 2, 3, 0)
+
+    def test_tag_only_on_codewords(self):
+        assert addq(1, 2, 3).tag is None
+
+
+class TestDataflow:
+    def test_load_dataflow(self):
+        instr = ldq(5, 0, 7)
+        assert instr.source_regs() == (7,)
+        assert instr.dest_reg() == 5
+
+    def test_store_dataflow(self):
+        instr = stq(5, 0, 7)
+        assert set(instr.source_regs()) == {5, 7}
+        assert instr.dest_reg() is None
+
+    def test_lda_writes(self):
+        assert lda(5, 8, 7).dest_reg() == 5
+
+    def test_operate_dataflow(self):
+        assert addq(1, 2, 3).source_regs() == (1, 2)
+        assert addq(1, 2, 3).dest_reg() == 3
+
+    def test_cmov_reads_old_dest(self):
+        instr = cmoveq(1, 2, 3)
+        assert 3 in instr.source_regs(), "conditional move reads its dest"
+
+    def test_zero_register_excluded(self):
+        instr = addq(ZERO_REG, ZERO_REG, ZERO_REG)
+        assert instr.source_regs() == ()
+        assert instr.dest_reg() is None
+
+    def test_branch_dataflow(self):
+        assert bne(9, 4).source_regs() == (9,)
+        assert bne(9, 4).dest_reg() is None
+
+    def test_call_writes_link(self):
+        assert bsr(26, 4).dest_reg() == 26
+        assert jsr(26, 27).dest_reg() == 26
+        assert jsr(26, 27).source_regs() == (27,)
+
+    def test_ret_dataflow(self):
+        instr = ret(26)
+        assert instr.source_regs() == (26,)
+
+    def test_nullary_dataflow(self):
+        assert nop().source_regs() == ()
+        assert halt().dest_reg() is None
+
+
+class TestRendering:
+    @pytest.mark.parametrize("instr,text", [
+        (ldq(16, 8, 30), "ldq a0, 8(sp)"),
+        (addq(1, Imm(5), 2), "addq t0, #5, t1"),
+        (addq(1, 2, 3), "addq t0, t1, t2"),
+        (bne(1, "loop"), "bne t0, loop"),
+        (jsr(26, 27), "jsr ra, (pv)"),
+        (halt(), "halt"),
+        (out(16), "out a0"),
+        (fault(7), "fault 7"),
+    ])
+    def test_str(self, instr, text):
+        assert str(instr) == text
+
+    def test_immutability(self):
+        instr = addq(1, 2, 3)
+        with pytest.raises(Exception):
+            instr.ra = 9
+
+    def test_with_fields(self):
+        instr = addq(1, 2, 3).with_fields(rc=5)
+        assert instr.rc == 5 and instr.ra == 1
+
+    def test_hashable(self):
+        assert len({addq(1, 2, 3), addq(1, 2, 3), addq(1, 2, 4)}) == 2
+
+    def test_nop_constant(self):
+        assert NOP.opcode is Opcode.NOP

@@ -1,0 +1,90 @@
+"""Unit tests for opcode definitions and classification."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    Format,
+    OPCODE_BY_CODE,
+    OPCODE_BY_MNEMONIC,
+    OpClass,
+    Opcode,
+    RESERVED_OPCODES,
+    UNSAFE_OPCLASSES,
+    parse_opcode,
+)
+
+
+class TestEncodingSpace:
+    def test_codes_unique(self):
+        codes = [op.code for op in Opcode]
+        assert len(codes) == len(set(codes))
+
+    def test_codes_fit_six_bits(self):
+        for op in Opcode:
+            assert 0 <= op.code < 64
+
+    def test_lookup_by_code(self):
+        for op in Opcode:
+            assert OPCODE_BY_CODE[op.code] is op
+
+
+class TestClassification:
+    def test_loads(self):
+        assert Opcode.LDQ.is_load and Opcode.LDL.is_load
+        assert not Opcode.LDA.is_load, "lda computes an address, no access"
+
+    def test_stores(self):
+        assert Opcode.STQ.is_store and Opcode.STL.is_store
+
+    def test_memory_classes(self):
+        assert Opcode.LDQ.is_memory and Opcode.STQ.is_memory
+        assert not Opcode.ADDQ.is_memory
+
+    def test_branch_classification(self):
+        assert Opcode.BEQ.is_cond_branch
+        assert Opcode.BR.is_branch and not Opcode.BR.is_cond_branch
+        assert Opcode.JSR.is_branch
+        assert Opcode.JSR.opclass is OpClass.INDIRECT_JUMP
+
+    def test_dise_branches_not_app_branches(self):
+        for op in (Opcode.DBEQ, Opcode.DBNE, Opcode.DBR):
+            assert op.is_dise_branch
+            assert not op.is_branch, "DISE branches move the DISEPC only"
+
+    def test_reserved_opcodes(self):
+        assert len(RESERVED_OPCODES) == 4
+        for op in RESERVED_OPCODES:
+            assert op.is_reserved
+            assert op.format is Format.CODEWORD
+
+    def test_unsafe_opclasses_match_paper(self):
+        # Section 3.1: loads, stores, indirect jumps.
+        assert set(UNSAFE_OPCLASSES) == {
+            OpClass.LOAD, OpClass.STORE, OpClass.INDIRECT_JUMP
+        }
+
+    def test_latencies(self):
+        assert Opcode.MULQ.latency > Opcode.ADDQ.latency
+        assert Opcode.LDQ.latency >= 2
+
+
+class TestMnemonics:
+    def test_parse_round_trip(self):
+        for op in Opcode:
+            assert parse_opcode(op.mnemonic) is op
+
+    def test_aliases(self):
+        assert parse_opcode("or") is Opcode.BIS
+        assert parse_opcode("mov") is Opcode.BIS
+
+    def test_case_insensitive(self):
+        assert parse_opcode("LDQ") is Opcode.LDQ
+        assert parse_opcode(" AddQ ") is Opcode.ADDQ
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ValueError):
+            parse_opcode("frobnicate")
+
+    def test_mnemonic_table_complete(self):
+        for op in Opcode:
+            assert OPCODE_BY_MNEMONIC[op.mnemonic] is op

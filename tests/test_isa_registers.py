@@ -1,0 +1,93 @@
+"""Unit tests for the register model."""
+
+import pytest
+
+from repro.isa.registers import (
+    DISE_REG_BASE,
+    NUM_DISE_REGS,
+    NUM_USER_REGS,
+    ZERO_REG,
+    dise_reg,
+    is_dise_reg,
+    is_user_reg,
+    is_zero_reg,
+    parse_reg,
+    reg_name,
+)
+
+
+class TestRegisterSpaces:
+    def test_user_register_range(self):
+        assert is_user_reg(0)
+        assert is_user_reg(NUM_USER_REGS - 1)
+        assert not is_user_reg(NUM_USER_REGS)
+        assert not is_user_reg(-1)
+
+    def test_dise_register_range(self):
+        assert is_dise_reg(DISE_REG_BASE)
+        assert is_dise_reg(DISE_REG_BASE + NUM_DISE_REGS - 1)
+        assert not is_dise_reg(DISE_REG_BASE + NUM_DISE_REGS)
+        assert not is_dise_reg(NUM_USER_REGS - 1)
+
+    def test_spaces_disjoint(self):
+        for reg in range(DISE_REG_BASE + NUM_DISE_REGS):
+            assert is_user_reg(reg) != is_dise_reg(reg)
+
+    def test_zero_register(self):
+        assert is_zero_reg(ZERO_REG)
+        assert ZERO_REG == 31
+
+    def test_dise_reg_constructor(self):
+        assert dise_reg(0) == DISE_REG_BASE
+        assert dise_reg(7) == DISE_REG_BASE + 7
+
+    def test_dise_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            dise_reg(8)
+        with pytest.raises(ValueError):
+            dise_reg(-1)
+
+
+class TestParsing:
+    @pytest.mark.parametrize("text,expected", [
+        ("sp", 30), ("$sp", 30), ("ra", 26), ("zero", 31), ("v0", 0),
+        ("a0", 16), ("t11", 25), ("s6", 15), ("gp", 29), ("at", 28),
+        ("r0", 0), ("r31", 31), ("$7", 7), ("pv", 27), ("t12", 27),
+        ("fp", 15),
+    ])
+    def test_parse_aliases(self, text, expected):
+        assert parse_reg(text) == expected
+
+    def test_parse_dise_registers(self):
+        for index in range(NUM_DISE_REGS):
+            assert parse_reg(f"$dr{index}") == dise_reg(index)
+            assert parse_reg(f"dr{index}") == dise_reg(index)
+
+    def test_parse_case_insensitive(self):
+        assert parse_reg("SP") == 30
+        assert parse_reg("$DR3") == dise_reg(3)
+
+    @pytest.mark.parametrize("bad", ["", "r32", "x5", "$dr8", "reg", "-1"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_reg(bad)
+
+
+class TestRendering:
+    def test_round_trip_all_registers(self):
+        for reg in list(range(NUM_USER_REGS)) + [
+            dise_reg(i) for i in range(NUM_DISE_REGS)
+        ]:
+            assert parse_reg(reg_name(reg)) == reg
+
+    def test_alias_preference(self):
+        assert reg_name(30) == "sp"
+        assert reg_name(31) == "zero"
+        assert reg_name(dise_reg(2)) == "$dr2"
+
+    def test_numeric_rendering(self):
+        assert reg_name(5, prefer_alias=False) == "r5"
+
+    def test_render_rejects_bad_id(self):
+        with pytest.raises(ValueError):
+            reg_name(99)

@@ -1,0 +1,100 @@
+"""Unit tests for basic-block discovery."""
+
+from repro.isa.build import Imm, addq, bne, br, bsr, halt, jsr, nop, ret
+from repro.program.blocks import find_basic_blocks, find_leaders
+from repro.program.builder import ProgramBuilder
+
+
+def build(emit):
+    b = ProgramBuilder()
+    emit(b)
+    return b.build()
+
+
+class TestLeaders:
+    def test_entry_is_leader(self):
+        image = build(lambda b: b.emit_many([nop(), halt()]))
+        assert 0 in find_leaders(image)
+
+    def test_branch_target_and_fallthrough_are_leaders(self):
+        def emit(b):
+            b.emit(nop())            # 0
+            b.emit(bne(1, "skip"))   # 1
+            b.emit(nop())            # 2  (fall-through leader)
+            b.label("skip")          # 3  (target leader)
+            b.emit(halt())
+        image = build(emit)
+        leaders = find_leaders(image)
+        assert {0, 2, 3} <= set(leaders)
+
+    def test_symbols_are_leaders(self):
+        def emit(b):
+            b.emit(nop())
+            b.label("func")
+            b.emit(ret(26))
+        image = build(emit)
+        assert image.symbols["func"] in find_leaders(image)
+
+    def test_halt_ends_block(self):
+        def emit(b):
+            b.emit(halt())
+            b.emit(nop())
+        image = build(emit)
+        assert 1 in find_leaders(image)
+
+
+class TestBlocks:
+    def test_straightline_single_block(self):
+        image = build(lambda b: b.emit_many([nop(), addq(1, Imm(1), 1), halt()]))
+        blocks = find_basic_blocks(image)
+        assert len(blocks) == 1
+        assert (blocks[0].start, blocks[0].end) == (0, 3)
+        assert len(blocks[0]) == 3
+
+    def test_loop_blocks_and_successors(self):
+        def emit(b):
+            b.label("main")
+            b.emit(nop())            # block 0
+            b.label("loop")
+            b.emit(addq(1, Imm(1), 1))
+            b.emit(bne(1, "loop"))   # block 1 -> {loop, next}
+            b.emit(halt())           # block 2
+        image = build(emit)
+        blocks = find_basic_blocks(image)
+        assert len(blocks) == 3
+        loop_block = blocks[1]
+        assert set(loop_block.successor_ids) == {1, 2}
+
+    def test_unconditional_branch_single_successor(self):
+        def emit(b):
+            b.emit(br("end"))
+            b.emit(nop())
+            b.label("end")
+            b.emit(halt())
+        image = build(emit)
+        blocks = find_basic_blocks(image)
+        assert blocks[0].successor_ids == [2]
+
+    def test_indirect_jump_unknown_successors(self):
+        def emit(b):
+            b.emit(ret(26))
+            b.emit(halt())
+        image = build(emit)
+        blocks = find_basic_blocks(image)
+        assert blocks[0].successor_ids == []
+
+    def test_blocks_partition_image(self):
+        def emit(b):
+            b.label("main")
+            b.emit(bsr(26, "f"))
+            b.emit(bne(1, "main"))
+            b.emit(halt())
+            b.label("f")
+            b.emit(nop())
+            b.emit(ret(26))
+        image = build(emit)
+        blocks = find_basic_blocks(image)
+        covered = sorted(
+            index for block in blocks for index in block.indices()
+        )
+        assert covered == list(range(image.instruction_count))

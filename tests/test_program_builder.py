@@ -1,0 +1,176 @@
+"""Unit tests for the program builder and layout."""
+
+import pytest
+
+from repro.isa.build import Imm, addq, bis, bne, br, bsr, halt, ldq, nop, ret
+from repro.isa.instruction import INSTRUCTION_BYTES
+from repro.isa.opcodes import Opcode
+from repro.program.builder import (
+    BuildError,
+    DEFAULT_DATA_BASE,
+    DEFAULT_TEXT_BASE,
+    ProgramBuilder,
+    build_from_assembly,
+    split_address,
+)
+
+
+class TestLayout:
+    def test_addresses_sequential(self):
+        b = ProgramBuilder()
+        b.emit_many([nop(), nop(), halt()])
+        image = b.build()
+        assert image.addresses == [
+            DEFAULT_TEXT_BASE + 4 * i for i in range(3)
+        ]
+        assert image.sizes == [INSTRUCTION_BYTES] * 3
+        assert image.uniform_size()
+
+    def test_branch_resolution_backward(self):
+        b = ProgramBuilder()
+        b.label("top")
+        b.emit(nop())
+        b.emit(bne(1, "top"))
+        b.emit(halt())
+        image = b.build()
+        # bne at index 1, target index 0 -> displacement -2.
+        assert image.instructions[1].imm == -2
+        assert image.target_index[1] == 0
+
+    def test_branch_resolution_forward(self):
+        b = ProgramBuilder()
+        b.emit(br("end"))
+        b.emit(nop())
+        b.label("end")
+        b.emit(halt())
+        image = b.build()
+        assert image.instructions[0].imm == 1
+        assert image.target_index[0] == 2
+
+    def test_numeric_branch_gets_target_index(self):
+        b = ProgramBuilder()
+        b.emit(bne(1, 1))
+        b.emit(nop())
+        b.emit(halt())
+        image = b.build()
+        assert image.target_index[0] == 2
+
+    def test_undefined_label(self):
+        b = ProgramBuilder()
+        b.emit(br("nowhere"))
+        with pytest.raises(BuildError):
+            b.build()
+
+    def test_duplicate_label(self):
+        b = ProgramBuilder()
+        b.label("x")
+        b.emit(nop())
+        b.label("x")
+        with pytest.raises(BuildError):
+            b.build()
+
+    def test_entry_selection(self):
+        b = ProgramBuilder()
+        b.emit(nop())
+        b.label("main")
+        b.emit(halt())
+        image = b.build()
+        assert image.entry_index == 1
+
+    def test_explicit_entry(self):
+        b = ProgramBuilder()
+        b.label("a")
+        b.emit(nop())
+        b.label("b")
+        b.emit(halt())
+        b.set_entry("b")
+        assert b.build().entry_index == 1
+
+
+class TestData:
+    def test_alloc_and_init(self):
+        b = ProgramBuilder()
+        addr = b.alloc_data("arr", 4, init=[1, 2])
+        b.emit(halt())
+        image = b.build()
+        assert addr == DEFAULT_DATA_BASE
+        assert image.data_words[addr] == 1
+        assert image.data_words[addr + 8] == 2
+        assert image.data_size == 32
+
+    def test_alloc_sequential(self):
+        b = ProgramBuilder()
+        a = b.alloc_data("a", 2)
+        c = b.alloc_data("c", 2)
+        assert c == a + 16
+
+    def test_duplicate_data_symbol(self):
+        b = ProgramBuilder()
+        b.alloc_data("a", 1)
+        with pytest.raises(BuildError):
+            b.alloc_data("a", 1)
+
+    def test_oversized_initialiser(self):
+        b = ProgramBuilder()
+        with pytest.raises(BuildError):
+            b.alloc_data("a", 1, init=[1, 2])
+
+
+class TestLoadAddress:
+    def test_split_address_reassembles(self):
+        for addr in (0, 0x400000, 0x0400_0000, 0x12345678, 0x0400_8000):
+            high, low = split_address(addr)
+            assert ((high << 16) + low) & 0xFFFFFFFF == addr
+
+    def test_load_data_address(self):
+        b = ProgramBuilder()
+        addr = b.alloc_data("arr", 1)
+        b.label("main")
+        b.load_address(5, "arr")
+        b.emit(halt())
+        image = b.build()
+        assert image.instructions[0].opcode is Opcode.LDAH
+        assert image.instructions[1].opcode is Opcode.LDA
+        high, low = split_address(addr)
+        assert image.instructions[0].imm == high
+        assert image.instructions[1].imm == low
+        # Data symbols don't move; no relocation is recorded.
+        assert image.load_addresses == {}
+
+    def test_load_text_address_recorded(self):
+        b = ProgramBuilder()
+        b.label("main")
+        b.load_address(27, "target")
+        b.emit(halt())
+        b.label("target")
+        b.emit(ret(26))
+        image = b.build()
+        assert image.load_addresses == {0: "target"}
+        high, low = split_address(image.symbol_address("target"))
+        assert image.instructions[0].imm == high
+        assert image.instructions[1].imm == low
+
+    def test_undefined_symbol(self):
+        b = ProgramBuilder()
+        b.load_address(5, "ghost")
+        with pytest.raises(BuildError):
+            b.build()
+
+
+class TestFromAssembly:
+    def test_build_from_assembly(self):
+        image = build_from_assembly("""
+        main:
+            bis zero, #2, t0
+        loop:
+            subq t0, #1, t0
+            bne t0, loop
+            halt
+        """)
+        assert image.entry_index == 0
+        assert image.symbols == {"main": 0, "loop": 1}
+        assert image.target_index[2] == 1
+
+    def test_fresh_labels_unique(self):
+        b = ProgramBuilder()
+        assert b.fresh_label() != b.fresh_label()

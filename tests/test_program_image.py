@@ -1,0 +1,73 @@
+"""Unit tests for ProgramImage queries."""
+
+import pytest
+
+from repro.isa.build import halt, nop
+from repro.isa.instruction import INSTRUCTION_BYTES
+from repro.program.builder import ProgramBuilder
+from repro.program.image import ProgramImage
+
+
+def tiny_image():
+    b = ProgramBuilder()
+    b.label("main")
+    b.emit(nop())
+    b.label("end")
+    b.emit(halt())
+    return b.build()
+
+
+class TestAddressing:
+    def test_index_of_addr(self):
+        image = tiny_image()
+        for index, addr in enumerate(image.addresses):
+            assert image.index_at(addr) == index
+
+    def test_index_at_bad_address(self):
+        with pytest.raises(KeyError):
+            tiny_image().index_at(0xDEAD)
+
+    def test_symbol_address(self):
+        image = tiny_image()
+        assert image.symbol_address("end") == image.addresses[1]
+
+    def test_symbol_table_by_address(self):
+        image = tiny_image()
+        table = image.symbol_table_by_address()
+        assert table[image.addresses[0]] == "main"
+
+    def test_entry_address(self):
+        image = tiny_image()
+        assert image.entry_address == image.addresses[image.entry_index]
+
+
+class TestMeasurement:
+    def test_text_size(self):
+        image = tiny_image()
+        assert image.text_size == 2 * INSTRUCTION_BYTES
+        assert image.instruction_count == 2
+
+    def test_count_matching(self):
+        image = tiny_image()
+        assert image.count_matching(lambda i: i.opcode.name == "HALT") == 1
+
+    def test_mixed_sizes(self):
+        image = ProgramImage(
+            instructions=[nop(), halt()],
+            addresses=[0, 2],
+            sizes=[2, 4],
+            target_index=[None, None],
+            symbols={},
+        )
+        assert not image.uniform_size()
+        assert image.text_size == 6
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramImage(
+                instructions=[nop()],
+                addresses=[0, 4],
+                sizes=[4],
+                target_index=[None],
+                symbols={},
+            )

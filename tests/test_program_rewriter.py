@@ -1,0 +1,107 @@
+"""Unit tests for the binary-rewriting substrate."""
+
+from repro.isa.assembler import Label
+from repro.isa.build import Imm, addq, bis, bne, bsr, halt, jsr, ldq, nop, ret, stq
+from repro.isa.opcodes import OpClass, Opcode
+from repro.program.builder import LoadAddress, ProgramBuilder
+from repro.program.rewriter import image_to_items, rewrite_image
+from repro.sim.functional import run_program
+
+from conftest import A0, A1, RA, T0, ZERO, build_loop_program
+
+
+class TestImageToItems:
+    def test_round_trips_through_rebuild(self, loop_image):
+        items = image_to_items(loop_image)
+        b = ProgramBuilder()
+        b.adopt_data(loop_image.data_words, loop_image.data_size)
+        b.emit_items(items)
+        b.set_entry("main")
+        rebuilt = b.build()
+        assert rebuilt.instructions == loop_image.instructions
+        assert rebuilt.target_index == loop_image.target_index
+
+    def test_synthesises_labels_for_anonymous_targets(self):
+        b = ProgramBuilder()
+        b.emit(bne(T0, 1))   # numeric target: the halt
+        b.emit(nop())
+        b.emit(halt())
+        image = b.build()
+        items = image_to_items(image)
+        labels = [i for i in items if isinstance(i, Label)]
+        assert any(l.name.startswith(".bt") for l in labels)
+
+    def test_reconstructs_text_load_addresses(self, call_image):
+        b = ProgramBuilder()
+        b.label("main")
+        b.load_address(27, "f")
+        b.emit(jsr(RA, 27))
+        b.emit(halt())
+        b.label("f")
+        b.emit(ret(RA))
+        image = b.build()
+        items = image_to_items(image)
+        loads = [i for i in items if isinstance(i, LoadAddress)]
+        assert loads == [LoadAddress(27, "f")]
+
+
+class TestRewriteImage:
+    def test_insertion_before_matches(self, loop_image):
+        rewritten = rewrite_image(
+            loop_image,
+            predicate=lambda i: i.opclass is OpClass.STORE,
+            insertion=lambda i, idx: [nop()],
+        )
+        stores = loop_image.count_matching(lambda i: i.opclass is OpClass.STORE)
+        assert rewritten.instruction_count == (
+            loop_image.instruction_count + stores
+        )
+        # Every store is now preceded by the inserted nop.
+        for index, instr in enumerate(rewritten.instructions):
+            if instr.opclass is OpClass.STORE:
+                assert rewritten.instructions[index - 1].opcode is Opcode.NOP
+
+    def test_rewritten_program_equivalent(self, loop_image):
+        rewritten = rewrite_image(
+            loop_image,
+            predicate=lambda i: i.opclass in (OpClass.LOAD, OpClass.STORE),
+            insertion=lambda i, idx: [bis(ZERO, ZERO, ZERO)],
+        )
+        original = run_program(loop_image)
+        modified = run_program(rewritten)
+        assert modified.outputs == original.outputs
+        assert modified.instructions > original.instructions
+
+    def test_branch_retargeting_preserved_with_calls(self, call_image):
+        rewritten = rewrite_image(
+            call_image,
+            predicate=lambda i: i.opclass is OpClass.LOAD,
+            insertion=lambda i, idx: [nop(), nop()],
+        )
+        original = run_program(call_image)
+        modified = run_program(rewritten)
+        assert modified.outputs == original.outputs
+
+    def test_text_load_addresses_re_resolved(self):
+        b = ProgramBuilder()
+        b.alloc_data("x", 1, init=[5])
+        b.label("main")
+        b.emit(addq(ZERO, Imm(1), T0))   # insertion site before 'f'
+        b.load_address(27, "f")
+        b.emit(jsr(RA, 27))
+        b.emit(halt())
+        b.label("f")
+        b.emit(addq(ZERO, Imm(3), A0))
+        b.emit(ret(RA))
+        b.set_entry("main")
+        image = b.build()
+        # Insert two nops before every addq: 'f' moves.
+        rewritten = rewrite_image(
+            image,
+            predicate=lambda i: i.opcode is Opcode.ADDQ,
+            insertion=lambda i, idx: [nop(), nop()],
+        )
+        assert rewritten.symbols["f"] != image.symbols["f"]
+        result = run_program(rewritten)
+        assert result.halted and result.fault_code is None
+        assert result.final_regs[A0] == 3

@@ -1,0 +1,102 @@
+"""PT virtualization under pressure: more active patterns than PT entries.
+
+Section 2.3: the PT is a physical cache over a larger virtual pattern
+namespace; a fetched instance of an opcode whose active and resident
+pattern counts differ triggers a miss and a per-opcode fill.  With more
+active patterns than entries, steady-state PT misses occur and the timing
+model charges for them.
+"""
+
+import pytest
+
+from repro.core.config import DiseConfig
+from repro.core.controller import DiseController
+from repro.core.pattern import PatternSpec
+from repro.core.production import ProductionSet
+from repro.core.replacement import identity_replacement
+from repro.isa.opcodes import OpClass, Opcode
+from repro.sim.config import MachineConfig
+from repro.sim.cycle import simulate_trace
+from repro.sim.functional import Machine
+
+from conftest import build_loop_program
+
+
+def register_split_productions(opclass: OpClass, opcode: Opcode,
+                               count: int, name: str) -> ProductionSet:
+    """``count`` identity productions on one opcode, split by T.RS value —
+    an easy way to create a large virtual pattern set."""
+    pset = ProductionSet(name)
+    for reg in range(count):
+        pset.define(
+            PatternSpec(opcode=opcode, regs={"rs": reg}),
+            identity_replacement(),
+            name=f"{name}-{reg}",
+        )
+    # A catch-all so every instance of the opcode matches something.
+    pset.define(PatternSpec(opcode=opcode), identity_replacement(),
+                name=f"{name}-any")
+    return pset
+
+
+def big_pattern_controller(pt_entries=8):
+    controller = DiseController(DiseConfig(pt_entries=pt_entries))
+    # 3 opcodes x (12+1) patterns = 39 active patterns, far over 8 entries.
+    controller.install(register_split_productions(
+        OpClass.LOAD, Opcode.LDQ, 12, "ldq"))
+    controller.install(register_split_productions(
+        OpClass.STORE, Opcode.STQ, 12, "stq"))
+    controller.install(register_split_productions(
+        OpClass.INT_ARITH, Opcode.ADDQ, 12, "addq"))
+    return controller
+
+
+class TestPtPressure:
+    def test_steady_state_pt_misses(self):
+        image = build_loop_program(iterations=20)
+        machine = Machine(image, controller=big_pattern_controller())
+        result = machine.run()
+        # Interleaved ldq/addq/stq fetches keep evicting each other's
+        # pattern groups from the 8-entry PT.
+        assert machine.pt_misses > 3
+        assert result.halted
+
+    def test_large_pt_eliminates_misses(self):
+        image = build_loop_program(iterations=20)
+        machine = Machine(image, controller=big_pattern_controller(
+            pt_entries=64))
+        machine.run()
+        # Only the cold fills remain (one per opcode group).
+        assert machine.pt_misses <= 3
+
+    def test_functional_behaviour_pt_size_independent(self):
+        image = build_loop_program(iterations=10)
+        outputs = []
+        for entries in (4, 8, 64):
+            machine = Machine(image,
+                              controller=big_pattern_controller(entries))
+            outputs.append(machine.run().outputs)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_timing_charges_pt_misses(self):
+        image = build_loop_program(iterations=20)
+        small = Machine(image, controller=big_pattern_controller(8))
+        trace_small = small.run()
+        large = Machine(image, controller=big_pattern_controller(64))
+        trace_large = large.run()
+
+        config = MachineConfig()
+        slow = simulate_trace(trace_small, config, warm_start=True)
+        fast = simulate_trace(trace_large, config, warm_start=True)
+        assert slow.pt_miss_stalls > fast.pt_miss_stalls
+        assert slow.cycles > fast.cycles
+
+    def test_most_specific_still_wins_under_pressure(self):
+        """PT misses never change which production matches."""
+        image = build_loop_program(iterations=5)
+        controller = big_pattern_controller(4)
+        machine = Machine(image, controller=controller)
+        result = machine.run()
+        # All matched productions are identities: stream length unchanged
+        # except that every matching instruction became a 1-instr expansion.
+        assert result.instructions == result.app_instructions

@@ -1,0 +1,88 @@
+"""Unit tests for the branch predictor."""
+
+from repro.sim.branch import BranchPredictor, BranchPredictorConfig
+
+
+class TestGshare:
+    def test_learns_constant_direction(self):
+        predictor = BranchPredictor()
+        pc = 0x400010
+        for _ in range(8):
+            predictor.predict_and_update(pc, True)
+        assert predictor.predict_and_update(pc, True) is False
+
+    def test_counter_hysteresis(self):
+        predictor = BranchPredictor()
+        pc = 0x400010
+        for _ in range(8):
+            predictor.predict_and_update(pc, True)
+        # One not-taken outcome shouldn't flip the prediction...
+        predictor.predict_and_update(pc, False)
+        # ...but history changed, so just check the stats make sense.
+        assert predictor.cond_mispredicts >= 1
+
+    def test_alternating_pattern_learnable_via_history(self):
+        predictor = BranchPredictor()
+        pc = 0x400010
+        outcomes = [i % 2 == 0 for i in range(200)]
+        for taken in outcomes:
+            predictor.predict_and_update(pc, taken)
+        # After warmup the history-indexed counters track the alternation.
+        late_mispredicts = 0
+        for i, taken in enumerate(outcomes):
+            if predictor.predict_and_update(pc, taken):
+                late_mispredicts += 1
+        assert late_mispredicts < len(outcomes) * 0.1
+
+    def test_mispredict_rate_statistic(self):
+        predictor = BranchPredictor()
+        predictor.predict_and_update(0, True)
+        assert 0.0 <= predictor.cond_mispredict_rate <= 1.0
+
+
+class TestBtbAndRas:
+    def test_btb_learns_target(self):
+        predictor = BranchPredictor()
+        pc, target = 0x400100, 0x400800
+        assert predictor.predict_indirect(pc, target) is True   # cold
+        assert predictor.predict_indirect(pc, target) is False
+
+    def test_btb_target_change_mispredicts(self):
+        predictor = BranchPredictor()
+        pc = 0x400100
+        predictor.predict_indirect(pc, 0x400800)
+        assert predictor.predict_indirect(pc, 0x400900) is True
+
+    def test_return_stack(self):
+        predictor = BranchPredictor()
+        # call pushes; matching return pops and predicts correctly.
+        predictor.predict_indirect(0x400100, 0x400800, is_call=True,
+                                   return_addr=0x400104)
+        assert predictor.predict_indirect(
+            0x400810, 0x400104, is_return=True
+        ) is False
+
+    def test_mismatched_return_mispredicts(self):
+        predictor = BranchPredictor()
+        predictor.push_return(0x400104)
+        assert predictor.predict_indirect(
+            0x400810, 0x999999, is_return=True
+        ) is True
+
+    def test_empty_ras_mispredicts(self):
+        predictor = BranchPredictor()
+        assert predictor.predict_indirect(0x400810, 0x400104,
+                                          is_return=True) is True
+
+    def test_ras_depth_bounded(self):
+        predictor = BranchPredictor(BranchPredictorConfig(ras_entries=2))
+        for addr in (1, 2, 3):
+            predictor.push_return(addr * 4)
+        assert len(predictor._ras) == 2
+
+    def test_nested_calls_lifo(self):
+        predictor = BranchPredictor()
+        predictor.push_return(0x10)
+        predictor.push_return(0x20)
+        assert predictor.predict_indirect(0, 0x20, is_return=True) is False
+        assert predictor.predict_indirect(0, 0x10, is_return=True) is False

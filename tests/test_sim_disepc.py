@@ -1,0 +1,261 @@
+"""Tests for the two-level PC:DISEPC control model (Section 2.1/2.2).
+
+These exercise the subtlest parts of the paper: DISE-internal branches,
+the not-taken semantics of non-trigger application branches, the
+predicted-path semantics of trigger branches, and precise state across
+mid-sequence interrupts.
+"""
+
+import pytest
+
+from repro.core.controller import DiseController
+from repro.core.directives import AbsTarget, Lit, T_RS
+from repro.core.language import parse_productions
+from repro.core.pattern import PatternSpec, match_opcode, match_stores
+from repro.core.production import ProductionSet
+from repro.core.replacement import (
+    TRIGGER_INSN,
+    ReplacementInstr,
+    ReplacementSpec,
+)
+from repro.isa.build import (
+    Imm,
+    addq,
+    bis,
+    bne,
+    halt,
+    out,
+    stq,
+)
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.registers import dise_reg, parse_reg
+from repro.program.builder import ProgramBuilder
+from repro.sim.functional import Machine
+
+from conftest import A0, A1, T0, ZERO
+
+DR0, DR1 = dise_reg(0), dise_reg(1)
+
+
+def machine_for(instrs, pset, data=None, init=None):
+    b = ProgramBuilder()
+    if data:
+        for name, words in data.items():
+            b.alloc_data(name, len(words), init=words)
+    b.label("main")
+    for item in instrs:
+        if isinstance(item, tuple) and item[0] == "la":
+            b.load_address(item[1], item[2])
+        else:
+            b.emit(item)
+    b.emit(halt())
+    b.label("handler")
+    b.emit(out(ZERO))
+    b.emit(halt())
+    image = b.build()
+    controller = DiseController()
+    controller.install(pset)
+    machine = Machine(image, controller=controller)
+    if init:
+        init(machine)
+    return machine, image
+
+
+class TestDiseBranches:
+    def test_taken_dise_branch_skips_within_sequence(self):
+        pset = parse_productions("""
+P1: T.OPCLASS == store -> R1
+R1:
+    dbr   .end
+    out   $dr1
+.end:
+    T.INSN
+""")
+        machine, _ = machine_for(
+            [("la", A1, "buf"), bis(ZERO, Imm(5), T0), stq(T0, 0, A1)],
+            pset, data={"buf": [0]},
+        )
+        result = machine.run()
+        assert result.outputs == [], "dbr skipped the out"
+        assert result.final_memory.read(machine.image.data_base) == 5
+
+    def test_untaken_dise_branch_falls_through(self):
+        pset = parse_productions("""
+P1: T.OPCLASS == store -> R1
+R1:
+    dbne  $dr1, .end
+    out   $dr1
+.end:
+    T.INSN
+""")
+        machine, _ = machine_for(
+            [("la", A1, "buf"), stq(T0, 0, A1)],
+            pset, data={"buf": [0]},
+        )
+        result = machine.run()   # $dr1 == 0: not taken, out executes
+        assert result.outputs == [0]
+
+    def test_dise_branch_backward_loop_in_sequence(self):
+        # A replacement sequence with an internal loop: count $dr0 down.
+        pset = ProductionSet("looping")
+        pset.define(match_stores(), ReplacementSpec(instrs=(
+            ReplacementInstr(opcode=Opcode.SUBQ, ra=Lit(DR0), imm=Lit(1),
+                             rc=Lit(DR0)),
+            ReplacementInstr(opcode=Opcode.DBNE, ra=Lit(DR0), imm=Lit(0)),
+            TRIGGER_INSN,
+        )))
+
+        def init(machine):
+            machine.regs[DR0] = 3
+
+        machine, _ = machine_for(
+            [("la", A1, "buf"), stq(T0, 0, A1)],
+            pset, data={"buf": [0]}, init=init,
+        )
+        result = machine.run()
+        assert result.final_regs[DR0] == 0
+        # subq executed 3 times, dbne 3 times, store once.
+        assert result.instructions >= 7
+
+
+class TestNonTriggerAppBranch:
+    """Non-trigger replacement branches: squash the rest when taken."""
+
+    def test_taken_branch_abandons_sequence(self):
+        pset = ProductionSet("check")
+        pset.define(match_stores(), ReplacementSpec(instrs=(
+            ReplacementInstr(opcode=Opcode.BNE, ra=Lit(DR1),
+                             imm=AbsTarget(0)),   # patched below
+            ReplacementInstr(opcode=Opcode.OUT, ra=Lit(DR1)),
+            TRIGGER_INSN,
+        )))
+
+        machine, image = machine_for(
+            [("la", A1, "buf"), stq(T0, 0, A1), out(A0)],
+            pset, data={"buf": [0]},
+        )
+        # Retarget the AbsTarget at the handler now that we know it.
+        handler = image.symbol_address("handler")
+        pset2 = ProductionSet("check2")
+        pset2.define(match_stores(), ReplacementSpec(instrs=(
+            ReplacementInstr(opcode=Opcode.BNE, ra=Lit(DR1),
+                             imm=AbsTarget(handler)),
+            ReplacementInstr(opcode=Opcode.OUT, ra=Lit(DR1)),
+            TRIGGER_INSN,
+        )))
+        machine.controller.uninstall("check")
+        machine.controller.install(pset2)
+        machine.regs[DR1] = 1   # branch will be taken
+        result = machine.run()
+        # Sequence abandoned: neither the out nor the store executed; the
+        # handler's `out zero` ran instead.
+        assert result.outputs == [0]
+        assert result.final_memory.read(machine.image.data_base) == 0
+
+    def test_untaken_branch_continues_sequence(self, loop_image):
+        pset = parse_productions("""
+P1: T.OPCLASS == store -> R1
+R1:
+    bne   $dr1, @0x400000
+    T.INSN
+""")
+        controller = DiseController()
+        controller.install(pset)
+        machine = Machine(loop_image, controller=controller)
+        result = machine.run()   # $dr1 == 0: checks pass silently
+        assert result.outputs == [15]
+
+
+class TestTriggerBranchPredictedPath:
+    """Post-trigger replacement instructions execute on the predicted path
+    and the branch outcome applies at sequence end (branch profiling)."""
+
+    def make_profiling_machine(self):
+        # Count every conditional-branch execution in $dr0, with the
+        # trigger in the middle of the sequence.
+        pset = ProductionSet("profile")
+        pset.add_replacement(0, ReplacementSpec(instrs=(
+            TRIGGER_INSN,
+            ReplacementInstr(opcode=Opcode.ADDQ, ra=Lit(DR0), imm=Lit(1),
+                             rc=Lit(DR0)),
+        )))
+        pset.add_production(PatternSpec(opcode=Opcode.BNE), seq_id=0)
+
+        from repro.isa.build import subq
+
+        b = ProgramBuilder()
+        b.label("main")
+        b.emit(bis(ZERO, Imm(3), T0))
+        b.label("loop")
+        b.emit(addq(A0, Imm(1), A0))
+        b.emit(subq(T0, Imm(1), T0))
+        b.emit(bne(T0, "loop"))
+        b.emit(out(A0))
+        b.emit(halt())
+        image = b.build()
+        controller = DiseController()
+        controller.install(pset)
+        return Machine(image, controller=controller)
+
+    def test_counter_updates_after_taken_trigger_branch(self):
+        machine = self.make_profiling_machine()
+        result = machine.run()
+        assert result.outputs == [3], "loop body ran 3 times"
+        # The bne executed 3 times (taken twice, untaken once); the
+        # post-trigger counter update ran every time, including taken ones.
+        assert result.final_regs[DR0] == 3
+
+
+class TestPreciseState:
+    def build_mfi_machine(self):
+        pset = parse_productions("""
+P1: T.OPCLASS == store -> R1
+R1:
+    srl   T.RS, #26, $dr1
+    xor   $dr1, $dr2, $dr1
+    bne   $dr1, @0x400100
+    T.INSN
+""")
+        b = ProgramBuilder()
+        b.alloc_data("buf", 2, init=[0, 0])
+        b.label("main")
+        b.load_address(A1, "buf")
+        b.emit(bis(ZERO, Imm(5), T0))
+        b.emit(stq(T0, 0, A1))
+        b.emit(stq(T0, 8, A1))
+        b.emit(out(T0))
+        b.emit(halt())
+        image = b.build()
+        controller = DiseController()
+        controller.install(pset)
+        machine = Machine(image, controller=controller)
+        machine.regs[dise_reg(2)] = image.data_base >> 26
+        return machine
+
+    def test_checkpoint_restore_at_every_boundary(self):
+        """Interrupting at any PC:DISEPC boundary and restarting reproduces
+        the identical execution (the paper's precise-state guarantee)."""
+        reference = self.build_mfi_machine().run()
+
+        # Determine the run length first.
+        total = reference.instructions
+        for interrupt_at in range(1, total):
+            machine = self.build_mfi_machine()
+            for _ in range(interrupt_at):
+                machine.step()
+            state = machine.checkpoint()
+            # Simulate handler execution trashing the pipeline: restore.
+            resumed = self.build_mfi_machine()
+            resumed.restore(state)
+            result = resumed.run()
+            assert result.outputs == reference.outputs, interrupt_at
+            assert result.final_regs == reference.final_regs, interrupt_at
+            assert (result.final_memory == reference.final_memory), interrupt_at
+
+    def test_checkpoint_mid_sequence_reports_disepc(self):
+        machine = self.build_mfi_machine()
+        # Step until we're inside an expansion.
+        while machine._exp is None or machine._disepc == 0:
+            machine.step()
+        state = machine.checkpoint()
+        assert state["disepc"] > 0

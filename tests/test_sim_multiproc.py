@@ -1,0 +1,136 @@
+"""Tests for multiprogramming over one DISE core (Section 2.3)."""
+
+import pytest
+
+from repro.acf.mfi import MFI_FAULT_CODE, ensure_error_stub, mfi_production_set
+from repro.acf.tracing import DR_CURSOR, attach_sat, read_trace_buffer
+from repro.core.production import ProductionSet
+from repro.sim.functional import run_program
+from repro.sim.multiproc import Scheduler
+
+from conftest import build_loop_program
+
+
+class TestScheduling:
+    def test_two_plain_processes_complete(self):
+        scheduler = Scheduler()
+        a = scheduler.spawn(build_loop_program(iterations=30))
+        b = scheduler.spawn(build_loop_program(iterations=10))
+        scheduler.run(quantum=17)
+        assert a.halted and b.halted
+        assert a.machine.outputs == run_program(
+            build_loop_program(iterations=30)).outputs
+        assert b.machine.outputs == run_program(
+            build_loop_program(iterations=10)).outputs
+
+    def test_interleaving_happens(self):
+        scheduler = Scheduler()
+        scheduler.spawn(build_loop_program(iterations=50))
+        scheduler.spawn(build_loop_program(iterations=50))
+        scheduler.run(quantum=10)
+        assert scheduler.switches > 4
+
+    def test_budget_enforced(self):
+        scheduler = Scheduler()
+        scheduler.spawn(build_loop_program(iterations=1000))
+        with pytest.raises(RuntimeError):
+            scheduler.run(quantum=10, max_total_steps=100)
+
+
+class TestUserScopeIsolation:
+    def test_private_acf_applies_only_to_owner(self):
+        """Process A traces its stores; process B is ACF-free.  A's buffer
+        sees only A's stores, and B never expands."""
+        image_a = build_loop_program(iterations=8)
+        image_b = build_loop_program(iterations=8)
+        sat = attach_sat(image_a)
+
+        scheduler = Scheduler()
+        a = scheduler.spawn(image_a, production_sets=sat.production_sets,
+                            init=sat.init_machine)
+        b = scheduler.spawn(image_b)
+        scheduler.run(quantum=13)
+
+        expected = [
+            o.mem_addr for o in run_program(image_a).ops if o.is_store
+        ]
+        result_a = a.machine.result()
+        traced = read_trace_buffer(result_a, sat.buffer_base)
+        assert traced == expected
+        assert a.machine.expansions > 0
+        assert b.machine.expansions == 0
+
+    def test_dedicated_registers_saved_across_switches(self):
+        """Two processes with private ACF state in the same dedicated
+        register: the kernel's save/restore keeps them separate."""
+        image_a = build_loop_program(iterations=20)
+        image_b = build_loop_program(iterations=20)
+        sat_a = attach_sat(image_a)
+        sat_b = attach_sat(image_b)
+        # Rename B's production set to avoid the same-name install clash.
+        sat_b.production_sets[0].name = "sat-b"
+
+        scheduler = Scheduler()
+        a = scheduler.spawn(image_a, production_sets=sat_a.production_sets,
+                            init=sat_a.init_machine)
+        b = scheduler.spawn(image_b, production_sets=sat_b.production_sets,
+                            init=sat_b.init_machine)
+        scheduler.run(quantum=7)
+
+        stores = sum(
+            1 for o in run_program(image_a).ops if o.is_store
+        )
+        # Each process's cursor advanced independently from its own base.
+        assert (a.machine.regs[DR_CURSOR] - sat_a.buffer_base) == 8 * stores
+        assert (b.machine.regs[DR_CURSOR] - sat_b.buffer_base) == 8 * stores
+
+
+class TestKernelScope:
+    def test_kernel_mfi_applies_to_every_process(self):
+        image = ensure_error_stub(build_loop_program(iterations=5))
+        mfi = mfi_production_set(image, "dise3")
+
+        from repro.acf.mfi import DR_CODE_SEG, DR_DATA_SEG, segment_ids
+
+        data_seg, code_seg = segment_ids(image)
+
+        def init(machine):
+            machine.regs[DR_DATA_SEG] = data_seg
+            machine.regs[DR_CODE_SEG] = code_seg
+
+        scheduler = Scheduler()
+        scheduler.install_kernel_acf(mfi)
+        a = scheduler.spawn(image, init=init)
+        b = scheduler.spawn(image, init=init)
+        scheduler.run(quantum=9)
+        assert a.machine.expansions > 0
+        assert b.machine.expansions > 0
+        assert a.machine.fault_code is None
+        assert b.machine.fault_code is None
+
+    def test_kernel_scope_required(self):
+        scheduler = Scheduler()
+        user_set = ProductionSet("x", scope="user")
+        with pytest.raises(ValueError):
+            scheduler.install_kernel_acf(user_set)
+
+
+class TestQuantumBoundaryPreciseState:
+    def test_switch_mid_expansion_resumes_correctly(self):
+        """A quantum can expire between two replacement instructions; the
+        PC:DISEPC pair carries across the switch (Section 2.2)."""
+        image = build_loop_program(iterations=12)
+        sat = attach_sat(image)
+        reference = sat.run()
+
+        scheduler = Scheduler()
+        a = scheduler.spawn(image, production_sets=sat.production_sets,
+                            init=sat.init_machine)
+        scheduler.spawn(build_loop_program(iterations=12))
+        # A prime quantum guarantees switches inside 4-instruction
+        # expansions at some point.
+        scheduler.run(quantum=3)
+        assert a.machine.outputs == reference.outputs
+        traced = read_trace_buffer(a.machine.result(), sat.buffer_base)
+        expected = read_trace_buffer(reference, sat.buffer_base)
+        assert traced == expected

@@ -1,0 +1,113 @@
+"""Tests for the synthetic SPECint workload generator."""
+
+import pytest
+
+from repro.acf.mfi import SCAVENGED_REGS
+from repro.isa.opcodes import OpClass
+from repro.program.builder import SEGMENT_SHIFT
+from repro.sim.functional import run_program
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    SPECINT2000,
+    generate_benchmark,
+    generate_by_name,
+    get_profile,
+)
+
+
+class TestProfiles:
+    def test_twelve_benchmarks(self):
+        assert len(SPECINT2000) == 12
+        assert set(BENCHMARK_NAMES) == {
+            "bzip2", "crafty", "eon", "gap", "gcc", "gzip", "mcf",
+            "parser", "perlbmk", "twolf", "vortex", "vpr",
+        }
+
+    def test_lookup(self):
+        assert get_profile("mcf").name == "mcf"
+        with pytest.raises(KeyError):
+            get_profile("spice")
+
+    def test_seeds_distinct(self):
+        seeds = [p.seed for p in SPECINT2000]
+        assert len(seeds) == len(set(seeds))
+
+    def test_gcc_largest_mcf_smallest_text(self):
+        sizes = {p.name: p.approx_static_instrs for p in SPECINT2000}
+        assert sizes["gcc"] == max(sizes.values())
+        assert sizes["mcf"] == min(sizes.values())
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_by_name("parser", scale=0.3)
+        b = generate_by_name("parser", scale=0.3)
+        assert a.instructions == b.instructions
+        assert a.data_words == b.data_words
+
+    def test_different_benchmarks_differ(self):
+        a = generate_by_name("parser", scale=0.3)
+        b = generate_by_name("twolf", scale=0.3)
+        assert a.instructions != b.instructions
+
+    def test_runs_to_completion_with_checksum(self):
+        image = generate_by_name("mcf", scale=0.3)
+        result = run_program(image, record_trace=False)
+        assert result.halted and result.fault_code is None
+        assert len(result.outputs) == 1
+
+    def test_scale_controls_dynamic_length(self):
+        short = run_program(generate_by_name("mcf", scale=0.25),
+                            record_trace=False)
+        long = run_program(generate_by_name("mcf", scale=1.0),
+                           record_trace=False)
+        assert long.app_instructions > short.app_instructions * 2
+
+    def test_scavenged_registers_untouched(self):
+        image = generate_by_name("eon", scale=0.2)
+        scavenged = set(SCAVENGED_REGS)
+        for instr in image.instructions:
+            used = set(instr.source_regs())
+            dest = instr.dest_reg()
+            if dest is not None:
+                used.add(dest)
+            assert not used & scavenged
+
+    def test_all_accesses_in_data_segment(self):
+        image = generate_by_name("gap", scale=0.2)
+        result = run_program(image)
+        data_seg = image.data_base >> SEGMENT_SHIFT
+        for op in result.ops:
+            if op.mem_addr is not None:
+                assert op.mem_addr >> SEGMENT_SHIFT == data_seg
+
+    def test_instruction_mix_has_memory_and_branches(self):
+        image = generate_by_name("bzip2", scale=0.3)
+        result = run_program(image)
+        total = len(result.ops)
+        memops = sum(1 for o in result.ops if o.mem_addr is not None)
+        branches = sum(1 for o in result.ops if o.ctrl == "cond")
+        assert 0.10 < memops / total < 0.55
+        assert 0.03 < branches / total < 0.35
+
+    def test_branch_bias_tracks_profile(self):
+        biased = generate_by_name("gzip", scale=0.3)    # bias 0.88
+        result = run_program(biased)
+        data_branches = [
+            o for o in result.ops if o.ctrl == "cond" and o.ctrl_taken
+        ]
+        assert data_branches, "some branches taken"
+
+    def test_every_profile_generates_and_runs(self):
+        for profile in SPECINT2000:
+            image = generate_benchmark(profile, scale=0.1)
+            result = run_program(image, record_trace=False,
+                                 max_steps=10_000_000)
+            assert result.halted and not result.faulted, profile.name
+
+    def test_indirect_calls_present(self):
+        image = generate_by_name("bzip2", scale=0.2)
+        result = run_program(image)
+        indirect = [o for o in result.ops
+                    if o.ctrl == "call" and o.opcode.name == "JSR"]
+        assert indirect, "some hot calls go through function pointers"

@@ -5,13 +5,29 @@ Environment knobs:
 * ``REPRO_BENCHMARKS`` — comma-separated benchmark subset
   (default: all twelve SPECint profiles).
 * ``REPRO_SCALE`` — dynamic-length scale factor (default 1.0).
+* ``REPRO_JOBS`` — parallel workers for the figure fan-out (default 1).
+* ``REPRO_TRACE_CACHE`` — persistent trace-cache directory
+  (``0``/``off`` disables; default ``~/.cache/repro-dise``).
+
+Each ``bench_fig*.py`` module additionally emits a
+``BENCH_<figure>.json`` wall-clock summary next to this file, so the
+performance trajectory of the evaluation pipeline is tracked across PRs.
 """
 
+import json
 import os
+import platform
+from collections import defaultdict
+from pathlib import Path
 
 import pytest
 
 from repro.harness import Suite
+
+_BENCH_DIR = Path(__file__).parent
+
+#: module stem -> {test name: seconds}, collected as tests finish.
+_TIMINGS = defaultdict(dict)
 
 
 def _benchmark_names():
@@ -30,3 +46,37 @@ def suite():
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# BENCH_*.json wall-clock summaries
+# ----------------------------------------------------------------------
+def pytest_runtest_logreport(report):
+    if report.when != "call" or not report.passed:
+        return
+    module = Path(report.nodeid.split("::")[0]).stem
+    if not module.startswith("bench_"):
+        return
+    test = report.nodeid.split("::")[-1]
+    _TIMINGS[module][test] = round(report.duration, 3)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _TIMINGS:
+        return
+    meta = {
+        "scale": float(os.environ.get("REPRO_SCALE", "1.0")),
+        "benchmarks": os.environ.get("REPRO_BENCHMARKS", "all"),
+        "jobs": os.environ.get("REPRO_JOBS", "1"),
+        "trace_cache": os.environ.get("REPRO_TRACE_CACHE", "default"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    for module, tests in _TIMINGS.items():
+        payload = {
+            "meta": meta,
+            "seconds": tests,
+            "total_seconds": round(sum(tests.values()), 3),
+        }
+        out = _BENCH_DIR / f"BENCH_{module.removeprefix('bench_')}.json"
+        out.write_text(json.dumps(payload, indent=2) + "\n")

@@ -359,13 +359,18 @@ def select_dictionary(image: ProgramImage, options: CompressionOptions
     candidates = enumerate_candidates(image, options)
     claimed = [False] * image.instruction_count
 
+    # Equal-gain ties break on enumeration order, which is a deterministic
+    # function of the image — never on id(), whose values vary from process
+    # to process and would give parallel workers different dictionaries.
+    rank = {key: index for index, key in enumerate(candidates)}
+
     heap = []
     for key, occurrences in candidates.items():
         occurrences.sort(key=lambda o: o.start)
         usable = _usable_occurrences(occurrences, claimed)
         gain = _savings(usable, len(key), options)
         if gain > 0:
-            heapq.heappush(heap, (-gain, id(key), key))
+            heapq.heappush(heap, (-gain, rank[key], key))
 
     entries: List[DictionaryEntry] = []
     while heap and len(entries) < options.max_dict_entries:
@@ -375,7 +380,7 @@ def select_dictionary(image: ProgramImage, options: CompressionOptions
         if gain <= 0:
             continue
         if -neg_gain != gain:
-            heapq.heappush(heap, (-gain, id(key), key))  # stale; re-rank
+            heapq.heappush(heap, (-gain, rank[key], key))  # stale; re-rank
             continue
         for occ in usable:
             for index in range(occ.start, occ.start + occ.length):

@@ -64,6 +64,14 @@ class DiseEngine:
         self._candidates_by_opcode: Dict[Opcode, List[Production]] = {}
         self._expansion_cache: Dict[tuple, Expansion] = {}
         self._pc_dependent: Dict[int, bool] = {}
+        #: Opcodes at least one active pattern could match.  Everything else
+        #: passes through untouched, so callers (and :meth:`process` itself)
+        #: can skip matching entirely in O(1).
+        self.trigger_opcodes: frozenset = frozenset()
+        #: Bumped on every production-set change; consumers that cache
+        #: per-opcode decisions (the functional simulator's decode cache)
+        #: compare it to invalidate.
+        self.generation = 0
         self.expansions = 0
         self.inspected = 0
 
@@ -75,6 +83,8 @@ class DiseEngine:
         self._expansion_cache.clear()
         self._pc_dependent.clear()
         self._candidates_by_opcode = {}
+        self.trigger_opcodes = frozenset()
+        self.generation += 1
         if production_set is None:
             self._productions = []
             self._replacements = {}
@@ -99,6 +109,7 @@ class DiseEngine:
                 by_opcode[opcode] = [production for _, production in ordered]
                 active_indexes[opcode] = [index for index, _ in matching]
         self._candidates_by_opcode = by_opcode
+        self.trigger_opcodes = frozenset(by_opcode)
         self.pt.set_active_patterns(active_indexes)
         self.rt.invalidate()
 
@@ -142,6 +153,10 @@ class DiseEngine:
         the instruction passes through unexpanded.
         """
         self.inspected += 1
+        if instr.opcode not in self.trigger_opcodes:
+            # No active pattern can match: the PT access would be a pure
+            # miss-free no-op and the match a guaranteed None.
+            return None, False, False
         pt_miss = self.pt.access(instr.opcode)
         production = self.match(instr, pc)
         if production is None:

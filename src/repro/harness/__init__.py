@@ -18,9 +18,18 @@ from repro.harness.experiments import (
     fig8_rt,
     run_experiment,
 )
+from repro.harness.parallel import TraceTask, resolve_jobs, run_tasks
 from repro.harness.report import PAPER_CLAIMS, build_report, table_to_markdown
 from repro.harness.runner import Suite
 from repro.harness.tables import ResultTable
+from repro.harness.trace_cache import (
+    LazyTrace,
+    TraceCache,
+    deserialize_trace,
+    open_cache,
+    serialize_trace,
+    trace_fingerprint,
+)
 
 __all__ = [
     "render_config_table",
@@ -44,4 +53,13 @@ __all__ = [
     "table_to_markdown",
     "Suite",
     "ResultTable",
+    "TraceTask",
+    "resolve_jobs",
+    "run_tasks",
+    "LazyTrace",
+    "TraceCache",
+    "open_cache",
+    "serialize_trace",
+    "deserialize_trace",
+    "trace_fingerprint",
 ]

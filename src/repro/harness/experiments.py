@@ -72,10 +72,91 @@ def _baseline_cycles(suite: Suite, bench: str, il1_size=32 * KB,
 
 
 # ----------------------------------------------------------------------
+# Prefetch plans: the exact (trace task, machine configs) a figure needs,
+# so Suite.prefetch can run the functional simulations — and the timing
+# replays — across worker processes before the serial aggregation loop.
+# ----------------------------------------------------------------------
+def _plan_fig6_top(suite: Suite):
+    for bench in suite.benchmarks:
+        yield suite.task("plain", bench), [_machine(placement="free")]
+        yield suite.task("rewrite", bench), [_machine(placement="free")]
+        yield (suite.task("mfi", bench, variant="dise4"),
+               [_machine(placement="free"), _machine(placement="stall"),
+                _machine(placement="pipe")])
+        yield (suite.task("mfi", bench, variant="dise3"),
+               [_machine(placement="free")])
+
+
+def _plan_fig6_cache(suite: Suite):
+    sweep_free = [_machine(il1_size=size, placement="free")
+                  for size in CACHE_SIZES]
+    sweep_pipe = [_machine(il1_size=size) for size in CACHE_SIZES]
+    for bench in suite.benchmarks:
+        yield suite.task("plain", bench), sweep_free
+        yield suite.task("rewrite", bench), sweep_free
+        yield suite.task("mfi", bench, variant="dise3"), sweep_pipe
+
+
+def _plan_fig6_width(suite: Suite):
+    sweep_free = [_machine(width=width, placement="free")
+                  for width in WIDTHS]
+    sweep_pipe = [_machine(width=width) for width in WIDTHS]
+    for bench in suite.benchmarks:
+        yield suite.task("plain", bench), sweep_free
+        yield suite.task("rewrite", bench), sweep_free
+        yield suite.task("mfi", bench, variant="dise3"), sweep_pipe
+
+
+def _plan_fig7_perf(suite: Suite):
+    sweep_free = [_machine(il1_size=size, placement="free")
+                  for size in CACHE_SIZES]
+    sweep_pipe = [_machine(il1_size=size) for size in CACHE_SIZES]
+    for bench in suite.benchmarks:
+        yield (suite.task("plain", bench),
+               sweep_free + [_machine(placement="free")])
+        yield (suite.task("compressed", bench, label="DISE",
+                          options=DISE_OPTIONS), sweep_pipe)
+
+
+def _plan_fig7_rt(suite: Suite):
+    rt_sweep = [_machine()] + [
+        _machine(rt_entries=entries, rt_assoc=assoc, rt_perfect=False)
+        for entries, assoc, _ in RT_CONFIGS
+    ]
+    for bench in suite.benchmarks:
+        yield suite.task("plain", bench), [_machine(placement="free")]
+        yield (suite.task("compressed", bench, label="DISE",
+                          options=DISE_OPTIONS), rt_sweep)
+
+
+def _plan_fig8_perf(suite: Suite):
+    schemes = ("rewrite+dedicated", "rewrite+dise", "dise+dise")
+    for bench in suite.benchmarks:
+        yield suite.task("plain", bench), [_machine(placement="free")]
+        for scheme in schemes:
+            configs = [_composition_machine(scheme, il1_size=size)
+                       for size in CACHE_SIZES]
+            yield suite.task("composed", bench, scheme=scheme), configs
+
+
+def _plan_fig8_rt(suite: Suite):
+    configs = [
+        _machine(rt_entries=entries, rt_assoc=assoc, rt_perfect=False,
+                 compose_miss=latency)
+        for entries, assoc, _ in RT_CONFIGS_COMPOSED
+        for latency in (30, 150)
+    ]
+    for bench in suite.benchmarks:
+        yield suite.task("plain", bench), [_machine(placement="free")]
+        yield suite.task("composed", bench, scheme="dise+dise"), configs
+
+
+# ----------------------------------------------------------------------
 # Figure 6: memory fault isolation
 # ----------------------------------------------------------------------
 def fig6_top(suite: Suite) -> ResultTable:
     """MFI: rewriting vs DISE4/DISE3 and the engine placement options."""
+    suite.prefetch(_plan_fig6_top(suite))
     table = ResultTable(
         "Figure 6 (top): MFI execution time, normalized to no-MFI",
         ["rewrite", "DISE4", "DISE4+stall", "DISE4+pipe", "DISE3"],
@@ -100,6 +181,7 @@ def fig6_top(suite: Suite) -> ResultTable:
 
 def fig6_cache(suite: Suite) -> ResultTable:
     """MFI: DISE3 vs rewriting across I-cache sizes."""
+    suite.prefetch(_plan_fig6_cache(suite))
     columns = []
     for label in CACHE_LABELS:
         columns += [f"rewrite@{label}", f"DISE3@{label}"]
@@ -122,6 +204,7 @@ def fig6_cache(suite: Suite) -> ResultTable:
 
 def fig6_width(suite: Suite) -> ResultTable:
     """MFI: DISE3 vs rewriting across processor widths."""
+    suite.prefetch(_plan_fig6_width(suite))
     columns = []
     for width in WIDTHS:
         columns += [f"rewrite@{width}w", f"DISE3@{width}w"]
@@ -165,6 +248,7 @@ def fig7_ratio(suite: Suite) -> ResultTable:
 def fig7_perf(suite: Suite) -> ResultTable:
     """DISE decompression execution time vs I-cache size (perfect RT),
     normalized to the uncompressed 32 KB case."""
+    suite.prefetch(_plan_fig7_perf(suite))
     columns = []
     for label in CACHE_LABELS:
         columns += [f"plain@{label}", f"DISE@{label}"]
@@ -188,6 +272,7 @@ def fig7_perf(suite: Suite) -> ResultTable:
 
 def fig7_rt(suite: Suite) -> ResultTable:
     """DISE decompression under realistic RT geometries (30-cycle miss)."""
+    suite.prefetch(_plan_fig7_rt(suite))
     columns = ["perfect"] + [label for _, _, label in RT_CONFIGS]
     table = ResultTable(
         "Figure 7 (bottom): decompression vs RT configuration "
@@ -219,6 +304,7 @@ def _composition_machine(scheme: str, **kwargs) -> MachineConfig:
 
 def fig8_perf(suite: Suite) -> ResultTable:
     """The three composition schemes across I-cache sizes (perfect RT)."""
+    suite.prefetch(_plan_fig8_perf(suite))
     schemes = ("rewrite+dedicated", "rewrite+dise", "dise+dise")
     columns = []
     for label in CACHE_LABELS:
@@ -240,6 +326,7 @@ def fig8_perf(suite: Suite) -> ResultTable:
 
 def fig8_rt(suite: Suite) -> ResultTable:
     """DISE+DISE composition vs RT geometry and miss-handler latency."""
+    suite.prefetch(_plan_fig8_rt(suite))
     columns = []
     for _, _, label in RT_CONFIGS_COMPOSED:
         columns += [f"{label}@30", f"{label}@150"]

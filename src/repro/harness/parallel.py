@@ -1,0 +1,288 @@
+"""Parallel fan-out for the figure harness.
+
+A figure regeneration decomposes into independent (benchmark,
+transformation) functional simulations — by far the expensive part — plus
+the timing replays of each trace.  This module describes one such unit as a
+picklable :class:`TraceTask`, rebuilds its installation deterministically
+inside a worker process (images are regenerated from the profile seed, so
+nothing heavyweight crosses the pipe), and runs a batch of tasks across a
+``concurrent.futures.ProcessPoolExecutor``.
+
+Workers also run the timing replays their caller already knows it needs
+(the per-figure :class:`~repro.sim.config.MachineConfig` lists), so the
+serial aggregation phase afterwards is pure table arithmetic.  Everything a
+worker produces is pushed through the persistent
+:mod:`~repro.harness.trace_cache` when one is configured, making parallel
+and cached execution one mechanism.
+
+Worker failures are non-fatal: a task whose worker dies is re-run serially
+in the parent with a logged warning, so figures always complete.
+
+Worker count resolution: explicit argument, else the ``REPRO_JOBS``
+environment variable, else 1 (serial).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.acf.base import AcfInstallation, plain_installation
+from repro.acf.composition import build_composition
+from repro.acf.compression import CompressionOptions, compress_image
+from repro.acf.mfi import attach_mfi, rewrite_mfi
+from repro.core.config import DiseConfig
+from repro.harness.trace_cache import (
+    LazyTrace,
+    TraceCache,
+    cycle_key,
+    deserialize_trace,
+    machine_trace_key,
+    serialize_trace,
+)
+from repro.sim.config import MachineConfig
+from repro.sim.cycle import CycleResult, simulate_trace
+from repro.sim.trace import TraceResult
+from repro.workloads.generator import generate_benchmark
+from repro.workloads.specint import get_profile
+
+logger = logging.getLogger(__name__)
+
+#: Functional runs use a perfect RT: RT behaviour is replayed inside the
+#: timing model, so the functional pass should not burn time there.
+FUNCTIONAL_DISE = DiseConfig(rt_perfect=True)
+
+#: Generous dynamic-instruction budget for transformed binaries.
+MAX_STEPS = 30_000_000
+
+_KINDS = ("plain", "mfi", "rewrite", "compressed", "composed")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument > ``REPRO_JOBS`` env > 1."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            logger.warning("ignoring non-integer REPRO_JOBS=%r", env)
+    return 1
+
+
+@dataclass(frozen=True)
+class TraceTask:
+    """One (benchmark, transformation) functional simulation."""
+
+    bench: str
+    scale: float
+    kind: str
+    variant: Optional[str] = None              # mfi
+    label: Optional[str] = None                # compressed
+    options: Optional[CompressionOptions] = None  # compressed
+    scheme: Optional[str] = None               # composed
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown trace kind: {self.kind!r}")
+
+    def suite_key(self) -> Tuple:
+        """The :class:`~repro.harness.runner.Suite` trace-dict key."""
+        if self.kind == "plain":
+            return (self.bench, "plain")
+        if self.kind == "mfi":
+            return (self.bench, "mfi", self.variant)
+        if self.kind == "rewrite":
+            return (self.bench, "rewrite")
+        if self.kind == "compressed":
+            return (self.bench, "compressed", self.label)
+        return (self.bench, "composed", self.scheme)
+
+
+def build_installation(task: TraceTask, image=None) -> AcfInstallation:
+    """Deterministically rebuild the task's installation from scratch.
+
+    ``image`` lets callers that handle several tasks per benchmark reuse
+    one generated program (generation is deterministic either way).
+    """
+    if image is None:
+        image = generate_benchmark(get_profile(task.bench), scale=task.scale)
+    if task.kind == "plain":
+        return plain_installation(image)
+    if task.kind == "mfi":
+        return attach_mfi(image, task.variant)
+    if task.kind == "rewrite":
+        return rewrite_mfi(image)
+    if task.kind == "compressed":
+        return compress_image(image, task.options).installation()
+    _, installation = build_composition(image, task.scheme)
+    return installation
+
+
+def _run_task(task: TraceTask, configs: Sequence[MachineConfig],
+              cache_root: Optional[str], max_steps: int):
+    """Produce (digest, trace_bytes, {config_repr: CycleResult}) for one
+    task.  Runs in a worker process, but is equally callable in-process —
+    that is the serial fallback path."""
+    cache = TraceCache(cache_root) if cache_root else None
+    installation = build_installation(task)
+    machine = installation.make_machine(FUNCTIONAL_DISE)
+    digest = machine_trace_key(installation, machine, repr(FUNCTIONAL_DISE),
+                               max_steps)
+
+    trace = None
+    trace_bytes = None
+    if cache is not None and digest is not None:
+        trace_bytes = cache.load_trace_bytes(digest)
+        if trace_bytes is not None:
+            try:
+                trace = deserialize_trace(trace_bytes)
+            except Exception:
+                trace, trace_bytes = None, None
+    if trace is None:
+        trace = machine.run(max_steps=max_steps)
+        trace_bytes = serialize_trace(trace)
+        if cache is not None and digest is not None:
+            cache.store_trace_bytes(digest, trace_bytes)
+    trace.cache_key = digest
+
+    cycles: Dict[str, CycleResult] = {}
+    for config in configs:
+        config_repr = repr(config)
+        if config_repr in cycles:
+            continue
+        result = None
+        ck = cycle_key(digest, config_repr, True) if digest else None
+        if cache is not None and ck is not None:
+            result = cache.load_cycles(ck)
+        if result is None:
+            result = simulate_trace(trace, config, warm_start=True)
+            if cache is not None and ck is not None:
+                cache.store_cycles(ck, result)
+        cycles[config_repr] = result
+    return digest, trace_bytes, cycles
+
+
+def _fully_cached(task: TraceTask, configs: Sequence[MachineConfig],
+                  cache: TraceCache, max_steps: int, images: Dict):
+    """Parent-side warm path: when the trace *and every requested replay*
+    are already in the persistent cache, answer without deserializing the
+    trace (or spawning a worker).  Returns ``None`` on any miss."""
+    image_key = (task.bench, task.scale)
+    if image_key not in images:
+        images[image_key] = generate_benchmark(get_profile(task.bench),
+                                               scale=task.scale)
+    installation = build_installation(task, image=images[image_key])
+    machine = installation.make_machine(FUNCTIONAL_DISE)
+    digest = machine_trace_key(installation, machine, repr(FUNCTIONAL_DISE),
+                               max_steps)
+    if digest is None or not cache.has_trace(digest):
+        return None
+    cycles: Dict[str, CycleResult] = {}
+    for config in configs:
+        config_repr = repr(config)
+        if config_repr in cycles:
+            continue
+        result = cache.load_cycles(cycle_key(digest, config_repr, True))
+        if result is None:
+            return None
+        cycles[config_repr] = result
+    recompute = lambda: installation.make_machine(FUNCTIONAL_DISE).run(
+        max_steps=max_steps
+    )
+    return digest, LazyTrace(cache, digest, recompute), cycles
+
+
+def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
+              jobs: Optional[int] = None,
+              cache: Optional[TraceCache] = None,
+              max_steps: int = MAX_STEPS,
+              executor_factory=None,
+              ) -> Dict[TraceTask, Tuple[Optional[str], TraceResult,
+                                         Dict[str, CycleResult]]]:
+    """Run a batch of trace tasks, fanning out across worker processes.
+
+    ``plan`` pairs each task with the machine configurations whose timing
+    replays the caller will need.  Returns, per task, the cache digest
+    (``None`` for uncacheable runs), the trace, and the replay results
+    keyed by ``repr(config)``.
+
+    ``executor_factory`` is a test hook: a zero-argument callable returning
+    a ``ProcessPoolExecutor``-compatible context manager.
+    """
+    merged: Dict[TraceTask, List[MachineConfig]] = {}
+    for task, configs in plan:
+        bucket = merged.setdefault(task, [])
+        seen = {repr(c) for c in bucket}
+        for config in configs:
+            if repr(config) not in seen:
+                bucket.append(config)
+                seen.add(repr(config))
+
+    jobs = resolve_jobs(jobs)
+    cache_root = str(cache.root) if cache is not None else None
+    results = {}
+
+    if cache is not None:
+        images: Dict[Tuple, object] = {}
+        for task, configs in list(merged.items()):
+            hit = _fully_cached(task, configs, cache, max_steps, images)
+            if hit is not None:
+                results[task] = hit
+                del merged[task]
+        if not merged:
+            return results
+
+    def finish(digest, trace_bytes, cycles):
+        trace = deserialize_trace(trace_bytes)
+        trace.cache_key = digest
+        return digest, trace, cycles
+
+    if jobs <= 1 or len(merged) <= 1:
+        for task, configs in merged.items():
+            digest, trace_bytes, cycles = _run_task(
+                task, configs, cache_root, max_steps
+            )
+            results[task] = finish(digest, trace_bytes, cycles)
+        return results
+
+    if executor_factory is None:
+        executor_factory = lambda: ProcessPoolExecutor(max_workers=jobs)
+
+    failed: List[Tuple[TraceTask, List[MachineConfig]]] = []
+    try:
+        with executor_factory() as pool:
+            futures = {
+                pool.submit(_run_task, task, configs, cache_root, max_steps):
+                (task, configs)
+                for task, configs in merged.items()
+            }
+            for future in as_completed(futures):
+                task, configs = futures[future]
+                try:
+                    digest, trace_bytes, cycles = future.result()
+                except Exception as exc:
+                    logger.warning(
+                        "worker for %s failed (%s: %s); falling back to "
+                        "serial execution", task, type(exc).__name__, exc,
+                    )
+                    failed.append((task, configs))
+                    continue
+                results[task] = finish(digest, trace_bytes, cycles)
+    except Exception as exc:
+        # The pool itself broke (e.g. fork failure): run the remainder
+        # serially rather than losing the figure.
+        logger.warning("process pool failed (%s: %s); completing serially",
+                       type(exc).__name__, exc)
+        failed = [item for item in merged.items() if item[0] not in results]
+
+    for task, configs in failed:
+        digest, trace_bytes, cycles = _run_task(
+            task, configs, cache_root, max_steps
+        )
+        results[task] = finish(digest, trace_bytes, cycles)
+    return results

@@ -5,11 +5,21 @@ functional traces of each (benchmark, transformation) pair.  Timing replays
 (many per trace: cache sizes, widths, placements, RT geometries) then reuse
 the cached traces, which is what makes regenerating all of Figures 6-8
 tractable.
+
+Two accelerators sit underneath (see :mod:`repro.harness.parallel` and
+:mod:`repro.harness.trace_cache`):
+
+* :meth:`Suite.prefetch` runs a figure's functional simulations — and the
+  timing replays the figure is known to need — across worker processes;
+* a persistent content-addressed cache makes repeat runs warm-start, for
+  serial and parallel execution alike.  ``REPRO_TRACE_CACHE`` points it at
+  a directory (or disables it with ``0``/``off``); ``REPRO_JOBS`` sets the
+  default worker count.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.acf.base import AcfInstallation, plain_installation
 from repro.acf.composition import build_composition
@@ -19,7 +29,20 @@ from repro.acf.compression import (
     compress_image,
 )
 from repro.acf.mfi import attach_mfi, rewrite_mfi
-from repro.core.config import DiseConfig
+from repro.harness.parallel import (
+    FUNCTIONAL_DISE,
+    MAX_STEPS,
+    TraceTask,
+    resolve_jobs,
+    run_tasks,
+)
+from repro.harness.trace_cache import (
+    LazyTrace,
+    cycle_key,
+    machine_trace_key,
+    open_cache,
+    trace_fingerprint,
+)
 from repro.program.image import ProgramImage
 from repro.sim.config import MachineConfig
 from repro.sim.cycle import CycleResult, simulate_trace
@@ -27,21 +50,28 @@ from repro.sim.trace import TraceResult
 from repro.workloads.generator import generate_benchmark
 from repro.workloads.specint import BENCHMARK_NAMES, get_profile
 
-#: Functional runs use a perfect RT: RT behaviour is replayed inside the
-#: timing model, so the functional pass should not burn time there.
-_FUNCTIONAL_DISE = DiseConfig(rt_perfect=True)
-
-#: Generous dynamic-instruction budget for transformed binaries.
-_MAX_STEPS = 30_000_000
+# Backwards-compatible aliases (pre-parallel names).
+_FUNCTIONAL_DISE = FUNCTIONAL_DISE
+_MAX_STEPS = MAX_STEPS
 
 
 class Suite:
-    """Lazily generated benchmarks + cached functional traces."""
+    """Lazily generated benchmarks + cached functional traces.
+
+    ``jobs`` sets the default parallel worker count (``None`` defers to the
+    ``REPRO_JOBS`` environment variable); ``cache`` configures the
+    persistent trace cache: ``"auto"`` (the default) honours
+    ``REPRO_TRACE_CACHE``, ``None`` disables, and a path or
+    :class:`~repro.harness.trace_cache.TraceCache` selects a directory.
+    """
 
     def __init__(self, benchmarks: Optional[Sequence[str]] = None,
-                 scale: float = 1.0):
+                 scale: float = 1.0, jobs: Optional[int] = None,
+                 cache="auto"):
         self.benchmarks = tuple(benchmarks or BENCHMARK_NAMES)
         self.scale = scale
+        self.jobs = jobs
+        self.cache = open_cache(cache)
         self._images: Dict[str, ProgramImage] = {}
         self._traces: Dict[Tuple, TraceResult] = {}
         self._compressions: Dict[Tuple, CompressionResult] = {}
@@ -55,26 +85,52 @@ class Suite:
             )
         return self._images[bench]
 
+    def _execute_installation(self, installation: AcfInstallation
+                              ) -> TraceResult:
+        """One functional run, through the persistent cache when possible."""
+        machine = installation.make_machine(FUNCTIONAL_DISE)
+        digest = None
+        if self.cache is not None:
+            digest = machine_trace_key(installation, machine,
+                                       repr(FUNCTIONAL_DISE), MAX_STEPS)
+            if digest is not None and self.cache.has_trace(digest):
+                # Deserialization is deferred: a warm figure run that finds
+                # all its cycle replays cached never touches the ops.
+                return LazyTrace(
+                    self.cache, digest,
+                    recompute=lambda: machine.run(max_steps=MAX_STEPS),
+                )
+        trace = machine.run(max_steps=MAX_STEPS)
+        trace.cache_key = digest
+        if digest is not None:
+            self.cache.store_trace(digest, trace)
+        return trace
+
     def _run(self, key: Tuple, installation: AcfInstallation) -> TraceResult:
         if key not in self._traces:
-            self._traces[key] = installation.run(
-                dise_config=_FUNCTIONAL_DISE, max_steps=_MAX_STEPS
-            )
+            self._traces[key] = self._execute_installation(installation)
         return self._traces[key]
 
     # ------------------------------------------------------------------
     # Traces per transformation
     # ------------------------------------------------------------------
     def trace_plain(self, bench: str) -> TraceResult:
-        return self._run((bench, "plain"),
-                         plain_installation(self.image(bench)))
+        key = (bench, "plain")
+        if key not in self._traces:
+            self._run(key, plain_installation(self.image(bench)))
+        return self._traces[key]
 
     def trace_mfi(self, bench: str, variant: str) -> TraceResult:
-        return self._run((bench, "mfi", variant),
-                         attach_mfi(self.image(bench), variant))
+        key = (bench, "mfi", variant)
+        if key not in self._traces:
+            self._run(key, attach_mfi(self.image(bench), variant))
+        return self._traces[key]
 
     def trace_rewrite(self, bench: str) -> TraceResult:
-        return self._run((bench, "rewrite"), rewrite_mfi(self.image(bench)))
+        key = (bench, "rewrite")
+        if key not in self._traces:
+            self._run(key, rewrite_mfi(self.image(bench)))
+        return self._traces[key]
 
     def compression(self, bench: str,
                     options: CompressionOptions,
@@ -88,23 +144,23 @@ class Suite:
 
     def trace_compressed(self, bench: str, options: CompressionOptions,
                          label: str) -> TraceResult:
-        result = self.compression(bench, options, label)
-        return self._run((bench, "compressed", label),
-                         result.installation())
+        key = (bench, "compressed", label)
+        if key not in self._traces:
+            result = self.compression(bench, options, label)
+            self._run(key, result.installation())
+        return self._traces[key]
 
     def composition(self, bench: str, scheme: str
                     ) -> Tuple[CompressionResult, AcfInstallation]:
-        key = (bench, "composition", scheme)
-        if key not in self._compressions:
+        ckey = (bench, "composition", scheme)
+        tkey = (bench, "composed", scheme)
+        if ckey not in self._compressions or tkey not in self._traces:
             result, installation = build_composition(self.image(bench),
                                                      scheme)
-            self._compressions[key] = result
-            self._traces.setdefault(
-                (bench, "composed", scheme),
-                installation.run(dise_config=_FUNCTIONAL_DISE,
-                                 max_steps=_MAX_STEPS),
-            )
-        return self._compressions[key], None
+            self._compressions.setdefault(ckey, result)
+            if tkey not in self._traces:
+                self._traces[tkey] = self._execute_installation(installation)
+        return self._compressions[ckey], None
 
     def trace_composition(self, bench: str, scheme: str) -> TraceResult:
         self.composition(bench, scheme)
@@ -115,9 +171,77 @@ class Suite:
                config: Optional[MachineConfig] = None) -> CycleResult:
         # Steady-state measurement: our runs are shorter than the paper's
         # complete-input runs, so cold misses are warmed away.  Results are
-        # memoised — figures share many (trace, config) replays.
-        key = (id(trace), repr(config))
+        # memoised — figures share many (trace, config) replays.  The key is
+        # a content fingerprint: id(trace) could be recycled by the
+        # allocator after a trace is garbage-collected, silently returning
+        # another trace's results.
+        fingerprint = trace_fingerprint(trace)
+        key = (fingerprint, repr(config))
         if key not in self._cycles:
-            self._cycles[key] = simulate_trace(trace, config,
-                                               warm_start=True)
+            result = None
+            persistent_key = None
+            if self.cache is not None and trace.cache_key is not None:
+                persistent_key = cycle_key(trace.cache_key, repr(config),
+                                           True)
+                result = self.cache.load_cycles(persistent_key)
+            if result is None:
+                result = simulate_trace(trace, config, warm_start=True)
+                if persistent_key is not None:
+                    self.cache.store_cycles(persistent_key, result)
+            self._cycles[key] = result
         return self._cycles[key]
+
+    # ------------------------------------------------------------------
+    # Parallel execution
+    # ------------------------------------------------------------------
+    def task(self, kind: str, bench: str, **fields) -> TraceTask:
+        """Build a :class:`TraceTask` for this suite's scale."""
+        return TraceTask(bench=bench, scale=self.scale, kind=kind, **fields)
+
+    def prefetch(self, plan: Iterable, jobs: Optional[int] = None) -> int:
+        """Fan a figure's functional simulations (and known timing replays)
+        out across worker processes, populating the in-memory memos.
+
+        ``plan`` entries are ``TraceTask`` or ``(TraceTask, configs)``.
+        Tasks whose traces are already in memory are skipped.  With an
+        effective worker count of 1 this is a no-op (the serial path will
+        compute everything on demand, through the persistent cache).
+        Returns the number of tasks executed.
+        """
+        jobs = resolve_jobs(self.jobs if jobs is None else jobs)
+        if jobs <= 1:
+            return 0
+        normalized = []
+        for entry in plan:
+            task, configs = (entry if isinstance(entry, tuple)
+                             else (entry, ()))
+            if task.suite_key() in self._traces:
+                continue
+            normalized.append((task, tuple(configs)))
+        if not normalized:
+            return 0
+        results = run_tasks(normalized, jobs=jobs, cache=self.cache)
+        for task, (digest, trace, cycle_results) in results.items():
+            self._traces.setdefault(task.suite_key(), trace)
+            fingerprint = trace_fingerprint(trace)
+            for config_repr, result in cycle_results.items():
+                self._cycles.setdefault((fingerprint, config_repr), result)
+        return len(results)
+
+    def run_parallel(self, tasks: Iterable[TraceTask],
+                     jobs: Optional[int] = None) -> Dict[Tuple, TraceResult]:
+        """Run trace tasks in parallel and return {suite key: trace}.
+
+        Unlike :meth:`prefetch` this always executes (even with one job)
+        and returns the traces directly.
+        """
+        normalized = [(task, ()) for task in tasks]
+        results = run_tasks(normalized,
+                            jobs=resolve_jobs(self.jobs if jobs is None
+                                              else jobs),
+                            cache=self.cache)
+        out = {}
+        for task, (digest, trace, _) in results.items():
+            self._traces.setdefault(task.suite_key(), trace)
+            out[task.suite_key()] = self._traces[task.suite_key()]
+        return out

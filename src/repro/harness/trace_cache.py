@@ -1,0 +1,402 @@
+"""Persistent, content-addressed cache for functional traces.
+
+Regenerating the paper's figures replays a handful of functional traces
+under dozens of machine configurations; the traces themselves are pure
+functions of (program image, installed productions, initial machine state,
+DISE config, step budget).  This module caches them — and the per-config
+:class:`~repro.sim.cycle.CycleResult` replays — on disk, keyed by a sha256
+digest over exactly those inputs, so repeated figure runs, CI jobs, and
+parallel workers all warm-start.
+
+Layout (default root ``~/.cache/repro-dise``, override with the
+``REPRO_TRACE_CACHE`` env var; set it to ``0``/``off`` to disable)::
+
+    <root>/traces/<digest>.trc    zlib-compressed pickled trace payload
+    <root>/cycles/<digest>.cyc    zlib-compressed pickled CycleResult
+
+Entries are written atomically (tmp file + ``os.replace``) so concurrent
+workers can share one cache directory; a corrupt or truncated entry reads
+as a miss and is rewritten.  Keys embed :data:`SCHEMA_VERSION` — bump it
+whenever trace semantics or the serialized form change and every stale
+entry silently misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import zlib
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.core.production import ProductionSet
+from repro.isa.opcodes import OPCODE_BY_CODE
+from repro.program.image import ProgramImage
+from repro.sim.memory import Memory
+from repro.sim.trace import Op, TraceResult
+
+#: Bump when the trace format, Op fields, or generator semantics change.
+SCHEMA_VERSION = 1
+
+_ENV_VAR = "REPRO_TRACE_CACHE"
+_DISABLED_VALUES = ("0", "off", "none", "no", "false")
+
+
+class CacheError(RuntimeError):
+    """Raised for malformed payloads (callers treat it as a miss)."""
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+def image_fingerprint(image: ProgramImage) -> str:
+    """Stable digest of everything execution can observe in an image.
+
+    Memoised on the image: transformations build *new* images rather than
+    mutating, so the digest of a given object never changes.
+    """
+    cached = getattr(image, "_cached_fingerprint", None)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    for instr in image.instructions:
+        h.update(repr((instr.opcode.code, instr.ra, instr.rb, instr.rc,
+                       instr.imm, instr.target)).encode())
+    h.update(repr(tuple(image.addresses)).encode())
+    h.update(repr(tuple(image.sizes)).encode())
+    h.update(repr(tuple(image.target_index)).encode())
+    h.update(repr((image.entry_index, image.text_base, image.data_base,
+                   image.data_size)).encode())
+    h.update(repr(sorted(image.data_words.items())).encode())
+    digest = h.hexdigest()
+    try:
+        image._cached_fingerprint = digest
+    except AttributeError:
+        pass
+    return digest
+
+
+def production_set_fingerprint(pset: ProductionSet) -> str:
+    """Structural digest of one production set (ProductionSet has no
+    value-semantics repr of its own; its members are frozen dataclasses)."""
+    h = hashlib.sha256()
+    h.update(repr((pset.name, pset.scope)).encode())
+    for production in pset.productions:
+        h.update(repr(production).encode())
+    for seq_id in sorted(pset.replacements):
+        h.update(repr((seq_id, pset.replacements[seq_id])).encode())
+    return h.hexdigest()
+
+
+def trace_key(image: ProgramImage,
+              production_sets: Iterable[ProductionSet],
+              init_regs: Iterable[int],
+              init_memory: dict,
+              dise_config_repr: str,
+              max_steps: int) -> str:
+    """The cache key for one functional run.
+
+    ``init_regs``/``init_memory`` are the post-initialisation register file
+    and data memory — they capture whatever the installation's
+    ``init_machine`` callback seeded, without having to fingerprint
+    arbitrary Python code.  Installations whose callbacks do more than seed
+    state (e.g. register ``ctrl`` handlers) must not be cached;
+    :func:`machine_trace_key` checks that.
+    """
+    h = hashlib.sha256()
+    h.update(f"schema={SCHEMA_VERSION}".encode())
+    h.update(image_fingerprint(image).encode())
+    for pset in production_sets:
+        h.update(production_set_fingerprint(pset).encode())
+    h.update(repr(tuple(init_regs)).encode())
+    h.update(repr(sorted(init_memory.items())).encode())
+    h.update(dise_config_repr.encode())
+    h.update(f"max_steps={max_steps}".encode())
+    return h.hexdigest()
+
+
+def machine_trace_key(installation, machine, dise_config_repr: str,
+                      max_steps: int) -> Optional[str]:
+    """Key for running ``installation`` on a freshly initialised ``machine``.
+
+    Returns ``None`` when the run is uncacheable: a registered ``ctrl``
+    handler is arbitrary Python whose behaviour the key cannot capture.
+    """
+    if machine.control_handlers:
+        return None
+    return trace_key(installation.image, installation.production_sets,
+                     machine.regs, machine.mem.snapshot(),
+                     dise_config_repr, max_steps)
+
+
+def trace_fingerprint(trace: TraceResult) -> str:
+    """A stable content digest for an in-memory trace.
+
+    Uses the cache key when the trace came from (or went into) the
+    persistent cache; otherwise hashes the serialized content once and
+    memoises it on the trace.  Replaces identity-based memo keys, whose
+    ids can be recycled after garbage collection.
+    """
+    if trace.cache_key is not None:
+        return trace.cache_key
+    if trace._fingerprint is None:
+        h = hashlib.sha256()
+        h.update(b"content:")
+        h.update(serialize_trace(trace))
+        trace._fingerprint = h.hexdigest()
+    return trace._fingerprint
+
+
+def cycle_key(trace_digest: str, config_repr: str, warm_start: bool) -> str:
+    """The cache key for one timing replay of a cached trace."""
+    h = hashlib.sha256()
+    h.update(f"schema={SCHEMA_VERSION}".encode())
+    h.update(trace_digest.encode())
+    h.update(config_repr.encode())
+    h.update(repr(warm_start).encode())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Trace serialization
+# ----------------------------------------------------------------------
+def serialize_trace(trace: TraceResult) -> bytes:
+    """Compact bytes for a trace: ops as plain int/str tuples, zlib'd."""
+    ops = [
+        (op.pc, op.disepc, op.opcode.code, op.srcs, op.dest, op.mem_addr,
+         op.is_store, op.fetch_addr, op.ctrl, op.ctrl_taken, op.ctrl_target,
+         op.is_trigger_ctrl, op.expansion)
+        for op in trace.ops
+    ]
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "ops": ops,
+        "outputs": list(trace.outputs),
+        "fault_code": trace.fault_code,
+        "halted": trace.halted,
+        "instructions": trace.instructions,
+        "app_instructions": trace.app_instructions,
+        "expansions": trace.expansions,
+        "final_regs": tuple(trace.final_regs),
+        "final_memory": trace.final_memory.snapshot(),
+    }
+    return zlib.compress(pickle.dumps(payload, protocol=4), level=1)
+
+
+def deserialize_trace(data: bytes) -> TraceResult:
+    """Rebuild a :class:`TraceResult` from :func:`serialize_trace` bytes."""
+    try:
+        payload = pickle.loads(zlib.decompress(data))
+    except Exception as exc:  # corrupt/truncated entry
+        raise CacheError(f"undecodable trace payload: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+        raise CacheError("trace payload schema mismatch")
+    ops = [
+        Op(pc, disepc, OPCODE_BY_CODE[code], srcs, dest, mem_addr, is_store,
+           fetch_addr, ctrl, ctrl_taken, ctrl_target, is_trigger_ctrl,
+           expansion)
+        for (pc, disepc, code, srcs, dest, mem_addr, is_store, fetch_addr,
+             ctrl, ctrl_taken, ctrl_target, is_trigger_ctrl, expansion)
+        in payload["ops"]
+    ]
+    return TraceResult(
+        ops=ops,
+        outputs=payload["outputs"],
+        fault_code=payload["fault_code"],
+        halted=payload["halted"],
+        instructions=payload["instructions"],
+        app_instructions=payload["app_instructions"],
+        expansions=payload["expansions"],
+        final_regs=payload["final_regs"],
+        final_memory=Memory(payload["final_memory"]),
+    )
+
+
+class LazyTrace:
+    """A cached trace that defers deserialization until it is needed.
+
+    Warm figure runs usually need nothing from a trace beyond its cache
+    key (the per-config cycle results are cached under it), so unpickling
+    millions of :class:`~repro.sim.trace.Op` records up front would
+    dominate the warm path.  This proxy carries the key; the first access
+    to any real trace attribute materialises the underlying
+    :class:`TraceResult` from the cache (or via ``recompute`` if the entry
+    vanished or rotted in the meantime) and delegates from then on —
+    including attribute writes, so the timing model's warm-state memo
+    lands on the shared underlying trace.
+    """
+
+    _OWN = frozenset(("cache_key", "_cache", "_recompute", "_real"))
+
+    def __init__(self, cache: "TraceCache", digest: str, recompute=None):
+        object.__setattr__(self, "cache_key", digest)
+        object.__setattr__(self, "_cache", cache)
+        object.__setattr__(self, "_recompute", recompute)
+        object.__setattr__(self, "_real", None)
+
+    def materialize(self) -> TraceResult:
+        trace = self._real
+        if trace is None:
+            trace = self._cache.load_trace(self.cache_key)
+            if trace is None:
+                if self._recompute is None:
+                    raise CacheError(
+                        f"cache entry {self.cache_key} disappeared and no "
+                        "recompute fallback was provided"
+                    )
+                trace = self._recompute()
+                self._cache.store_trace(self.cache_key, trace)
+            trace.cache_key = self.cache_key
+            object.__setattr__(self, "_real", trace)
+        return trace
+
+    def __getattr__(self, name):
+        return getattr(self.materialize(), name)
+
+    def __setattr__(self, name, value):
+        if name in self._OWN:
+            object.__setattr__(self, name, value)
+        else:
+            setattr(self.materialize(), name, value)
+
+
+# ----------------------------------------------------------------------
+# The on-disk cache
+# ----------------------------------------------------------------------
+class TraceCache:
+    """Content-addressed trace + cycle-result store under one root dir."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self._traces = self.root / "traces"
+        self._cycles = self.root / "cycles"
+
+    # -- plumbing ------------------------------------------------------
+    def _write_atomic(self, path: Path, data: bytes):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+
+    def _read(self, path: Path) -> Optional[bytes]:
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    # -- traces --------------------------------------------------------
+    def trace_path(self, digest: str) -> Path:
+        return self._traces / f"{digest}.trc"
+
+    def has_trace(self, digest: str) -> bool:
+        return self.trace_path(digest).is_file()
+
+    def load_trace_bytes(self, digest: str) -> Optional[bytes]:
+        return self._read(self.trace_path(digest))
+
+    def load_trace(self, digest: str) -> Optional[TraceResult]:
+        data = self.load_trace_bytes(digest)
+        if data is None:
+            return None
+        try:
+            return deserialize_trace(data)
+        except CacheError:
+            return None
+
+    def store_trace_bytes(self, digest: str, data: bytes):
+        self._write_atomic(self.trace_path(digest), data)
+
+    def store_trace(self, digest: str, trace: TraceResult) -> bytes:
+        data = serialize_trace(trace)
+        self.store_trace_bytes(digest, data)
+        return data
+
+    # -- cycle results -------------------------------------------------
+    def cycle_path(self, digest: str) -> Path:
+        return self._cycles / f"{digest}.cyc"
+
+    def load_cycles(self, digest: str):
+        data = self._read(self.cycle_path(digest))
+        if data is None:
+            return None
+        try:
+            return pickle.loads(zlib.decompress(data))
+        except Exception:
+            return None
+
+    def store_cycles(self, digest: str, result):
+        data = zlib.compress(pickle.dumps(result, protocol=4), level=1)
+        self._write_atomic(self.cycle_path(digest), data)
+
+    # -- maintenance ---------------------------------------------------
+    def stats(self) -> dict:
+        """Entry counts and byte totals, per kind."""
+        out = {"root": str(self.root)}
+        for kind, directory, suffix in (
+            ("traces", self._traces, ".trc"),
+            ("cycles", self._cycles, ".cyc"),
+        ):
+            count = 0
+            size = 0
+            if directory.is_dir():
+                for entry in directory.iterdir():
+                    if entry.suffix == suffix and entry.is_file():
+                        count += 1
+                        size += entry.stat().st_size
+            out[kind] = {"entries": count, "bytes": size}
+        return out
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for directory in (self._traces, self._cycles):
+            if not directory.is_dir():
+                continue
+            for entry in directory.iterdir():
+                if entry.is_file():
+                    try:
+                        entry.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+
+def default_cache_root() -> Optional[Path]:
+    """Resolve the cache root from ``REPRO_TRACE_CACHE`` / XDG defaults.
+
+    Returns ``None`` when caching is disabled.
+    """
+    value = os.environ.get(_ENV_VAR)
+    if value is not None:
+        if value.strip().lower() in _DISABLED_VALUES or not value.strip():
+            return None
+        return Path(value).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-dise"
+
+
+def open_cache(cache="auto") -> Optional[TraceCache]:
+    """Normalise a cache argument to a :class:`TraceCache` or ``None``.
+
+    ``"auto"`` honours the environment (see :func:`default_cache_root`);
+    ``None``/``False`` disables; a path-like opens that directory; a
+    :class:`TraceCache` passes through.
+    """
+    if cache is None or cache is False:
+        return None
+    if isinstance(cache, TraceCache):
+        return cache
+    if cache == "auto":
+        root = default_cache_root()
+        return TraceCache(root) if root is not None else None
+    return TraceCache(cache)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict
+from typing import List
 
 
 @dataclass(frozen=True)
@@ -52,7 +52,11 @@ class Cache:
 
     def __init__(self, config: CacheConfig):
         self.config = config
-        self._sets: Dict[int, OrderedDict] = {}
+        # One LRU-ordered dict per set, pre-allocated so the access path is
+        # a plain list index (this method dominates timing-replay profiles).
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
         self._offset_bits = config.line_bytes.bit_length() - 1
         self._num_sets = config.num_sets
         self._assoc = config.assoc
@@ -63,12 +67,8 @@ class Cache:
         """Access the line containing ``addr``; fill on miss; True on hit."""
         self.accesses += 1
         line = addr >> self._offset_bits
-        index = line % self._num_sets
+        entry_set = self._sets[line % self._num_sets]
         tag = line // self._num_sets
-        entry_set = self._sets.get(index)
-        if entry_set is None:
-            entry_set = OrderedDict()
-            self._sets[index] = entry_set
         if tag in entry_set:
             entry_set.move_to_end(tag)
             return True
@@ -81,11 +81,11 @@ class Cache:
     def probe(self, addr: int) -> bool:
         """Check residence without updating state or statistics."""
         line = addr >> self._offset_bits
-        entry_set = self._sets.get(line % self._num_sets)
-        return bool(entry_set) and (line // self._num_sets) in entry_set
+        return (line // self._num_sets) in self._sets[line % self._num_sets]
 
     def invalidate(self):
-        self._sets.clear()
+        for entry_set in self._sets:
+            entry_set.clear()
 
     @property
     def hits(self) -> int:

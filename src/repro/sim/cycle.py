@@ -54,6 +54,8 @@ from repro.sim.trace import (
 
 NUM_REGS = 40
 
+_INDIRECT_KINDS = (CTRL_INDIRECT, CTRL_RET, CTRL_CALL)
+
 
 @dataclass
 class CycleResult:
@@ -86,11 +88,126 @@ class CycleResult:
         return self.il1_misses / self.il1_accesses
 
 
+#: Warm-state snapshots kept per trace.  Each figure sweeps a handful of
+#: cache/RT geometries per trace, so a small bound keeps memory flat while
+#: covering every sweep in the harness.
+_WARM_MEMO_LIMIT = 8
+
+
+def _snap_cache(cache):
+    if isinstance(cache, PerfectCache):
+        return None
+    return [entry_set.copy() for entry_set in cache._sets]
+
+
+def _restore_cache(snap, cache):
+    if snap is not None:
+        cache._sets = [entry_set.copy() for entry_set in snap]
+
+
+def _snapshot_warm(il1, dl1, l2, predictor, rt):
+    return (
+        _snap_cache(il1), _snap_cache(dl1), _snap_cache(l2),
+        bytes(predictor._counters), predictor._history,
+        dict(predictor._btb), tuple(predictor._ras),
+        {index: entry_set.copy() for index, entry_set in rt._sets.items()},
+    )
+
+
+def _restore_warm(snap, il1, dl1, l2, predictor, rt):
+    il1_snap, dl1_snap, l2_snap, counters, history, btb, ras, rt_sets = snap
+    _restore_cache(il1_snap, il1)
+    _restore_cache(dl1_snap, dl1)
+    _restore_cache(l2_snap, l2)
+    predictor._counters = bytearray(counters)
+    predictor._history = history
+    predictor._btb = dict(btb)
+    predictor._ras = list(ras)
+    rt._sets = {index: entry_set.copy() for index, entry_set in rt_sets.items()}
+
+
 class CycleSimulator:
     """Replays a trace; see the module docstring for the model."""
 
     def __init__(self, config: Optional[MachineConfig] = None):
         self.config = config or MachineConfig()
+
+    def _warm_signature(self):
+        """Everything the warm pass can observe.  Configs differing only in
+        placement, width, or window sizes share warmed state."""
+        config = self.config
+        dise = config.dise
+        return (
+            repr(config.il1), repr(config.dl1), repr(config.l2),
+            repr(config.predictor),
+            dise.rt_entries, dise.rt_assoc, dise.rt_perfect,
+            dise.rt_block_size,
+            config.predict_replacement_branches,
+        )
+
+    def _warm(self, trace, il1, dl1, l2, predictor, rt):
+        """Replay the trace through the caches, predictor and RT without
+        timing.  The warmed state is memoized on the trace per geometry
+        signature, so config sweeps (placements, widths, windows) restore
+        it by copy instead of re-running the whole pass."""
+        signature = self._warm_signature()
+        states = trace._warm_states
+        if states is None:
+            states = trace._warm_states = {}
+        snap = states.get(signature)
+        if snap is not None:
+            _restore_warm(snap, il1, dl1, l2, predictor, rt)
+            return
+
+        il1_access = il1.access
+        dl1_access = dl1.access
+        l2_access = l2.access
+        rt_access = rt.access_sequence
+        predict_cond = predictor.predict_and_update
+        predict_target = predictor.predict_indirect
+        predict_replacement = self.config.predict_replacement_branches
+        for op in trace.ops:
+            if op.fetch_addr is not None and not il1_access(op.fetch_addr):
+                l2_access(op.fetch_addr)
+            if op.expansion is not None:
+                rt_access(op.expansion[0], op.expansion[1])
+            if op.mem_addr is not None and not op.is_store:
+                if not dl1_access(op.mem_addr):
+                    l2_access(op.mem_addr)
+            elif op.mem_addr is not None:
+                dl1_access(op.mem_addr)
+            ctrl = op.ctrl
+            if ctrl == CTRL_COND:
+                if op.is_trigger_ctrl:
+                    predict_cond(op.pc, op.ctrl_taken)
+                elif predict_replacement:
+                    predict_cond(
+                        op.pc ^ (op.disepc << 4), op.ctrl_taken
+                    )
+            elif ctrl in _INDIRECT_KINDS and \
+                    op.is_trigger_ctrl and op.ctrl_target is not None:
+                predict_target(
+                    op.pc, op.ctrl_target,
+                    is_return=ctrl == CTRL_RET, is_call=ctrl == CTRL_CALL,
+                    return_addr=op.pc + 4,
+                )
+            elif ctrl is not None and not op.is_trigger_ctrl and \
+                    predict_replacement and op.ctrl_taken and \
+                    ctrl != CTRL_DISE:
+                predict_target(
+                    op.pc ^ (op.disepc << 4), op.ctrl_target or 0
+                )
+        # Reset statistics so the measured pass reports its own counts.
+        il1.accesses = il1.misses = 0
+        dl1.accesses = dl1.misses = 0
+        l2.accesses = l2.misses = 0
+        rt.accesses = rt.misses = rt.fills = 0
+        predictor.cond_lookups = predictor.cond_mispredicts = 0
+        predictor.target_lookups = predictor.target_mispredicts = 0
+
+        if len(states) >= _WARM_MEMO_LIMIT:
+            states.pop(next(iter(states)))
+        states[signature] = _snapshot_warm(il1, dl1, l2, predictor, rt)
 
     def simulate(self, trace: TraceResult, warm_start=False) -> CycleResult:
         """Replay ``trace``.
@@ -118,46 +235,17 @@ class CycleSimulator:
             block_size=config.dise.rt_block_size,
         )
 
+        # Bound-method locals: the replay loops below touch these millions
+        # of times, and LOAD_FAST beats the attribute chain.
+        il1_access = il1.access
+        dl1_access = dl1.access
+        l2_access = l2.access
+        rt_access = rt.access_sequence
+        predict_cond = predictor.predict_and_update
+        predict_target = predictor.predict_indirect
+
         if warm_start:
-            predict_replacement = config.predict_replacement_branches
-            for op in ops:
-                if op.fetch_addr is not None and not il1.access(op.fetch_addr):
-                    l2.access(op.fetch_addr)
-                if op.expansion is not None:
-                    rt.access_sequence(op.expansion[0], op.expansion[1])
-                if op.mem_addr is not None and not op.is_store:
-                    if not dl1.access(op.mem_addr):
-                        l2.access(op.mem_addr)
-                elif op.mem_addr is not None:
-                    dl1.access(op.mem_addr)
-                ctrl = op.ctrl
-                if ctrl == CTRL_COND:
-                    if op.is_trigger_ctrl:
-                        predictor.predict_and_update(op.pc, op.ctrl_taken)
-                    elif predict_replacement:
-                        predictor.predict_and_update(
-                            op.pc ^ (op.disepc << 4), op.ctrl_taken
-                        )
-                elif ctrl in (CTRL_INDIRECT, CTRL_RET, CTRL_CALL) and \
-                        op.is_trigger_ctrl and op.ctrl_target is not None:
-                    predictor.predict_indirect(
-                        op.pc, op.ctrl_target,
-                        is_return=ctrl == CTRL_RET, is_call=ctrl == CTRL_CALL,
-                        return_addr=op.pc + 4,
-                    )
-                elif ctrl is not None and not op.is_trigger_ctrl and \
-                        predict_replacement and op.ctrl_taken and \
-                        ctrl != CTRL_DISE:
-                    predictor.predict_indirect(
-                        op.pc ^ (op.disepc << 4), op.ctrl_target or 0
-                    )
-            # Reset statistics so the measured pass reports its own counts.
-            il1.accesses = il1.misses = 0
-            dl1.accesses = dl1.misses = 0
-            l2.accesses = l2.misses = 0
-            rt.accesses = rt.misses = rt.fills = 0
-            predictor.cond_lookups = predictor.cond_mispredicts = 0
-            predictor.target_lookups = predictor.target_mispredicts = 0
+            self._warm(trace, il1, dl1, l2, predictor, rt)
 
         width = config.width
         rob_entries = config.rob_entries
@@ -177,6 +265,8 @@ class CycleSimulator:
         ready = [0] * NUM_REGS
         retire_times: List[int] = []
         start_times: List[int] = []
+        retire_append = retire_times.append
+        start_append = start_times.append
         last_retire = 0
         fetch_cycle = 1
         slots_used = 0
@@ -194,8 +284,8 @@ class CycleSimulator:
             # ----------------------------------------------------- fetch
             fetch_addr = op.fetch_addr
             if fetch_addr is not None:
-                if not il1.access(fetch_addr):
-                    if l2.access(fetch_addr):
+                if not il1_access(fetch_addr):
+                    if l2_access(fetch_addr):
                         fetch_cycle += l2_latency
                     else:
                         l2_misses += 1
@@ -214,7 +304,7 @@ class CycleSimulator:
                     fetch_cycle += simple_miss + refill
                     pt_miss_stalls += 1
                     slots_used = 0
-                if rt.access_sequence(seq_id, length):
+                if rt_access(seq_id, length):
                     fetch_cycle += (compose_miss if composed else simple_miss)
                     fetch_cycle += refill
                     rt_miss_stalls += 1
@@ -247,10 +337,10 @@ class CycleSimulator:
             mem_addr = op.mem_addr
             if mem_addr is not None:
                 if op.is_store:
-                    dl1.access(mem_addr)  # stores retire via the store buffer
+                    dl1_access(mem_addr)  # stores retire via the store buffer
                 else:
-                    if not dl1.access(mem_addr):
-                        if l2.access(mem_addr):
+                    if not dl1_access(mem_addr):
+                        if l2_access(mem_addr):
                             latency += l2_latency
                         else:
                             l2_misses += 1
@@ -278,7 +368,7 @@ class CycleSimulator:
                         # Enhanced design: the predictor learns replacement
                         # branches, indexed by the PC:DISEPC pair.
                         cond_branches += 1
-                        if predictor.predict_and_update(
+                        if predict_cond(
                             op.pc ^ (op.disepc << 4), taken
                         ):
                             mispredicts += 1
@@ -291,7 +381,7 @@ class CycleSimulator:
                     elif predict_replacement and taken:
                         # Unconditional/indirect replacement transfer: the
                         # BTB learns the codeword's PC:DISEPC.
-                        if predictor.predict_indirect(
+                        if predict_target(
                             op.pc ^ (op.disepc << 4), op.ctrl_target or 0
                         ):
                             mispredicts += 1
@@ -311,7 +401,7 @@ class CycleSimulator:
                             slots_used = 0
                 elif ctrl == CTRL_COND:
                     cond_branches += 1
-                    if predictor.predict_and_update(op.pc, taken):
+                    if predict_cond(op.pc, taken):
                         mispredicts += 1
                         redirect = complete + refill
                         if redirect > fetch_cycle:
@@ -319,11 +409,11 @@ class CycleSimulator:
                             slots_used = 0
                     elif taken:
                         slots_used = width  # taken branch ends the group
-                elif ctrl in (CTRL_INDIRECT, CTRL_RET, CTRL_CALL):
+                elif ctrl in _INDIRECT_KINDS:
                     if op.ctrl_target is not None:
                         is_return = ctrl == CTRL_RET
                         is_call = ctrl == CTRL_CALL
-                        if predictor.predict_indirect(
+                        if predict_target(
                             op.pc, op.ctrl_target,
                             is_return=is_return, is_call=is_call,
                             return_addr=op.pc + 4,
@@ -346,8 +436,8 @@ class CycleSimulator:
                 floor = retire_times[i - width] + 1
                 if retire < floor:
                     retire = floor
-            retire_times.append(retire)
-            start_times.append(start)
+            retire_append(retire)
+            start_append(start)
             last_retire = retire
 
         cycles = last_retire if ops else 0

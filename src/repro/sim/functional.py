@@ -19,6 +19,18 @@ paper's two-level PC:DISEPC control model (Section 2.1):
 
 The run produces a :class:`~repro.sim.trace.TraceResult` that the timing
 simulator replays under different machine configurations.
+
+Two dispatch paths implement the instruction semantics:
+
+* the **fast path** (default) — an opcode-indexed handler table plus a
+  per-image decoded-instruction cache, in the style of pre-decoded
+  interpreter loops (Blanqui et al., "Designing a CPU model: from a
+  pseudo-formal document to fast code");
+* the **generic path** (``fast_dispatch=False``) — the original
+  format/opcode if-chain, kept as the reference implementation that the
+  property tests compare the fast path against.
+
+Both paths produce bit-identical traces.
 """
 
 from __future__ import annotations
@@ -56,15 +68,415 @@ def _signed(value):
     return value - (1 << 64) if value >> 63 else value
 
 
-_DATAFLOW_CACHE: Dict[Instruction, tuple] = {}
+# ----------------------------------------------------------------------
+# Fast-path opcode handlers
+# ----------------------------------------------------------------------
+# Each handler executes one opcode's semantics against the machine and
+# returns ``(ctrl, taken, target_idx, mem_addr, is_store, target_pc)``.
+# Handlers for side-effect-only instructions share one constant result
+# tuple so the common case allocates nothing.
+
+_SIMPLE = (None, False, None, None, False, None)
 
 
-def _dataflow(instr: Instruction):
-    cached = _DATAFLOW_CACHE.get(instr)
-    if cached is None:
-        cached = (instr.source_regs(), instr.dest_reg())
-        _DATAFLOW_CACHE[instr] = cached
-    return cached
+def _x_addq(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    if rc != ZERO:
+        regs[rc] = (a + b) & MASK64
+    return _SIMPLE
+
+
+def _x_subq(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    if rc != ZERO:
+        regs[rc] = (a - b) & MASK64
+    return _SIMPLE
+
+
+def _x_mulq(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    if rc != ZERO:
+        regs[rc] = (a * b) & MASK64
+    return _SIMPLE
+
+
+def _x_and(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    if rc != ZERO:
+        regs[rc] = (a & b) & MASK64
+    return _SIMPLE
+
+
+def _x_bis(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    if rc != ZERO:
+        regs[rc] = (a | b) & MASK64
+    return _SIMPLE
+
+
+def _x_xor(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    if rc != ZERO:
+        regs[rc] = (a ^ b) & MASK64
+    return _SIMPLE
+
+
+def _x_sll(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    if rc != ZERO:
+        regs[rc] = (a << (b & 63)) & MASK64
+    return _SIMPLE
+
+
+def _x_srl(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    if rc != ZERO:
+        regs[rc] = a >> (b & 63)
+    return _SIMPLE
+
+
+def _x_sra(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    if rc != ZERO:
+        regs[rc] = (_signed(a) >> (b & 63)) & MASK64
+    return _SIMPLE
+
+
+def _x_cmpeq(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    if rc != ZERO:
+        regs[rc] = 1 if a == b else 0
+    return _SIMPLE
+
+
+def _x_cmplt(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    if rc != ZERO:
+        regs[rc] = 1 if _signed(a) < _signed(b) else 0
+    return _SIMPLE
+
+
+def _x_cmple(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    if rc != ZERO:
+        regs[rc] = 1 if _signed(a) <= _signed(b) else 0
+    return _SIMPLE
+
+
+def _x_cmpult(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    if rc != ZERO:
+        regs[rc] = 1 if a < b else 0
+    return _SIMPLE
+
+
+def _x_cmoveq(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    value = b if a == 0 else (regs[rc] if rc != ZERO else 0)
+    if rc != ZERO:
+        regs[rc] = value & MASK64
+    return _SIMPLE
+
+
+def _x_cmovne(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    ra = instr.ra
+    a = 0 if ra == ZERO else regs[ra]
+    rb = instr.rb
+    b = instr.imm if rb is None else (0 if rb == ZERO else regs[rb])
+    rc = instr.rc
+    value = b if a != 0 else (regs[rc] if rc != ZERO else 0)
+    if rc != ZERO:
+        regs[rc] = value & MASK64
+    return _SIMPLE
+
+
+def _x_lda(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    rb = instr.rb
+    base = 0 if rb == ZERO else regs[rb]
+    ra = instr.ra
+    if ra != ZERO:
+        regs[ra] = (base + instr.imm) & MASK64
+    return _SIMPLE
+
+
+def _x_ldah(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    rb = instr.rb
+    base = 0 if rb == ZERO else regs[rb]
+    ra = instr.ra
+    if ra != ZERO:
+        regs[ra] = (base + (instr.imm << 16)) & MASK64
+    return _SIMPLE
+
+
+def _x_ldq(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    rb = instr.rb
+    base = 0 if rb == ZERO else regs[rb]
+    addr = (base + instr.imm) & MASK64
+    ra = instr.ra
+    if ra != ZERO:
+        regs[ra] = m.mem.read(addr)
+    return None, False, None, addr, False, None
+
+
+def _x_ldl(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    rb = instr.rb
+    base = 0 if rb == ZERO else regs[rb]
+    addr = (base + instr.imm) & MASK64
+    raw = m.mem.read(addr) & 0xFFFFFFFF
+    if raw & 0x80000000:
+        raw |= 0xFFFFFFFF00000000
+    ra = instr.ra
+    if ra != ZERO:
+        regs[ra] = raw
+    return None, False, None, addr, False, None
+
+
+def _x_stq(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    rb = instr.rb
+    base = 0 if rb == ZERO else regs[rb]
+    addr = (base + instr.imm) & MASK64
+    ra = instr.ra
+    m.mem.write(addr, 0 if ra == ZERO else regs[ra])
+    return None, False, None, addr, True, None
+
+
+def _x_stl(m, instr, pc, idx, trigger_idx, is_trigger):
+    regs = m.regs
+    rb = instr.rb
+    base = 0 if rb == ZERO else regs[rb]
+    addr = (base + instr.imm) & MASK64
+    ra = instr.ra
+    value = 0 if ra == ZERO else regs[ra]
+    m.mem.write(addr, value & 0xFFFFFFFF)
+    return None, False, None, addr, True, None
+
+
+def _x_out(m, instr, pc, idx, trigger_idx, is_trigger):
+    ra = instr.ra
+    m.outputs.append(0 if ra == ZERO else m.regs[ra])
+    return _SIMPLE
+
+
+def _x_ctrl(m, instr, pc, idx, trigger_idx, is_trigger):
+    handler = m.control_handlers.get(instr.imm)
+    if handler is None:
+        raise ExecutionError(
+            f"ctrl call {instr.imm} at {pc:#x} has no registered handler"
+        )
+    handler(m)
+    return _SIMPLE
+
+
+def _x_fault(m, instr, pc, idx, trigger_idx, is_trigger):
+    m.halted = True
+    m.fault_code = instr.imm if instr.imm is not None else 0
+    return _SIMPLE
+
+
+def _x_dbr(m, instr, pc, idx, trigger_idx, is_trigger):
+    if m._exp is None:
+        raise ExecutionError(
+            f"DISE branch outside a replacement sequence at {pc:#x}"
+        )
+    return CTRL_DISE, True, instr.imm, None, False, None
+
+
+def _x_dbeq(m, instr, pc, idx, trigger_idx, is_trigger):
+    if m._exp is None:
+        raise ExecutionError(
+            f"DISE branch outside a replacement sequence at {pc:#x}"
+        )
+    ra = instr.ra
+    test = 0 if ra == ZERO else m.regs[ra]
+    return CTRL_DISE, test == 0, instr.imm, None, False, None
+
+
+def _x_dbne(m, instr, pc, idx, trigger_idx, is_trigger):
+    if m._exp is None:
+        raise ExecutionError(
+            f"DISE branch outside a replacement sequence at {pc:#x}"
+        )
+    ra = instr.ra
+    test = 0 if ra == ZERO else m.regs[ra]
+    return CTRL_DISE, test != 0, instr.imm, None, False, None
+
+
+def _make_cond_branch(predicate):
+    def handler(m, instr, pc, idx, trigger_idx, is_trigger):
+        ra = instr.ra
+        test = 0 if ra == ZERO else m.regs[ra]
+        if predicate(test):
+            target_idx, target_pc = m._branch_target(instr, pc, idx,
+                                                     is_trigger)
+            return CTRL_COND, True, target_idx, None, False, target_pc
+        return CTRL_COND, False, None, None, False, None
+    return handler
+
+
+_x_beq = _make_cond_branch(lambda test: test == 0)
+_x_bne = _make_cond_branch(lambda test: test != 0)
+_x_blt = _make_cond_branch(lambda test: _signed(test) < 0)
+_x_ble = _make_cond_branch(lambda test: _signed(test) <= 0)
+_x_bgt = _make_cond_branch(lambda test: _signed(test) > 0)
+_x_bge = _make_cond_branch(lambda test: _signed(test) >= 0)
+
+
+def _x_br(m, instr, pc, idx, trigger_idx, is_trigger):
+    image = m.image
+    return_addr = image.addresses[trigger_idx] + image.sizes[trigger_idx]
+    ra = instr.ra
+    if ra != ZERO:
+        m.regs[ra] = return_addr & MASK64
+    target_idx, target_pc = m._branch_target(instr, pc, idx, is_trigger)
+    return CTRL_UNCOND, True, target_idx, None, False, target_pc
+
+
+def _x_bsr(m, instr, pc, idx, trigger_idx, is_trigger):
+    image = m.image
+    return_addr = image.addresses[trigger_idx] + image.sizes[trigger_idx]
+    ra = instr.ra
+    if ra != ZERO:
+        m.regs[ra] = return_addr & MASK64
+    target_idx, target_pc = m._branch_target(instr, pc, idx, is_trigger)
+    return CTRL_CALL, True, target_idx, None, False, target_pc
+
+
+def _make_jump(ctrl_kind):
+    def handler(m, instr, pc, idx, trigger_idx, is_trigger):
+        regs = m.regs
+        rb = instr.rb
+        target_value = 0 if rb == ZERO else regs[rb]
+        image = m.image
+        return_addr = image.addresses[trigger_idx] + image.sizes[trigger_idx]
+        ra = instr.ra
+        if ra != ZERO:
+            regs[ra] = return_addr & MASK64
+        target_idx = image.index_of_addr.get(target_value)
+        if target_idx is None:
+            m.halted = True
+            m.fault_code = FAULT_BAD_JUMP
+        return ctrl_kind, True, target_idx, None, False, target_value
+    return handler
+
+
+_x_jmp = _make_jump(CTRL_INDIRECT)
+_x_jsr = _make_jump(CTRL_CALL)
+_x_ret = _make_jump(CTRL_RET)
+
+
+def _x_nop(m, instr, pc, idx, trigger_idx, is_trigger):
+    return _SIMPLE
+
+
+def _x_halt(m, instr, pc, idx, trigger_idx, is_trigger):
+    m.halted = True
+    return _SIMPLE
+
+
+def _x_codeword(m, instr, pc, idx, trigger_idx, is_trigger):
+    raise ExecutionError(f"codeword reached execution at {pc:#x}")
+
+
+#: Opcode -> fast-path executor.
+_EXEC_TABLE: Dict[Opcode, object] = {
+    Opcode.ADDQ: _x_addq, Opcode.SUBQ: _x_subq, Opcode.MULQ: _x_mulq,
+    Opcode.AND: _x_and, Opcode.BIS: _x_bis, Opcode.XOR: _x_xor,
+    Opcode.SLL: _x_sll, Opcode.SRL: _x_srl, Opcode.SRA: _x_sra,
+    Opcode.CMPEQ: _x_cmpeq, Opcode.CMPLT: _x_cmplt, Opcode.CMPLE: _x_cmple,
+    Opcode.CMPULT: _x_cmpult, Opcode.CMOVEQ: _x_cmoveq,
+    Opcode.CMOVNE: _x_cmovne,
+    Opcode.LDA: _x_lda, Opcode.LDAH: _x_ldah, Opcode.LDQ: _x_ldq,
+    Opcode.LDL: _x_ldl, Opcode.STQ: _x_stq, Opcode.STL: _x_stl,
+    Opcode.OUT: _x_out, Opcode.CTRL: _x_ctrl, Opcode.FAULT: _x_fault,
+    Opcode.DBR: _x_dbr, Opcode.DBEQ: _x_dbeq, Opcode.DBNE: _x_dbne,
+    Opcode.BEQ: _x_beq, Opcode.BNE: _x_bne, Opcode.BLT: _x_blt,
+    Opcode.BLE: _x_ble, Opcode.BGT: _x_bgt, Opcode.BGE: _x_bge,
+    Opcode.BR: _x_br, Opcode.BSR: _x_bsr,
+    Opcode.JMP: _x_jmp, Opcode.JSR: _x_jsr, Opcode.RET: _x_ret,
+    Opcode.NOP: _x_nop, Opcode.HALT: _x_halt,
+    Opcode.RES0: _x_codeword, Opcode.RES1: _x_codeword,
+    Opcode.RES2: _x_codeword, Opcode.RES3: _x_codeword,
+}
+
+#: Sentinel for "the caller did not resolve a handler" — distinct from
+#: None, which means "the table has no handler for this opcode".
+_UNRESOLVED = object()
 
 
 class Machine:
@@ -72,11 +484,14 @@ class Machine:
 
     def __init__(self, image: ProgramImage,
                  controller: Optional[DiseController] = None,
-                 record_trace=True):
+                 record_trace=True, fast_dispatch=True):
         self.image = image
         self.controller = controller
         self.engine = controller.engine if controller is not None else None
         self.record_trace = record_trace
+        self.fast_dispatch = fast_dispatch
+        self._execute = (self._execute_fast if fast_dispatch
+                         else self._execute_generic)
 
         self.regs: List[int] = [0] * NUM_REGS
         self.mem = Memory(image.data_words)
@@ -96,6 +511,20 @@ class Machine:
         #: paper's instruction-based controller interface (Section 2.3).
         #: code -> callable(machine).
         self.control_handlers: Dict[int, callable] = {}
+
+        # Per-image decoded-instruction cache: index -> (instruction,
+        # (source_regs, dest_reg), is_reserved, handler, is_trigger).
+        # Filled lazily so huge images only pay for the instructions they
+        # actually execute; flushed when the engine's production set
+        # changes (is_trigger depends on it).
+        self._decode: List[Optional[tuple]] = [None] * len(image.instructions)
+        self._decode_gen = self.engine.generation if self.engine else 0
+        # Dataflow cache for dynamic (replacement) instructions.  Keyed by
+        # id(); the entry holds a strong reference to the instruction, so an
+        # id can never be recycled while its entry is alive.  Scoped to this
+        # machine, unlike the old module-global cache, so one long-lived
+        # process does not accumulate every image's instructions.
+        self._dyn_dataflow: Dict[int, tuple] = {}
 
         # In-flight expansion state.
         self._exp = None
@@ -125,6 +554,32 @@ class Machine:
         self.control_handlers[code] = handler
 
     # ------------------------------------------------------------------
+    # Decode caches
+    # ------------------------------------------------------------------
+    def _decode_at(self, idx: int) -> tuple:
+        instr = self.image.instructions[idx]
+        opcode = instr.opcode
+        engine = self.engine
+        entry = (instr, (instr.source_regs(), instr.dest_reg()),
+                 opcode.is_reserved, _EXEC_TABLE.get(opcode),
+                 engine is not None and opcode in engine.trigger_opcodes)
+        self._decode[idx] = entry
+        return entry
+
+    def _dataflow(self, instr: Instruction) -> tuple:
+        return self._dyn_info(instr)[0]
+
+    def _dyn_info(self, instr: Instruction) -> tuple:
+        """((source_regs, dest_reg), handler) for a dynamic (replacement)
+        instruction, cached by identity."""
+        entry = self._dyn_dataflow.get(id(instr))
+        if entry is None or entry[0] is not instr:
+            entry = (instr, (instr.source_regs(), instr.dest_reg()),
+                     _EXEC_TABLE.get(instr.opcode))
+            self._dyn_dataflow[id(instr)] = entry
+        return entry[1], entry[2]
+
+    # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self, max_steps=5_000_000) -> TraceResult:
@@ -150,37 +605,54 @@ class Machine:
     def _step_app(self):
         idx = self.idx
         image = self.image
+        engine = self.engine
+        if engine is not None and engine.generation != self._decode_gen:
+            # Production set changed mid-run (controller ctrl call):
+            # cached trigger decisions are stale.
+            self._decode = [None] * len(image.instructions)
+            self._decode_gen = engine.generation
         try:
-            instr = image.instructions[idx]
+            entry = self._decode[idx]
         except IndexError:
             raise ExecutionError(f"control fell off the image at index {idx}")
+        if entry is None:
+            entry = self._decode_at(idx)
+        instr, dataflow, is_reserved, handler, is_engine_trigger = entry
         pc = image.addresses[idx]
-        if self.engine is not None:
-            exp, pt_miss, rt_miss = self.engine.process(instr, pc)
-            if pt_miss:
-                self.pt_misses += 1
-            if exp is not None:
-                if rt_miss:
-                    self.rt_misses += 1
-                self._exp = exp
-                self._disepc = 0
-                self._pending = None
-                self._exp_event = (
-                    exp.seq_id, len(exp.instrs), pt_miss, rt_miss, exp.composed
-                )
-                self.app_instructions += 1
-                self.expansions += 1
-                self._step_expansion()
-                return
+        if engine is not None:
+            if is_engine_trigger:
+                exp, pt_miss, rt_miss = engine.process(instr, pc)
+                if pt_miss:
+                    self.pt_misses += 1
+                if exp is not None:
+                    if rt_miss:
+                        self.rt_misses += 1
+                    self._exp = exp
+                    self._disepc = 0
+                    self._pending = None
+                    self._exp_event = (
+                        exp.seq_id, len(exp.instrs), pt_miss, rt_miss,
+                        exp.composed
+                    )
+                    self.app_instructions += 1
+                    self.expansions += 1
+                    self._step_expansion()
+                    return
+            else:
+                # No active production can match this opcode: skip the
+                # engine entirely (the PT holds no patterns for it, so the
+                # access would not change any physical state either).
+                engine.inspected += 1
         self.app_instructions += 1
-        if instr.opcode.is_reserved:
+        if is_reserved:
             raise ExecutionError(
                 f"stray codeword at {pc:#x}: no decompression production "
                 f"matches {instr}"
             )
         kind, taken, target_idx = self._execute(
             instr, pc, idx, fetch_addr=pc, disepc=0, trigger_idx=idx,
-            is_trigger=True, expansion_event=None,
+            is_trigger=True, expansion_event=None, dataflow=dataflow,
+            handler=handler,
         )
         if self.halted:
             return
@@ -203,10 +675,11 @@ class Machine:
         event = self._exp_event
         self._exp_event = None
 
+        dataflow, handler = self._dyn_info(instr)
         kind, taken, target_idx = self._execute(
             instr, pc, idx, fetch_addr=fetch_addr, disepc=disepc,
             trigger_idx=idx, is_trigger=is_trigger_copy,
-            expansion_event=event,
+            expansion_event=event, dataflow=dataflow, handler=handler,
         )
         if self.halted:
             return
@@ -282,10 +755,48 @@ class Machine:
             self._exp_event = None
 
     # ------------------------------------------------------------------
-    # Instruction semantics
+    # Instruction semantics — fast path (opcode-indexed handler table)
     # ------------------------------------------------------------------
-    def _execute(self, instr, pc, idx, fetch_addr, disepc, trigger_idx,
-                 is_trigger, expansion_event):
+    def _execute_fast(self, instr, pc, idx, fetch_addr, disepc, trigger_idx,
+                      is_trigger, expansion_event, dataflow=None,
+                      handler=_UNRESOLVED):
+        """Execute one dynamic instruction via the handler table; returns
+        (ctrl_kind, taken, target_idx) and records the trace op."""
+        if handler is _UNRESOLVED:
+            handler = _EXEC_TABLE.get(instr.opcode)
+        if handler is None:
+            # New or exotic opcode with no fast handler: the generic
+            # if-chain raises the precise model-level error.
+            return self._execute_generic(
+                instr, pc, idx, fetch_addr, disepc, trigger_idx,
+                is_trigger, expansion_event, dataflow,
+            )
+        ctrl, taken, target_idx, mem_addr, is_store, target_pc = handler(
+            self, instr, pc, idx, trigger_idx, is_trigger
+        )
+        self.instructions += 1
+        if self.record_trace:
+            if dataflow is None:
+                dataflow = self._dataflow(instr)
+            srcs, dest = dataflow
+            if ctrl is not None and taken and target_pc is None and \
+                    target_idx is not None:
+                addresses = self.image.addresses
+                target_pc = addresses[target_idx] \
+                    if target_idx < len(addresses) else 0
+            self.ops.append(
+                Op(pc, disepc, instr.opcode, srcs, dest, mem_addr, is_store,
+                   fetch_addr, ctrl, taken, target_pc if taken else None,
+                   is_trigger, expansion_event)
+            )
+        return ctrl, taken, target_idx
+
+    # ------------------------------------------------------------------
+    # Instruction semantics — generic path (reference implementation)
+    # ------------------------------------------------------------------
+    def _execute_generic(self, instr, pc, idx, fetch_addr, disepc,
+                         trigger_idx, is_trigger, expansion_event,
+                         dataflow=None, handler=None):
         """Execute one dynamic instruction; returns (ctrl_kind, taken,
         target_idx) and records the trace op."""
         image = self.image
@@ -450,7 +961,9 @@ class Machine:
 
         self.instructions += 1
         if self.record_trace:
-            srcs, dest = _dataflow(instr)
+            if dataflow is None:
+                dataflow = self._dataflow(instr)
+            srcs, dest = dataflow
             if ctrl is not None and taken and target_pc is None and \
                     target_idx is not None:
                 target_pc = image.addresses[target_idx] \

@@ -68,6 +68,7 @@ class TraceResult:
     __slots__ = (
         "ops", "outputs", "fault_code", "halted", "instructions",
         "app_instructions", "expansions", "final_regs", "final_memory",
+        "cache_key", "_fingerprint", "_warm_states",
     )
 
     def __init__(self, ops, outputs, fault_code, halted, instructions,
@@ -83,6 +84,16 @@ class TraceResult:
         self.expansions: int = expansions
         self.final_regs: Tuple[int, ...] = final_regs
         self.final_memory = final_memory
+        #: Content digest assigned by the persistent trace cache (None for
+        #: traces that never passed through it).
+        self.cache_key: Optional[str] = None
+        #: Lazily computed content digest (see trace_cache.trace_fingerprint).
+        self._fingerprint: Optional[str] = None
+        #: Warm-start state memo (see cycle.CycleSimulator): geometry
+        #: signature -> snapshot of warmed caches/predictor/RT.  Configs
+        #: that differ only in placement, width, or window share warmed
+        #: state, so sweeps skip redundant warm passes.
+        self._warm_states = None
 
     @property
     def faulted(self) -> bool:

@@ -119,13 +119,19 @@ def cmd_compress(args):
     return 0
 
 
-def cmd_experiment(args):
-    """``experiment``: regenerate one (or all) paper figures."""
-    suite = Suite(
+def _suite_from_args(args):
+    return Suite(
         benchmarks=tuple(args.benchmarks.split(",")) if args.benchmarks
         else None,
         scale=args.scale,
+        jobs=getattr(args, "jobs", None),
+        cache=None if getattr(args, "no_cache", False) else "auto",
     )
+
+
+def cmd_experiment(args):
+    """``experiment``: regenerate one (or all) paper figures."""
+    suite = _suite_from_args(args)
     if args.config:
         print(render_config_table())
         print()
@@ -145,11 +151,7 @@ def cmd_report(args):
     """``report``: run experiments and emit a markdown report."""
     from repro.harness.report import build_report
 
-    suite = Suite(
-        benchmarks=tuple(args.benchmarks.split(",")) if args.benchmarks
-        else None,
-        scale=args.scale,
-    )
+    suite = _suite_from_args(args)
     experiments = (
         tuple(args.experiments.split(",")) if args.experiments else None
     )
@@ -160,6 +162,30 @@ def cmd_report(args):
         print(f"wrote {args.output} ({len(report.splitlines())} lines)")
     else:
         print(report)
+    return 0
+
+
+def cmd_cache(args):
+    """``cache``: inspect or clear the persistent trace cache."""
+    from repro.harness.trace_cache import default_cache_root, open_cache
+
+    cache = open_cache(args.dir if args.dir else "auto")
+    if cache is None:
+        root = default_cache_root()
+        print("trace cache is disabled"
+              + (f" (REPRO_TRACE_CACHE={root})" if root else
+                 " (REPRO_TRACE_CACHE)"))
+        return 1
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root: {stats['root']}")
+        for kind in ("traces", "cycles"):
+            entry = stats[kind]
+            print(f"  {kind:7s} {entry['entries']:6d} entries  "
+                  f"{entry['bytes'] / 1024:10.1f} KiB")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} entries from {cache.root}")
     return 0
 
 
@@ -209,6 +235,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--config", action="store_true",
                    help="print the machine-configuration table first")
+    p.add_argument("-j", "--jobs", type=int,
+                   help="parallel workers (default: REPRO_JOBS or 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the persistent trace cache")
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("report",
@@ -217,7 +247,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmarks", help="comma-separated subset")
     p.add_argument("--experiments", help="comma-separated experiment ids")
     p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("-j", "--jobs", type=int,
+                   help="parallel workers (default: REPRO_JOBS or 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the persistent trace cache")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("cache",
+                       help="inspect or clear the persistent trace cache")
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--dir", help="cache directory "
+                   "(default: REPRO_TRACE_CACHE or ~/.cache/repro-dise)")
+    p.set_defaults(func=cmd_cache)
 
     return parser
 

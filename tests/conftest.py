@@ -1,5 +1,7 @@
 """Shared fixtures and helpers for the test suite."""
 
+import os
+
 import pytest
 
 from repro.isa.build import (
@@ -28,6 +30,18 @@ RA = parse_reg("ra")
 SP = parse_reg("sp")
 V0 = parse_reg("v0")
 ZERO = parse_reg("zero")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_trace_cache(tmp_path_factory):
+    """Unless the caller pins a cache location, point the persistent trace
+    cache at a per-session temp directory so test runs never touch (or
+    depend on) the user's real ``~/.cache/repro-dise``."""
+    if "REPRO_TRACE_CACHE" not in os.environ:
+        os.environ["REPRO_TRACE_CACHE"] = str(
+            tmp_path_factory.mktemp("trace-cache")
+        )
+    yield
 
 
 def build_loop_program(iterations=5, with_function=False):

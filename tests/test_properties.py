@@ -197,3 +197,52 @@ class TestEngineProperties:
         fresh.restore(state)
         result = fresh.run()
         assert outcome(result) == outcome(reference)
+
+
+def _trace_tuple(result):
+    """Everything a trace records, as comparable plain data."""
+    ops = [
+        (op.pc, op.disepc, op.opcode, op.srcs, op.dest, op.mem_addr,
+         op.is_store, op.fetch_addr, op.ctrl, op.ctrl_taken, op.ctrl_target,
+         op.is_trigger_ctrl, op.expansion)
+        for op in result.ops
+    ]
+    return (ops, result.outputs, result.fault_code, result.halted,
+            result.instructions, result.app_instructions, result.expansions,
+            tuple(result.final_regs), result.final_memory.snapshot())
+
+
+class TestFastDispatchEquivalence:
+    """The opcode-indexed fast path must be bit-identical to the generic
+    if-chain interpreter on every program, plain or transformed."""
+
+    def _run_both(self, installation):
+        fast = installation.make_machine()
+        fast_trace = fast.run()
+        generic = installation.make_machine()
+        generic._execute = generic._execute_generic
+        generic_trace = generic.run()
+        assert _trace_tuple(fast_trace) == _trace_tuple(generic_trace)
+
+    @settings(max_examples=25, deadline=None)
+    @given(program_strategy)
+    def test_plain_programs(self, params):
+        blocks, iterations = params
+        image = build_program(blocks, iterations)
+        from repro.acf.base import plain_installation
+
+        self._run_both(plain_installation(image))
+
+    @settings(max_examples=15, deadline=None)
+    @given(program_strategy)
+    def test_under_mfi_expansion(self, params):
+        blocks, iterations = params
+        image = build_program(blocks, iterations)
+        self._run_both(attach_mfi(image, "dise3"))
+
+    @settings(max_examples=15, deadline=None)
+    @given(program_strategy)
+    def test_under_compression(self, params):
+        blocks, iterations = params
+        image = build_program(blocks, iterations)
+        self._run_both(compress_image(image, DISE_OPTIONS).installation())

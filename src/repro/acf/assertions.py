@@ -10,6 +10,7 @@ nothing.
 
 from __future__ import annotations
 
+from repro.errors import AcfConfigError
 from repro.acf.base import AcfInstallation
 from repro.core.directives import AbsTarget, Lit, T_IMM, T_RS, TrigField
 from repro.core.pattern import match_stores
@@ -74,7 +75,7 @@ def watch_production_set() -> ProductionSet:
 def attach_watchpoint(image: ProgramImage, lo: int, hi: int) -> AcfInstallation:
     """Watch stores into [lo, hi); fault code ``WATCH_FAULT_CODE`` on hit."""
     if hi <= lo:
-        raise ValueError("empty watch range")
+        raise AcfConfigError("empty watch range")
 
     def init(machine):
         machine.regs[DR_LO] = lo

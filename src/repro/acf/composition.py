@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from repro.errors import AcfConfigError
 from repro.acf.base import AcfInstallation
 from repro.acf.compression import (
     CompressionOptions,
@@ -136,4 +137,4 @@ def build_composition(image: ProgramImage, scheme: str
         return compose_rewrite_dise(image)
     if scheme == "dise+dise":
         return compose_dise_dise(image)
-    raise ValueError(f"unknown composition scheme: {scheme!r}")
+    raise AcfConfigError(f"unknown composition scheme: {scheme!r}")

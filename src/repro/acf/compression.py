@@ -33,6 +33,7 @@ import heapq
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import AcfConfigError
 from repro.acf.base import AcfInstallation
 from repro.core.directives import Lit, TrigField
 from repro.core.pattern import PatternSpec
@@ -206,7 +207,7 @@ def make_template(instrs: List[Instruction],
         operands = [("imm", v) for v in seen_imms]
         operands += [("reg", r) for r in seen_regs]
     else:
-        raise ValueError(f"unknown strategy {strategy!r}")
+        raise AcfConfigError(f"unknown strategy {strategy!r}")
 
     param_of: Dict[Tuple[str, int], str] = {}
     params: List[int] = [ZERO_REG, ZERO_REG, ZERO_REG]

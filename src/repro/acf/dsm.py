@@ -25,6 +25,7 @@ Shasta's fast-path/slow-path structure.
 
 from __future__ import annotations
 
+from repro.errors import AcfConfigError
 from repro.acf.base import AcfInstallation
 from repro.core.directives import Lit, T_IMM, T_RS
 from repro.core.pattern import match_loads, match_stores
@@ -110,9 +111,9 @@ def attach_dsm(image: ProgramImage, shared_lo: int,
     per 64-byte line, initially all-absent.
     """
     if shared_hi <= shared_lo:
-        raise ValueError("empty shared range")
+        raise AcfConfigError("empty shared range")
     if (shared_hi - shared_lo) % LINE_BYTES:
-        raise ValueError("shared range must be line-aligned in size")
+        raise AcfConfigError("shared range must be line-aligned in size")
     table_base = image.data_base + image.data_size + (2 << 20)
 
     def init(machine):

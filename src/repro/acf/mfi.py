@@ -23,6 +23,7 @@ from typing import Tuple
 
 from repro.acf.base import AcfInstallation
 from repro.core.language import parse_productions
+from repro.errors import AcfError
 from repro.core.production import ProductionSet
 from repro.isa.assembler import Label
 from repro.isa.build import Imm, bis, fault, li, srl, xor
@@ -50,8 +51,13 @@ DR_CODE_SEG = dise_reg(3)  # legal code segment id
 SCAVENGED_REGS = tuple(parse_reg(name) for name in ("t8", "t9", "t10", "t11"))
 
 
-class MfiError(ValueError):
-    """Raised when MFI cannot be applied (e.g. scavenged registers in use)."""
+class MfiError(AcfError):
+    """Raised when MFI cannot be applied (e.g. scavenged registers in use).
+
+    Part of the :mod:`repro.errors` taxonomy; still catchable as
+    ``ValueError`` for one release via the :class:`~repro.errors.AcfError`
+    shim.
+    """
 
 
 def mfi_production_source(variant="dise3") -> str:

@@ -1,0 +1,173 @@
+"""Structured error taxonomy shared across the simulator, ACF, and harness
+layers.
+
+Historically each layer raised ad-hoc ``RuntimeError``/``ValueError``
+subclasses, which made two things impossible:
+
+* the fault-injection campaign (:mod:`repro.faults`) could not *classify*
+  an outcome — "the model detected a stray codeword" and "the harness hit a
+  corrupt cache entry" both surfaced as ``RuntimeError`` with only message
+  text to distinguish them;
+* the parallel harness could not choose a *retry policy* — a crashed worker
+  is worth retrying, a deterministic model error is not.
+
+Every error the repo raises on purpose now derives from :class:`ReproError`
+and carries machine-readable fields (see :meth:`ReproError.details`).  Two
+branches keep legacy bases for one release so existing ``except`` clauses
+continue to work:
+
+* :class:`SimulationError` also subclasses ``RuntimeError`` (the old
+  ``ExecutionError`` base);
+* :class:`AcfError` also subclasses ``ValueError`` — the one-release shim
+  for the bare ``ValueError`` raises that used to live in ``acf/``.
+  Catch :class:`AcfError` (or a subclass) instead; the ``ValueError`` base
+  will be dropped in the release after next.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base of the structured error hierarchy.
+
+    ``retryable`` drives the parallel harness's retry policy: transient
+    infrastructure failures (crashed or hung workers) are retried with
+    backoff, deterministic model/configuration errors are not.
+    """
+
+    #: Whether the harness should retry the operation that raised this.
+    retryable = False
+
+    def details(self) -> dict:
+        """Machine-readable payload for reports and structured logs."""
+        out = {"type": type(self).__name__, "message": str(self)}
+        for key, value in vars(self).items():
+            if not key.startswith("_") and value is not None:
+                out[key] = value
+        return out
+
+
+# ----------------------------------------------------------------------
+# Simulator layer
+# ----------------------------------------------------------------------
+class SimulationError(ReproError, RuntimeError):
+    """Base for model-level errors raised while simulating a program."""
+
+
+class ExecutionError(SimulationError):
+    """The functional model hit an architecturally impossible situation
+    (stray codeword, undefined control, unresolved branch target...).
+
+    Carries the fault site as fields so callers — fault classification
+    above all — can assert on *cause* rather than message text.
+    """
+
+    def __init__(self, message: str, *, pc: Optional[int] = None,
+                 index: Optional[int] = None, opcode=None):
+        super().__init__(message)
+        #: Program counter of the offending instruction, when known.
+        self.pc = pc
+        #: Instruction-list index of the offending instruction, when known.
+        self.index = index
+        #: The offending :class:`~repro.isa.opcodes.Opcode`, when known.
+        self.opcode = opcode
+
+    def details(self) -> dict:
+        out = super().details()
+        if self.opcode is not None:
+            out["opcode"] = getattr(self.opcode, "name", str(self.opcode))
+        return out
+
+
+class ExecutionTimeout(ExecutionError):
+    """The program did not halt within its dynamic-instruction budget.
+
+    Distinct from :class:`ExecutionError` so hang classification (and the
+    campaign's ``hang`` outcome) can key off the type.
+    """
+
+    def __init__(self, message: str, *, steps: Optional[int] = None,
+                 pc: Optional[int] = None, index: Optional[int] = None):
+        super().__init__(message, pc=pc, index=index)
+        #: The exhausted step budget.
+        self.steps = steps
+
+
+# ----------------------------------------------------------------------
+# ACF layer
+# ----------------------------------------------------------------------
+class AcfError(ReproError, ValueError):
+    """Base for ACF construction/configuration errors.
+
+    Subclasses ``ValueError`` as a one-release deprecation shim for the
+    bare ``raise ValueError`` sites that used to live in ``acf/``.
+    """
+
+
+class AcfConfigError(AcfError):
+    """An ACF was configured with invalid parameters (bad variant name,
+    empty range, unknown strategy/scheme...)."""
+
+
+# ----------------------------------------------------------------------
+# Harness layer
+# ----------------------------------------------------------------------
+class HarnessError(ReproError):
+    """Base for experiment-harness failures."""
+
+
+class TaskError(HarnessError):
+    """A (benchmark, transform) harness task failed.
+
+    ``task`` is the repr of the failing unit; ``attempts`` counts tries
+    including the failing one.
+    """
+
+    def __init__(self, message: str, *, task: Optional[str] = None,
+                 attempts: int = 1):
+        super().__init__(message)
+        self.task = task
+        self.attempts = attempts
+
+
+class WorkerCrashError(TaskError):
+    """A pool worker died (or its future raised) while running a task."""
+
+    retryable = True
+
+
+class TaskTimeoutError(TaskError):
+    """A task exceeded the per-task watchdog timeout."""
+
+    retryable = True
+
+    def __init__(self, message: str, *, task: Optional[str] = None,
+                 attempts: int = 1, timeout: Optional[float] = None):
+        super().__init__(message, task=task, attempts=attempts)
+        self.timeout = timeout
+
+
+class CacheCorruptionError(HarnessError):
+    """A persistent-cache entry failed its integrity check.
+
+    Normally invisible to users: the cache quarantines the entry and the
+    caller regenerates it.  Raised only when self-healing itself fails.
+    """
+
+    def __init__(self, message: str, *, path: Optional[str] = None):
+        super().__init__(message)
+        self.path = path
+
+
+class CheckpointError(HarnessError):
+    """A resume checkpoint is unreadable or does not match the run it is
+    being applied to."""
+
+
+# ----------------------------------------------------------------------
+# Fault-injection layer
+# ----------------------------------------------------------------------
+class CampaignError(ReproError):
+    """The fault-injection campaign driver was misconfigured."""

@@ -1,0 +1,45 @@
+"""Deterministic fault injection for validating DISE MFI at scale.
+
+The paper's flagship ACF is memory fault isolation; the unit tests check it
+on hand-written wild accesses.  This package demonstrates the claim the
+evaluation rests on — that the production set contains *injected* memory
+faults at scale — via a seeded campaign:
+
+* :mod:`repro.faults.inject` defines the fault taxonomy (out-of-segment
+  loads/stores, wild indirect jumps, corrupted displacement fields,
+  stack/heap overruns, bit flips in encoded instructions) and the
+  deterministic machinery that plants one fault in a workload;
+* :mod:`repro.faults.campaign` drives a campaign — every fault runs under
+  plain simulation and under the MFI production set, outcomes are
+  classified (contained / escaped / benign / crash / hang), and a
+  machine-readable report with per-fault-class containment rates comes
+  out.  Campaigns checkpoint their progress and can be resumed.
+
+See ``docs/fault_injection.md`` for the full story.
+"""
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignInterrupted,
+    load_report,
+    render_summary,
+    run_campaign,
+)
+from repro.faults.inject import (
+    FAULT_CLASSES,
+    MFI_GUARDED_CLASSES,
+    FaultSpec,
+    OUTCOMES,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignInterrupted",
+    "FaultSpec",
+    "FAULT_CLASSES",
+    "MFI_GUARDED_CLASSES",
+    "OUTCOMES",
+    "load_report",
+    "render_summary",
+    "run_campaign",
+]

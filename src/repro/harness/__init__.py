@@ -18,8 +18,20 @@ from repro.harness.experiments import (
     fig8_rt,
     run_experiment,
 )
-from repro.harness.parallel import TraceTask, resolve_jobs, run_tasks
-from repro.harness.report import PAPER_CLAIMS, build_report, table_to_markdown
+from repro.harness.checkpoint import RunCheckpoint
+from repro.harness.parallel import (
+    TaskFailure,
+    TaskResults,
+    TraceTask,
+    resolve_jobs,
+    run_tasks,
+)
+from repro.harness.report import (
+    PAPER_CLAIMS,
+    build_report,
+    report_fingerprint,
+    table_to_markdown,
+)
 from repro.harness.runner import Suite
 from repro.harness.tables import ResultTable
 from repro.harness.trace_cache import (
@@ -50,9 +62,13 @@ __all__ = [
     "run_experiment",
     "PAPER_CLAIMS",
     "build_report",
+    "report_fingerprint",
     "table_to_markdown",
+    "RunCheckpoint",
     "Suite",
     "ResultTable",
+    "TaskFailure",
+    "TaskResults",
     "TraceTask",
     "resolve_jobs",
     "run_tasks",

@@ -1,0 +1,122 @@
+"""Per-experiment checkpointing for long report runs.
+
+A full ``repro-cli report`` at scale 1.0 regenerates eight figures, each of
+which can take minutes cold.  When the run dies halfway — machine sleep, a
+killed worker that poisons the process, an impatient Ctrl-C — everything
+already rendered is lost.  :class:`RunCheckpoint` fixes that: the report
+builder records each experiment's rendered markdown (plus a fingerprint of
+the suite parameters) after it completes, and ``repro-cli report --resume``
+replays the finished sections from the checkpoint and only computes the
+rest.
+
+The checkpoint is one JSON file, written atomically after every section, so
+it is always either the previous or the current consistent state.  A
+checkpoint made with different suite parameters (benchmarks, scale,
+experiment list) refuses to resume rather than silently splicing
+incompatible tables together.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.errors import CheckpointError
+
+#: Bump when the checkpoint layout changes.
+CHECKPOINT_SCHEMA = 1
+
+
+class RunCheckpoint:
+    """Completed-section store for one report run."""
+
+    def __init__(self, path: str, fingerprint: Dict[str, object]):
+        self.path = path
+        self.fingerprint = fingerprint
+        self._sections: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str,
+             fingerprint: Dict[str, object]) -> "RunCheckpoint":
+        """Open a checkpoint for resuming; empty when the file is absent.
+
+        Raises :class:`~repro.errors.CheckpointError` when the file exists
+        but is unreadable or was written by a run with different
+        parameters.
+        """
+        checkpoint = cls(path, fingerprint)
+        if not os.path.exists(path):
+            return checkpoint
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable report checkpoint {path}: {exc}"
+            ) from exc
+        if payload.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"report checkpoint {path} has schema "
+                f"{payload.get('schema')!r}; this build writes "
+                f"{CHECKPOINT_SCHEMA}"
+            )
+        if payload.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                f"report checkpoint {path} was written with different "
+                "suite parameters; delete it or rerun with the original "
+                "flags"
+            )
+        sections = payload.get("sections", {})
+        if not isinstance(sections, dict):
+            raise CheckpointError(
+                f"report checkpoint {path} has a malformed section table"
+            )
+        checkpoint._sections = dict(sections)
+        return checkpoint
+
+    def _save(self):
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "sections": self._sections,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True, indent=2)
+                handle.write("\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+    # Section accounting
+    # ------------------------------------------------------------------
+    def completed(self, name: str) -> Optional[str]:
+        """The rendered markdown of a finished experiment, or ``None``."""
+        return self._sections.get(name)
+
+    def record(self, name: str, rendered: str):
+        """Mark an experiment finished and persist immediately."""
+        self._sections[name] = rendered
+        self._save()
+
+    def __len__(self):
+        return len(self._sections)
+
+    def clear(self):
+        """Delete the checkpoint file (after a successful full run)."""
+        self._sections = {}
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass

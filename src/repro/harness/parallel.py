@@ -15,8 +15,13 @@ worker produces is pushed through the persistent
 :mod:`~repro.harness.trace_cache` when one is configured, making parallel
 and cached execution one mechanism.
 
-Worker failures are non-fatal: a task whose worker dies is re-run serially
-in the parent with a logged warning, so figures always complete.
+Worker failures are non-fatal: a task whose worker dies is retried (with
+backoff) and then re-run serially in the parent with a logged warning, so
+figures always complete.  A per-task watchdog timeout (``task_timeout`` /
+``REPRO_TASK_TIMEOUT``) guards against hung workers: a task that exceeds it
+is retried and, if it keeps hanging, *skipped* with a structured
+:class:`TaskFailure` record on the returned :class:`TaskResults` — hanging
+the parent on a serial re-run would defeat the watchdog.
 
 Worker count resolution: explicit argument, else the ``REPRO_JOBS``
 environment variable, else 1 (serial).
@@ -26,7 +31,8 @@ from __future__ import annotations
 
 import logging
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -35,6 +41,7 @@ from repro.acf.composition import build_composition
 from repro.acf.compression import CompressionOptions, compress_image
 from repro.acf.mfi import attach_mfi, rewrite_mfi
 from repro.core.config import DiseConfig
+from repro.errors import TaskError, TaskTimeoutError, WorkerCrashError
 from repro.harness.trace_cache import (
     LazyTrace,
     TraceCache,
@@ -72,6 +79,57 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
         except ValueError:
             logger.warning("ignoring non-integer REPRO_JOBS=%r", env)
     return 1
+
+
+def _env_number(name: str, cast, floor):
+    value = os.environ.get(name)
+    if not value:
+        return None
+    try:
+        return max(floor, cast(value))
+    except ValueError:
+        logger.warning("ignoring non-numeric %s=%r", name, value)
+        return None
+
+
+def resolve_task_timeout(task_timeout: Optional[float] = None
+                         ) -> Optional[float]:
+    """Watchdog seconds: explicit > ``REPRO_TASK_TIMEOUT`` env > off."""
+    if task_timeout is not None:
+        return task_timeout if task_timeout > 0 else None
+    return _env_number("REPRO_TASK_TIMEOUT", float, 0.001)
+
+
+def resolve_retries(retries: Optional[int] = None) -> int:
+    """In-pool retry budget: explicit > ``REPRO_TASK_RETRIES`` env > 1."""
+    if retries is not None:
+        return max(0, int(retries))
+    env = _env_number("REPRO_TASK_RETRIES", int, 0)
+    return 1 if env is None else env
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of a task the harness gave up on."""
+
+    task: "TraceTask"
+    error: TaskError
+    attempts: int
+
+    def details(self) -> dict:
+        out = self.error.details()
+        out["task"] = repr(self.task)
+        out["attempts"] = self.attempts
+        return out
+
+
+class TaskResults(dict):
+    """``run_tasks``'s return value: a plain task->result dict, plus the
+    structured failure records of any tasks that were skipped."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.failures: List[TaskFailure] = []
 
 
 @dataclass(frozen=True)
@@ -197,19 +255,49 @@ def _fully_cached(task: TraceTask, configs: Sequence[MachineConfig],
     return digest, LazyTrace(cache, digest, recompute), cycles
 
 
+def _abandon_pool(pool):
+    """Best-effort teardown of a pool with hung workers, so exiting the
+    ``with`` block (which joins workers) cannot hang the parent."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except TypeError:
+        try:
+            pool.shutdown(wait=False)
+        except Exception:
+            pass
+    except Exception:
+        pass
+    processes = getattr(pool, "_processes", None)
+    if processes:
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+
+
 def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
               jobs: Optional[int] = None,
               cache: Optional[TraceCache] = None,
               max_steps: int = MAX_STEPS,
               executor_factory=None,
-              ) -> Dict[TraceTask, Tuple[Optional[str], TraceResult,
-                                         Dict[str, CycleResult]]]:
+              task_timeout: Optional[float] = None,
+              retries: Optional[int] = None,
+              backoff: float = 0.5,
+              ) -> "TaskResults":
     """Run a batch of trace tasks, fanning out across worker processes.
 
     ``plan`` pairs each task with the machine configurations whose timing
-    replays the caller will need.  Returns, per task, the cache digest
-    (``None`` for uncacheable runs), the trace, and the replay results
-    keyed by ``repr(config)``.
+    replays the caller will need.  Returns a :class:`TaskResults` mapping
+    each task to the cache digest (``None`` for uncacheable runs), the
+    trace, and the replay results keyed by ``repr(config)``.
+
+    Resilience: a task whose worker raises is retried in the pool up to
+    ``retries`` times (linear ``backoff`` seconds between attempts), then
+    recomputed serially in the parent.  With a ``task_timeout`` watchdog, a
+    task that exceeds it is likewise retried; if it *keeps* exceeding it,
+    the task is skipped and recorded on ``results.failures`` — re-running a
+    hanging task serially would hang the parent too.
 
     ``executor_factory`` is a test hook: a zero-argument callable returning
     a ``ProcessPoolExecutor``-compatible context manager.
@@ -224,8 +312,10 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
                 seen.add(repr(config))
 
     jobs = resolve_jobs(jobs)
+    task_timeout = resolve_task_timeout(task_timeout)
+    retries = resolve_retries(retries)
     cache_root = str(cache.root) if cache is not None else None
-    results = {}
+    results = TaskResults()
 
     if cache is not None:
         images: Dict[Tuple, object] = {}
@@ -256,33 +346,107 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
     failed: List[Tuple[TraceTask, List[MachineConfig]]] = []
     try:
         with executor_factory() as pool:
-            futures = {
-                pool.submit(_run_task, task, configs, cache_root, max_steps):
-                (task, configs)
-                for task, configs in merged.items()
-            }
-            for future in as_completed(futures):
-                task, configs = futures[future]
-                try:
-                    digest, trace_bytes, cycles = future.result()
-                except Exception as exc:
-                    logger.warning(
-                        "worker for %s failed (%s: %s); falling back to "
-                        "serial execution", task, type(exc).__name__, exc,
-                    )
-                    failed.append((task, configs))
-                    continue
-                results[task] = finish(digest, trace_bytes, cycles)
+            # future -> (task, configs, attempt number, watchdog deadline)
+            pending = {}
+            hung = False
+
+            def submit(task, configs, attempt):
+                future = pool.submit(_run_task, task, configs, cache_root,
+                                     max_steps)
+                deadline = (time.monotonic() + task_timeout
+                            if task_timeout else None)
+                pending[future] = (task, configs, attempt, deadline)
+
+            for task, configs in merged.items():
+                submit(task, configs, 1)
+
+            while pending:
+                wait_for = None
+                deadlines = [entry[3] for entry in pending.values()
+                             if entry[3] is not None]
+                if deadlines:
+                    wait_for = max(0.0, min(deadlines) - time.monotonic())
+                done, _ = wait(set(pending), timeout=wait_for,
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    task, configs, attempt, _ = pending.pop(future)
+                    try:
+                        digest, trace_bytes, cycles = future.result()
+                    except Exception as exc:
+                        if attempt <= retries:
+                            logger.warning(
+                                "worker for %s failed (%s: %s); retrying "
+                                "(attempt %d of %d)", task,
+                                type(exc).__name__, exc, attempt + 1,
+                                retries + 1,
+                            )
+                            time.sleep(backoff * attempt)
+                            submit(task, configs, attempt + 1)
+                        else:
+                            logger.warning(
+                                "worker for %s failed (%s: %s); falling "
+                                "back to serial execution", task,
+                                type(exc).__name__, exc,
+                            )
+                            failed.append((task, configs))
+                        continue
+                    results[task] = finish(digest, trace_bytes, cycles)
+                now = time.monotonic()
+                for future in list(pending):
+                    task, configs, attempt, deadline = pending[future]
+                    if deadline is None or now < deadline:
+                        continue
+                    del pending[future]
+                    future.cancel()
+                    if attempt <= retries:
+                        logger.warning(
+                            "task %s exceeded its %.3gs watchdog; retrying "
+                            "(attempt %d of %d)", task, task_timeout,
+                            attempt + 1, retries + 1,
+                        )
+                        submit(task, configs, attempt + 1)
+                    else:
+                        error = TaskTimeoutError(
+                            f"task exceeded its {task_timeout:.3g}s "
+                            f"watchdog {attempt} times",
+                            task=repr(task), attempts=attempt,
+                            timeout=task_timeout,
+                        )
+                        results.failures.append(
+                            TaskFailure(task, error, attempt)
+                        )
+                        hung = True
+                        logger.warning(
+                            "task %s exceeded its %.3gs watchdog after %d "
+                            "attempts; skipping it (see results.failures)",
+                            task, task_timeout, attempt,
+                        )
+            if hung:
+                _abandon_pool(pool)
     except Exception as exc:
         # The pool itself broke (e.g. fork failure): run the remainder
         # serially rather than losing the figure.
         logger.warning("process pool failed (%s: %s); completing serially",
                        type(exc).__name__, exc)
-        failed = [item for item in merged.items() if item[0] not in results]
+        skipped = {failure.task for failure in results.failures}
+        failed = [item for item in merged.items()
+                  if item[0] not in results and item[0] not in skipped]
 
     for task, configs in failed:
-        digest, trace_bytes, cycles = _run_task(
-            task, configs, cache_root, max_steps
-        )
+        try:
+            digest, trace_bytes, cycles = _run_task(
+                task, configs, cache_root, max_steps
+            )
+        except Exception as exc:
+            error = WorkerCrashError(
+                f"serial fallback failed: {type(exc).__name__}: {exc}",
+                task=repr(task), attempts=retries + 2,
+            )
+            results.failures.append(TaskFailure(task, error, retries + 2))
+            logger.warning(
+                "serial fallback for %s failed (%s: %s); skipping it "
+                "(see results.failures)", task, type(exc).__name__, exc,
+            )
+            continue
         results[task] = finish(digest, trace_bytes, cycles)
     return results

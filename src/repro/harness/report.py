@@ -55,21 +55,48 @@ def table_to_markdown(table: ResultTable) -> str:
     return "\n".join(lines)
 
 
+def _render_section(name: str, suite: Suite) -> str:
+    table = ALL_EXPERIMENTS[name](suite)
+    parts = [f"## {table.title}", ""]
+    claim = PAPER_CLAIMS.get(name)
+    if claim:
+        parts.append(f"*Paper:* {claim}")
+        parts.append("")
+    parts.append(table_to_markdown(table))
+    parts.append("")
+    return "\n".join(parts)
+
+
+def report_fingerprint(suite: Suite,
+                       experiments: Optional[Sequence[str]] = None) -> dict:
+    """Checkpoint identity of a report run: everything that changes its
+    rendered content."""
+    return {
+        "benchmarks": list(suite.benchmarks),
+        "scale": suite.scale,
+        "experiments": list(experiments or ALL_EXPERIMENTS),
+    }
+
+
 def build_report(suite: Optional[Suite] = None,
                  experiments: Optional[Sequence[str]] = None,
-                 title="DISE reproduction — measured results") -> str:
-    """Run experiments and render one markdown report."""
+                 title="DISE reproduction — measured results",
+                 checkpoint=None) -> str:
+    """Run experiments and render one markdown report.
+
+    With a :class:`~repro.harness.checkpoint.RunCheckpoint`, each finished
+    experiment section is persisted immediately and already-checkpointed
+    sections are replayed instead of recomputed — an interrupted report run
+    resumes where it died.
+    """
     suite = suite or Suite()
     names = list(experiments or ALL_EXPERIMENTS)
     parts = [f"# {title}", "", "```", render_config_table(), "```", ""]
     for name in names:
-        table = ALL_EXPERIMENTS[name](suite)
-        parts.append(f"## {table.title}")
-        parts.append("")
-        claim = PAPER_CLAIMS.get(name)
-        if claim:
-            parts.append(f"*Paper:* {claim}")
-            parts.append("")
-        parts.append(table_to_markdown(table))
-        parts.append("")
+        section = checkpoint.completed(name) if checkpoint else None
+        if section is None:
+            section = _render_section(name, suite)
+            if checkpoint is not None:
+                checkpoint.record(name, section)
+        parts.append(section)
     return "\n".join(parts)

@@ -15,8 +15,11 @@ Layout (default root ``~/.cache/repro-dise``, override with the
     <root>/cycles/<digest>.cyc    zlib-compressed pickled CycleResult
 
 Entries are written atomically (tmp file + ``os.replace``) so concurrent
-workers can share one cache directory; a corrupt or truncated entry reads
-as a miss and is rewritten.  Keys embed :data:`SCHEMA_VERSION` — bump it
+workers can share one cache directory.  Every entry is framed with a magic
+tag and a truncated sha256 of its payload; an entry that fails the check —
+truncated write, bit rot, a stray file — is *quarantined* (moved to
+``<root>/quarantine/``) and reads as a miss, so the caller regenerates it
+without user intervention.  Keys embed :data:`SCHEMA_VERSION` — bump it
 whenever trace semantics or the serialized form change and every stale
 entry silently misses.
 """
@@ -24,6 +27,7 @@ entry silently misses.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import zlib
@@ -31,20 +35,55 @@ from pathlib import Path
 from typing import Iterable, Optional
 
 from repro.core.production import ProductionSet
+from repro.errors import CacheCorruptionError
 from repro.isa.opcodes import OPCODE_BY_CODE
 from repro.program.image import ProgramImage
 from repro.sim.memory import Memory
 from repro.sim.trace import Op, TraceResult
 
+logger = logging.getLogger(__name__)
+
 #: Bump when the trace format, Op fields, or generator semantics change.
-SCHEMA_VERSION = 1
+#: 2: entries gained the integrity frame (magic + content digest).
+SCHEMA_VERSION = 2
 
 _ENV_VAR = "REPRO_TRACE_CACHE"
 _DISABLED_VALUES = ("0", "off", "none", "no", "false")
 
 
-class CacheError(RuntimeError):
-    """Raised for malformed payloads (callers treat it as a miss)."""
+class CacheError(CacheCorruptionError, RuntimeError):
+    """Raised for malformed payloads (callers treat it as a miss).
+
+    Part of the :mod:`repro.errors` taxonomy; keeps its historical
+    ``RuntimeError`` base for existing ``except`` clauses.
+    """
+
+
+# ----------------------------------------------------------------------
+# Integrity framing
+# ----------------------------------------------------------------------
+#: File header of a framed cache entry (version baked into the magic).
+_MAGIC = b"RDTC2\n"
+#: Truncated sha256 length — 64 bits of integrity is plenty for rot
+#: detection (this is not an authentication boundary).
+_DIGEST_BYTES = 16
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Wrap payload bytes with the magic tag and their content digest."""
+    return _MAGIC + hashlib.sha256(payload).digest()[:_DIGEST_BYTES] + payload
+
+
+def unframe_payload(data: bytes) -> bytes:
+    """Verify and strip the integrity frame; raises :class:`CacheError`."""
+    header = len(_MAGIC) + _DIGEST_BYTES
+    if len(data) < header or not data.startswith(_MAGIC):
+        raise CacheError("cache entry has no integrity header")
+    digest = data[len(_MAGIC):header]
+    payload = data[header:]
+    if hashlib.sha256(payload).digest()[:_DIGEST_BYTES] != digest:
+        raise CacheError("cache entry failed its content digest")
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -271,6 +310,7 @@ class TraceCache:
         self.root = Path(root)
         self._traces = self.root / "traces"
         self._cycles = self.root / "cycles"
+        self._quarantine_dir = self.root / "quarantine"
 
     # -- plumbing ------------------------------------------------------
     def _write_atomic(self, path: Path, data: bytes):
@@ -292,6 +332,34 @@ class TraceCache:
         except OSError:
             return None
 
+    def quarantine(self, path: Path, reason):
+        """Move a corrupt entry aside so the next lookup regenerates it."""
+        try:
+            self._quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self._quarantine_dir / path.name)
+            logger.warning(
+                "quarantined corrupt cache entry %s (%s); it will be "
+                "regenerated", path.name, reason,
+            )
+        except OSError:
+            # Quarantine dir unwritable / entry raced away: best effort —
+            # just drop the entry so it cannot be served again.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _load_verified(self, path: Path) -> Optional[bytes]:
+        """Read a framed entry; quarantines and misses on corruption."""
+        data = self._read(path)
+        if data is None:
+            return None
+        try:
+            return unframe_payload(data)
+        except CacheError as exc:
+            self.quarantine(path, exc)
+            return None
+
     # -- traces --------------------------------------------------------
     def trace_path(self, digest: str) -> Path:
         return self._traces / f"{digest}.trc"
@@ -300,7 +368,8 @@ class TraceCache:
         return self.trace_path(digest).is_file()
 
     def load_trace_bytes(self, digest: str) -> Optional[bytes]:
-        return self._read(self.trace_path(digest))
+        """Verified trace payload bytes, or ``None`` on miss/corruption."""
+        return self._load_verified(self.trace_path(digest))
 
     def load_trace(self, digest: str) -> Optional[TraceResult]:
         data = self.load_trace_bytes(digest)
@@ -308,11 +377,14 @@ class TraceCache:
             return None
         try:
             return deserialize_trace(data)
-        except CacheError:
+        except CacheError as exc:
+            # Frame intact but payload undecodable (e.g. written by a
+            # different pickle/zlib build): self-heal the same way.
+            self.quarantine(self.trace_path(digest), exc)
             return None
 
     def store_trace_bytes(self, digest: str, data: bytes):
-        self._write_atomic(self.trace_path(digest), data)
+        self._write_atomic(self.trace_path(digest), frame_payload(data))
 
     def store_trace(self, digest: str, trace: TraceResult) -> bytes:
         data = serialize_trace(trace)
@@ -324,17 +396,18 @@ class TraceCache:
         return self._cycles / f"{digest}.cyc"
 
     def load_cycles(self, digest: str):
-        data = self._read(self.cycle_path(digest))
+        data = self._load_verified(self.cycle_path(digest))
         if data is None:
             return None
         try:
             return pickle.loads(zlib.decompress(data))
-        except Exception:
+        except Exception as exc:
+            self.quarantine(self.cycle_path(digest), exc)
             return None
 
     def store_cycles(self, digest: str, result):
         data = zlib.compress(pickle.dumps(result, protocol=4), level=1)
-        self._write_atomic(self.cycle_path(digest), data)
+        self._write_atomic(self.cycle_path(digest), frame_payload(data))
 
     # -- maintenance ---------------------------------------------------
     def stats(self) -> dict:
@@ -343,12 +416,14 @@ class TraceCache:
         for kind, directory, suffix in (
             ("traces", self._traces, ".trc"),
             ("cycles", self._cycles, ".cyc"),
+            ("quarantined", self._quarantine_dir, None),
         ):
             count = 0
             size = 0
             if directory.is_dir():
                 for entry in directory.iterdir():
-                    if entry.suffix == suffix and entry.is_file():
+                    if (suffix is None or entry.suffix == suffix) \
+                            and entry.is_file():
                         count += 1
                         size += entry.stat().st_size
             out[kind] = {"entries": count, "bytes": size}
@@ -357,7 +432,7 @@ class TraceCache:
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""
         removed = 0
-        for directory in (self._traces, self._cycles):
+        for directory in (self._traces, self._cycles, self._quarantine_dir):
             if not directory.is_dir():
                 continue
             for entry in directory.iterdir():

@@ -38,6 +38,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.controller import DiseController
+from repro.errors import ExecutionError, ExecutionTimeout
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Format, OpClass, Opcode
 from repro.program.image import ProgramImage
@@ -59,9 +60,11 @@ ZERO = 31
 #: Fault code used when an indirect jump leaves the text segment.
 FAULT_BAD_JUMP = 0xBAD1
 
-
-class ExecutionError(RuntimeError):
-    """Raised on model-level errors (stray codewords, undefined control)."""
+# Re-exported for backwards compatibility: ExecutionError historically lived
+# here.  It is now part of the shared taxonomy in :mod:`repro.errors` and
+# carries the fault site (pc, instruction index, opcode) as fields.
+__all__ = ["Machine", "run_program", "ExecutionError", "ExecutionTimeout",
+           "FAULT_BAD_JUMP", "NUM_REGS", "ZERO"]
 
 
 def _signed(value):
@@ -337,7 +340,8 @@ def _x_ctrl(m, instr, pc, idx, trigger_idx, is_trigger):
     handler = m.control_handlers.get(instr.imm)
     if handler is None:
         raise ExecutionError(
-            f"ctrl call {instr.imm} at {pc:#x} has no registered handler"
+            f"ctrl call {instr.imm} at {pc:#x} has no registered handler",
+            pc=pc, index=idx, opcode=instr.opcode,
         )
     handler(m)
     return _SIMPLE
@@ -352,7 +356,8 @@ def _x_fault(m, instr, pc, idx, trigger_idx, is_trigger):
 def _x_dbr(m, instr, pc, idx, trigger_idx, is_trigger):
     if m._exp is None:
         raise ExecutionError(
-            f"DISE branch outside a replacement sequence at {pc:#x}"
+            f"DISE branch outside a replacement sequence at {pc:#x}",
+            pc=pc, index=idx, opcode=instr.opcode,
         )
     return CTRL_DISE, True, instr.imm, None, False, None
 
@@ -360,7 +365,8 @@ def _x_dbr(m, instr, pc, idx, trigger_idx, is_trigger):
 def _x_dbeq(m, instr, pc, idx, trigger_idx, is_trigger):
     if m._exp is None:
         raise ExecutionError(
-            f"DISE branch outside a replacement sequence at {pc:#x}"
+            f"DISE branch outside a replacement sequence at {pc:#x}",
+            pc=pc, index=idx, opcode=instr.opcode,
         )
     ra = instr.ra
     test = 0 if ra == ZERO else m.regs[ra]
@@ -370,7 +376,8 @@ def _x_dbeq(m, instr, pc, idx, trigger_idx, is_trigger):
 def _x_dbne(m, instr, pc, idx, trigger_idx, is_trigger):
     if m._exp is None:
         raise ExecutionError(
-            f"DISE branch outside a replacement sequence at {pc:#x}"
+            f"DISE branch outside a replacement sequence at {pc:#x}",
+            pc=pc, index=idx, opcode=instr.opcode,
         )
     ra = instr.ra
     test = 0 if ra == ZERO else m.regs[ra]
@@ -450,7 +457,8 @@ def _x_halt(m, instr, pc, idx, trigger_idx, is_trigger):
 
 
 def _x_codeword(m, instr, pc, idx, trigger_idx, is_trigger):
-    raise ExecutionError(f"codeword reached execution at {pc:#x}")
+    raise ExecutionError(f"codeword reached execution at {pc:#x}",
+                         pc=pc, index=idx, opcode=instr.opcode)
 
 
 #: Opcode -> fast-path executor.
@@ -588,8 +596,10 @@ class Machine:
             self.step()
             steps += 1
         if not self.halted and steps >= max_steps:
-            raise ExecutionError(
-                f"program did not halt within {max_steps} dynamic instructions"
+            raise ExecutionTimeout(
+                f"program did not halt within {max_steps} dynamic "
+                "instructions",
+                steps=max_steps, index=self.idx,
             )
         return self.result()
 
@@ -614,7 +624,9 @@ class Machine:
         try:
             entry = self._decode[idx]
         except IndexError:
-            raise ExecutionError(f"control fell off the image at index {idx}")
+            raise ExecutionError(
+                f"control fell off the image at index {idx}", index=idx
+            ) from None
         if entry is None:
             entry = self._decode_at(idx)
         instr, dataflow, is_reserved, handler, is_engine_trigger = entry
@@ -647,7 +659,8 @@ class Machine:
         if is_reserved:
             raise ExecutionError(
                 f"stray codeword at {pc:#x}: no decompression production "
-                f"matches {instr}"
+                f"matches {instr}",
+                pc=pc, index=idx, opcode=instr.opcode,
             )
         kind, taken, target_idx = self._execute(
             instr, pc, idx, fetch_addr=pc, disepc=0, trigger_idx=idx,
@@ -740,14 +753,16 @@ class Machine:
         disepc = state["disepc"]
         if disepc:
             if self.engine is None:
-                raise ExecutionError("cannot resume a DISEPC without an engine")
+                raise ExecutionError("cannot resume a DISEPC without an engine",
+                                     index=self.idx)
             instr = self.image.instructions[self.idx]
             pc = self.image.addresses[self.idx]
             exp, _, _ = self.engine.process(instr, pc)
             if exp is None or disepc >= len(exp.instrs):
                 raise ExecutionError(
                     "replacement sequence changed across restore; cannot "
-                    f"resume at DISEPC {disepc}"
+                    f"resume at DISEPC {disepc}",
+                    pc=pc, index=self.idx,
                 )
             self._exp = exp
             self._disepc = disepc
@@ -849,7 +864,8 @@ class Machine:
             elif op is Opcode.CMOVNE:
                 value = b if a != 0 else regs[instr.rc] if instr.rc != ZERO else 0
             else:
-                raise ExecutionError(f"unhandled operate opcode {op}")
+                raise ExecutionError(f"unhandled operate opcode {op}",
+                                     pc=pc, index=idx, opcode=op)
             self.write_reg(instr.rc, value)
 
         elif fmt is Format.MEM:
@@ -874,7 +890,8 @@ class Machine:
                     is_store = True
                     self.mem.write(mem_addr, self.read_reg(instr.ra) & 0xFFFFFFFF)
                 else:
-                    raise ExecutionError(f"unhandled memory opcode {op}")
+                    raise ExecutionError(f"unhandled memory opcode {op}",
+                                         pc=pc, index=idx, opcode=op)
 
         elif fmt is Format.BRANCH:
             if op is Opcode.OUT:
@@ -884,7 +901,8 @@ class Machine:
                 if handler is None:
                     raise ExecutionError(
                         f"ctrl call {instr.imm} at {pc:#x} has no registered "
-                        "handler"
+                        "handler",
+                        pc=pc, index=idx, opcode=op,
                     )
                 handler(self)
             elif op is Opcode.FAULT:
@@ -893,7 +911,9 @@ class Machine:
             elif opclass is OpClass.DISE_BRANCH:
                 if disepc is None or self._exp is None:
                     raise ExecutionError(
-                        f"DISE branch outside a replacement sequence at {pc:#x}"
+                        f"DISE branch outside a replacement sequence at "
+                        f"{pc:#x}",
+                        pc=pc, index=idx, opcode=op,
                     )
                 ctrl = CTRL_DISE
                 test = self.read_reg(instr.ra)
@@ -924,7 +944,8 @@ class Machine:
                                    + image.sizes[trigger_idx])
                     self.write_reg(instr.ra, return_addr)
                 else:
-                    raise ExecutionError(f"unhandled branch opcode {op}")
+                    raise ExecutionError(f"unhandled branch opcode {op}",
+                                         pc=pc, index=idx, opcode=op)
                 ctrl = CTRL_CALL if op is Opcode.BSR else (
                     CTRL_UNCOND if op is Opcode.BR else CTRL_COND
                 )
@@ -954,10 +975,12 @@ class Machine:
             # NOP: nothing.
 
         elif fmt is Format.CODEWORD:
-            raise ExecutionError(f"codeword reached execution at {pc:#x}")
+            raise ExecutionError(f"codeword reached execution at {pc:#x}",
+                                 pc=pc, index=idx, opcode=op)
 
         else:
-            raise ExecutionError(f"unhandled format {fmt}")
+            raise ExecutionError(f"unhandled format {fmt}",
+                                 pc=pc, index=idx, opcode=op)
 
         self.instructions += 1
         if self.record_trace:
@@ -981,7 +1004,9 @@ class Machine:
         if is_trigger and self._exp is None:
             target_idx = image.target_index[idx]
             if target_idx is None:
-                raise ExecutionError(f"unresolved branch target at {pc:#x}")
+                raise ExecutionError(f"unresolved branch target at {pc:#x}",
+                                     pc=pc, index=idx,
+                                     opcode=instr.opcode)
             return target_idx, image.addresses[target_idx]
         if is_trigger and self._exp is not None:
             target_idx = image.target_index[idx]
@@ -992,7 +1017,8 @@ class Machine:
         target_idx = image.index_of_addr.get(target_pc)
         if target_idx is None:
             raise ExecutionError(
-                f"replacement branch to non-text address {target_pc:#x}"
+                f"replacement branch to non-text address {target_pc:#x}",
+                pc=pc, index=idx, opcode=instr.opcode,
             )
         return target_idx, target_pc
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.errors import ExecutionTimeout
 from repro.core.controller import DiseController, DiseSavedState
 from repro.core.production import ProductionSet
 from repro.core.registers import DiseRegisterFile
@@ -122,8 +123,9 @@ class Scheduler:
                     process.steps += 1
                     total += 1
                 process.saved_state = self._save(process)
-        raise RuntimeError(
-            f"processes did not all halt within {max_total_steps} steps"
+        raise ExecutionTimeout(
+            f"processes did not all halt within {max_total_steps} steps",
+            steps=max_total_steps,
         )
 
     def switch_to(self, process: Process):

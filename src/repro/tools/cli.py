@@ -149,13 +149,29 @@ def cmd_experiment(args):
 
 def cmd_report(args):
     """``report``: run experiments and emit a markdown report."""
-    from repro.harness.report import build_report
+    from repro.harness.report import build_report, report_fingerprint
 
     suite = _suite_from_args(args)
     experiments = (
         tuple(args.experiments.split(",")) if args.experiments else None
     )
-    report = build_report(suite, experiments=experiments)
+    checkpoint = None
+    if args.checkpoint or args.resume:
+        from repro.harness.checkpoint import RunCheckpoint
+
+        path = args.checkpoint or ".repro-report-checkpoint.json"
+        fingerprint = report_fingerprint(suite, experiments)
+        if args.resume:
+            checkpoint = RunCheckpoint.load(path, fingerprint)
+            if len(checkpoint):
+                print(f"resuming: {len(checkpoint)} experiment(s) restored "
+                      f"from {path}", file=sys.stderr)
+        else:
+            checkpoint = RunCheckpoint(path, fingerprint)
+    report = build_report(suite, experiments=experiments,
+                          checkpoint=checkpoint)
+    if checkpoint is not None:
+        checkpoint.clear()
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report)
@@ -163,6 +179,54 @@ def cmd_report(args):
     else:
         print(report)
     return 0
+
+
+def cmd_faults(args):
+    """``faults``: run or summarize an MFI fault-injection campaign."""
+    from repro.faults import (
+        FAULT_CLASSES,
+        CampaignConfig,
+        load_report,
+        render_summary,
+        run_campaign,
+    )
+    from repro.faults.campaign import save_report
+
+    if args.action == "report":
+        if not args.out:
+            raise SystemExit("error: faults report needs --out REPORT.json")
+        print(render_summary(load_report(args.out)))
+        return 0
+
+    classes = (tuple(args.classes.split(",")) if args.classes
+               else FAULT_CLASSES)
+    benchmarks = (tuple(args.benchmarks.split(",")) if args.benchmarks
+                  else ("bzip2", "gzip", "mcf", "parser"))
+    config = CampaignConfig(
+        seed=args.seed, faults=args.faults, benchmarks=benchmarks,
+        scale=args.scale, classes=classes, variant=args.variant,
+        max_steps=args.max_steps,
+    )
+
+    def progress(fault_id, outcome, done, total):
+        if args.progress and (done % 25 == 0 or done == total):
+            print(f"  {done}/{total} faults ({fault_id}: {outcome})",
+                  file=sys.stderr)
+
+    report = run_campaign(
+        config,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        progress=progress,
+    )
+    if args.out:
+        save_report(report, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    print(render_summary(report))
+    guarded = report["summary"]["guarded"]
+    ok = (guarded["containment_rate"] in (None, 1.0)
+          and report["summary"]["false_positives"] == 0)
+    return 0 if ok else 1
 
 
 def cmd_cache(args):
@@ -179,7 +243,7 @@ def cmd_cache(args):
     if args.action == "stats":
         stats = cache.stats()
         print(f"cache root: {stats['root']}")
-        for kind in ("traces", "cycles"):
+        for kind in ("traces", "cycles", "quarantined"):
             entry = stats[kind]
             print(f"  {kind:7s} {entry['entries']:6d} entries  "
                   f"{entry['bytes'] / 1024:10.1f} KiB")
@@ -251,7 +315,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel workers (default: REPRO_JOBS or 1)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the persistent trace cache")
+    p.add_argument("--checkpoint",
+                   help="checkpoint file for per-experiment progress "
+                   "(default: .repro-report-checkpoint.json when resuming)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay experiments already in the checkpoint")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "faults",
+        help="run an MFI fault-injection campaign (see "
+        "docs/fault_injection.md)",
+    )
+    p.add_argument("action", choices=["run", "report"],
+                   help="'run' a campaign, or 'report' (re-render a saved "
+                   "report from --out)")
+    p.add_argument("--seed", type=int, default=2003)
+    p.add_argument("--faults", type=int, default=500,
+                   help="number of faults to inject (default 500)")
+    p.add_argument("--benchmarks",
+                   help="comma-separated benchmarks "
+                   "(default bzip2,gzip,mcf,parser)")
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="workload scale factor (default 0.05)")
+    p.add_argument("--classes",
+                   help="comma-separated fault classes (default: all)")
+    p.add_argument("--variant", choices=["dise3", "dise4"],
+                   default="dise3", help="MFI production-set variant")
+    p.add_argument("--max-steps", type=int, default=2_000_000,
+                   help="dynamic-instruction cap per faulted run")
+    p.add_argument("--out", help="write (or with 'report', read) the "
+                   "machine-readable report JSON here")
+    p.add_argument("--checkpoint",
+                   help="checkpoint file for interrupted campaigns")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint")
+    p.add_argument("--progress", action="store_true",
+                   help="print progress to stderr")
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("cache",
                        help="inspect or clear the persistent trace cache")

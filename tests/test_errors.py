@@ -1,0 +1,125 @@
+"""The shared structured error taxonomy (repro.errors)."""
+
+import pytest
+
+from repro.errors import (
+    AcfConfigError,
+    AcfError,
+    CacheCorruptionError,
+    CampaignError,
+    CheckpointError,
+    ExecutionError,
+    ExecutionTimeout,
+    HarnessError,
+    ReproError,
+    SimulationError,
+    TaskError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.isa.build import halt, jmp, li
+from repro.isa.opcodes import Opcode
+from repro.program.builder import ProgramBuilder
+from repro.sim.functional import run_program
+
+T0 = 1
+
+
+def _build(instrs):
+    builder = ProgramBuilder()
+    builder.label("main")
+    for instr in instrs:
+        builder.emit(instr)
+    builder.set_entry("main")
+    return builder.build()
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for cls in (SimulationError, ExecutionError, ExecutionTimeout,
+                    AcfError, AcfConfigError, HarnessError, TaskError,
+                    WorkerCrashError, TaskTimeoutError, CacheCorruptionError,
+                    CheckpointError, CampaignError):
+            assert issubclass(cls, ReproError)
+
+    def test_simulation_errors_keep_runtime_error_base(self):
+        assert issubclass(ExecutionError, RuntimeError)
+
+    def test_acf_errors_keep_value_error_shim(self):
+        # One-release deprecation shim: legacy ``except ValueError``
+        # around ACF construction keeps working.
+        assert issubclass(AcfError, ValueError)
+        assert issubclass(AcfConfigError, ValueError)
+
+    def test_retryability_drives_harness_policy(self):
+        assert WorkerCrashError("w").retryable
+        assert TaskTimeoutError("t").retryable
+        assert not ExecutionError("e").retryable
+        assert not CacheCorruptionError("c").retryable
+
+
+class TestDetails:
+    def test_details_carry_machine_readable_fields(self):
+        err = ExecutionError("boom", pc=0x400010, index=4,
+                             opcode=Opcode.LDQ)
+        details = err.details()
+        assert details["type"] == "ExecutionError"
+        assert details["message"] == "boom"
+        assert details["pc"] == 0x400010
+        assert details["index"] == 4
+        assert details["opcode"] == "LDQ"
+
+    def test_timeout_records_budget(self):
+        err = ExecutionTimeout("slow", steps=1000, index=3)
+        assert err.details()["steps"] == 1000
+        assert isinstance(err, ExecutionError)
+
+    def test_task_errors_record_attempts(self):
+        err = TaskTimeoutError("hung", task="TraceTask(...)", attempts=2,
+                               timeout=1.5)
+        details = err.details()
+        assert details["attempts"] == 2
+        assert details["timeout"] == 1.5
+
+
+class TestSimulatorRaises:
+    def test_bad_jump_carries_fault_site(self):
+        image = _build([li(3, T0), jmp(T0), halt()])
+        from repro.sim.functional import Machine
+
+        machine = Machine(image, record_trace=False)
+        machine.run(max_steps=100)
+        # Wild jumps are an architectural fault, not a model error.
+        assert machine.fault_code is not None
+
+    def test_timeout_is_structured(self):
+        from repro.isa.build import br
+
+        builder = ProgramBuilder()
+        builder.label("main")
+        builder.emit(jmp_self := br("main"))
+        builder.set_entry("main")
+        image = builder.build()
+        with pytest.raises(ExecutionTimeout) as excinfo:
+            run_program(image, record_trace=False, max_steps=50)
+        assert excinfo.value.steps == 50
+        assert isinstance(excinfo.value, SimulationError)
+
+    def test_mfi_error_is_acf_error_and_value_error(self):
+        from repro.acf.mfi import MfiError, mfi_production_source
+
+        with pytest.raises(MfiError):
+            mfi_production_source("nonsense")
+        with pytest.raises(ValueError):       # the deprecation shim
+            mfi_production_source("nonsense")
+        assert issubclass(MfiError, AcfError)
+
+    def test_acf_config_errors_replace_bare_value_error(self):
+        from repro.acf.composition import build_composition
+        from repro.workloads.generator import generate_by_name
+
+        image = generate_by_name("mcf", scale=0.05)
+        with pytest.raises(AcfConfigError):
+            build_composition(image, "nonsense")
+        with pytest.raises(ValueError):       # the deprecation shim
+            build_composition(image, "nonsense")

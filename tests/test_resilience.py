@@ -1,0 +1,261 @@
+"""Harness resilience: watchdogs, retries, and report checkpoint/resume."""
+
+import logging
+import os
+from concurrent.futures import Future
+
+import pytest
+
+from repro.errors import CheckpointError, TaskTimeoutError
+from repro.harness import Suite
+from repro.harness.checkpoint import RunCheckpoint
+from repro.harness.parallel import (
+    TaskResults,
+    TraceTask,
+    resolve_retries,
+    resolve_task_timeout,
+    run_tasks,
+)
+from repro.harness.report import build_report, report_fingerprint
+from repro.harness.trace_cache import serialize_trace
+from repro.sim.config import MachineConfig
+
+SCALE = 0.05
+
+
+def _plan():
+    return [
+        (TraceTask("mcf", SCALE, "plain"), [MachineConfig()]),
+        (TraceTask("gzip", SCALE, "plain"), [MachineConfig()]),
+    ]
+
+
+class _InlineFuture(Future):
+    """A future that ran its work synchronously at submit time."""
+
+    def __init__(self, fn, args):
+        super().__init__()
+        try:
+            self.set_result(fn(*args))
+        except Exception as exc:
+            self.set_exception(exc)
+
+
+class FlakyExecutor:
+    """Fails the first ``crashes`` submissions, then works inline —
+    an induced worker crash that a retry recovers from."""
+
+    def __init__(self, crashes=1):
+        self.crashes = crashes
+        self.submissions = 0
+
+    def __call__(self):        # doubles as its own factory
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, *args):
+        self.submissions += 1
+        if self.submissions <= self.crashes:
+            future = Future()
+            future.set_exception(RuntimeError("worker killed"))
+            return future
+        return _InlineFuture(fn, args)
+
+
+class HangingExecutor:
+    """Every submitted future hangs forever."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, *args):
+        return Future()
+
+    def shutdown(self, **kwargs):
+        pass
+
+
+class TestEnvResolution:
+    def test_timeout_explicit_and_env(self, monkeypatch):
+        assert resolve_task_timeout(2.5) == 2.5
+        assert resolve_task_timeout(0) is None
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "7.5")
+        assert resolve_task_timeout() == 7.5
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "junk")
+        assert resolve_task_timeout() is None
+
+    def test_retries_explicit_and_env(self, monkeypatch):
+        assert resolve_retries(3) == 3
+        assert resolve_retries(-1) == 0
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "4")
+        assert resolve_retries() == 4
+        monkeypatch.delenv("REPRO_TASK_RETRIES")
+        assert resolve_retries() == 1
+
+
+class TestRetries:
+    def test_induced_crash_recovers_via_retry(self, caplog):
+        executor = FlakyExecutor(crashes=1)
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.harness.parallel"):
+            results = run_tasks(_plan(), jobs=2, executor_factory=executor,
+                                retries=1, backoff=0.0)
+        assert len(results) == 2
+        assert not results.failures
+        assert any("retrying" in rec.message for rec in caplog.records)
+        # Retried results are the same as an undisturbed serial run.
+        reference = run_tasks(_plan(), jobs=1)
+        for task in reference:
+            assert serialize_trace(results[task][1]) == \
+                serialize_trace(reference[task][1])
+
+    def test_exhausted_retries_fall_back_to_serial(self, caplog):
+        executor = FlakyExecutor(crashes=100)     # never recovers in-pool
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.harness.parallel"):
+            results = run_tasks(_plan(), jobs=2, executor_factory=executor,
+                                retries=1, backoff=0.0)
+        assert len(results) == 2                  # serial fallback saved it
+        assert any("falling back to serial" in rec.message
+                   for rec in caplog.records)
+
+
+class TestWatchdog:
+    def test_hung_tasks_are_skipped_with_structured_failures(self, caplog):
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.harness.parallel"):
+            results = run_tasks(_plan(), jobs=2,
+                                executor_factory=HangingExecutor,
+                                task_timeout=0.05, retries=1, backoff=0.0)
+        assert isinstance(results, TaskResults)
+        assert len(results) == 0
+        assert len(results.failures) == 2
+        for failure in results.failures:
+            assert isinstance(failure.error, TaskTimeoutError)
+            assert failure.error.retryable
+            assert failure.attempts == 2          # initial try + 1 retry
+            details = failure.details()
+            assert details["type"] == "TaskTimeoutError"
+            assert details["timeout"] == 0.05
+        assert any("skipping" in rec.message for rec in caplog.records)
+
+    def test_no_watchdog_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+        results = run_tasks(_plan(), jobs=2)
+        assert len(results) == 2 and not results.failures
+
+
+class TestReportCheckpoint:
+    EXPS = ("fig6_top",)
+
+    def _suite(self):
+        return Suite(benchmarks=("mcf",), scale=SCALE, cache=None)
+
+    def test_record_and_resume_round_trip(self, tmp_path):
+        suite = self._suite()
+        fingerprint = report_fingerprint(suite, self.EXPS)
+        path = str(tmp_path / "ck.json")
+
+        reference = build_report(suite, experiments=self.EXPS)
+
+        checkpoint = RunCheckpoint(path, fingerprint)
+        first = build_report(suite, experiments=self.EXPS,
+                             checkpoint=checkpoint)
+        assert first == reference
+        assert os.path.exists(path) and len(checkpoint) == 1
+
+        # A "resumed" run replays the checkpointed section — even on a
+        # suite that could not recompute it — and renders identically.
+        broken = Suite(benchmarks=("nonsense",), scale=SCALE, cache=None)
+        broken.benchmarks = ("mcf",)   # fingerprint-compatible, unusable
+        restored = RunCheckpoint.load(path, fingerprint)
+        assert len(restored) == 1
+        resumed = build_report(broken, experiments=self.EXPS,
+                               checkpoint=restored)
+        assert resumed == reference
+
+    def test_fingerprint_mismatch_refuses(self, tmp_path):
+        suite = self._suite()
+        path = str(tmp_path / "ck.json")
+        checkpoint = RunCheckpoint(path, report_fingerprint(suite,
+                                                            self.EXPS))
+        checkpoint.record("fig6_top", "## stale section")
+        with pytest.raises(CheckpointError):
+            RunCheckpoint.load(
+                path, report_fingerprint(suite, ("fig6_top", "fig6_width"))
+            )
+
+    def test_corrupt_checkpoint_refuses(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            RunCheckpoint.load(str(path), {"anything": 1})
+
+    def test_missing_checkpoint_starts_empty(self, tmp_path):
+        checkpoint = RunCheckpoint.load(str(tmp_path / "absent.json"),
+                                        {"x": 1})
+        assert len(checkpoint) == 0
+        assert checkpoint.completed("fig6_top") is None
+
+    def test_clear_removes_the_file(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        checkpoint = RunCheckpoint(path, {"x": 1})
+        checkpoint.record("a", "text")
+        assert os.path.exists(path)
+        checkpoint.clear()
+        assert not os.path.exists(path)
+        assert len(checkpoint) == 0
+
+
+class TestKilledWorkerResume:
+    """The ISSUE acceptance scenario: a worker dies mid-figure; the run is
+    interrupted; ``--resume`` completes with identical output."""
+
+    def test_crash_interrupt_resume_identical(self, tmp_path, caplog):
+        exps = ("fig6_top", "fig6_width")
+        suite = Suite(benchmarks=("mcf",), scale=SCALE, cache=None,
+                      jobs=2)
+        fingerprint = report_fingerprint(suite, exps)
+        path = str(tmp_path / "ck.json")
+        reference = build_report(self._fresh(), experiments=exps)
+
+        # Run 1 "dies" after the first experiment (simulated by an
+        # exception from the second), leaving the checkpoint behind.
+        checkpoint = RunCheckpoint(path, fingerprint)
+        from repro.harness import report as report_mod
+
+        real = report_mod._render_section
+        calls = []
+
+        def dying(name, suite_):
+            calls.append(name)
+            if len(calls) == 2:
+                raise KeyboardInterrupt("killed mid-figure")
+            return real(name, suite_)
+
+        report_mod._render_section = dying
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                build_report(self._fresh(), experiments=exps,
+                             checkpoint=checkpoint)
+        finally:
+            report_mod._render_section = real
+        assert len(RunCheckpoint.load(path, fingerprint)) == 1
+
+        # Run 2 resumes: only the unfinished experiment is recomputed.
+        restored = RunCheckpoint.load(path, fingerprint)
+        resumed = build_report(self._fresh(), experiments=exps,
+                               checkpoint=restored)
+        assert resumed == reference
+
+    @staticmethod
+    def _fresh():
+        return Suite(benchmarks=("mcf",), scale=SCALE, cache=None, jobs=2)

@@ -264,3 +264,78 @@ class TestEnvironment:
         stale = zlib.compress(pickle.dumps(payload, protocol=4), level=1)
         with pytest.raises(CacheError):
             deserialize_trace(stale)
+
+
+class TestSelfHealing:
+    """Corrupt entries are quarantined and regenerated, not served."""
+
+    def test_frame_round_trip_and_detection(self):
+        from repro.harness.trace_cache import frame_payload, unframe_payload
+
+        payload = b"some cached payload"
+        framed = frame_payload(payload)
+        assert unframe_payload(framed) == payload
+        with pytest.raises(CacheError):
+            unframe_payload(framed[:-3])            # truncated payload
+        with pytest.raises(CacheError):
+            unframe_payload(b"not a cache entry")   # no header
+        flipped = bytearray(framed)
+        flipped[len(flipped) // 2] ^= 0x10
+        with pytest.raises(CacheError):
+            unframe_payload(bytes(flipped))         # bit rot
+
+    def test_truncated_entry_quarantined(self, tmp_path, trace):
+        cache = TraceCache(tmp_path)
+        cache.store_trace("d1", trace)
+        path = cache.trace_path("d1")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.load_trace("d1") is None
+        assert not path.exists()                    # moved aside, not served
+        assert cache.stats()["quarantined"]["entries"] == 1
+
+    def test_bitflipped_entry_quarantined(self, tmp_path, trace):
+        cache = TraceCache(tmp_path)
+        cache.store_trace("d1", trace)
+        path = cache.trace_path("d1")
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x40
+        path.write_bytes(bytes(data))
+        assert cache.load_trace("d1") is None
+        assert cache.stats()["quarantined"]["entries"] == 1
+
+    def test_corrupt_cycles_entry_quarantined(self, tmp_path, trace):
+        cache = TraceCache(tmp_path)
+        cache.store_cycles(
+            "c1", simulate_trace(trace, MachineConfig(), warm_start=True)
+        )
+        path = cache.cycle_path("c1")
+        path.write_bytes(b"rotten")
+        assert cache.load_cycles("c1") is None
+        assert cache.stats()["quarantined"]["entries"] == 1
+
+    def test_regeneration_matches_cold_run(self, tmp_path):
+        """End to end: corrupting a cache entry must not change results."""
+        from repro.harness.parallel import TraceTask, run_tasks
+
+        cache = TraceCache(tmp_path)
+        task = TraceTask("mcf", 0.05, "plain")
+        plan = [(task, [MachineConfig()])]
+        cold = run_tasks(plan, jobs=1, cache=cache)
+        digest = cold[task][0]
+        path = cache.trace_path(digest)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 3] ^= 0x01
+        path.write_bytes(bytes(data))
+        healed = run_tasks(plan, jobs=1, cache=cache)
+        assert serialize_trace(healed[task][1]) == \
+            serialize_trace(cold[task][1])
+        assert healed[task][2] == cold[task][2]
+        assert cache.has_trace(digest)              # re-stored after healing
+        assert cache.stats()["quarantined"]["entries"] == 1
+
+    def test_cache_error_is_structured(self):
+        from repro.errors import CacheCorruptionError, HarnessError
+
+        assert issubclass(CacheError, CacheCorruptionError)
+        assert issubclass(CacheError, HarnessError)
+        assert issubclass(CacheError, RuntimeError)   # legacy base

@@ -66,6 +66,16 @@ def run_harness_benchmark(jobs=4, scale=1.0, benchmarks=None):
 
     identical = tables["serial"] == tables["cold"] == tables["warm"]
     serial = timings["serial_seconds"]
+
+    # Telemetry must be free when off: record the disabled-mode overhead
+    # of both hot loops alongside the harness numbers (see
+    # bench_telemetry.py for the full structural + measured check).
+    if str(_BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(_BENCH_DIR))
+    from bench_telemetry import run_telemetry_benchmark
+    telemetry_overhead = run_telemetry_benchmark(
+        scale=min(scale, 0.1), repeats=2
+    )["timings"]
     payload = {
         "meta": {
             "jobs": jobs,
@@ -85,6 +95,7 @@ def run_harness_benchmark(jobs=4, scale=1.0, benchmarks=None):
             ),
         },
         "tables_identical": identical,
+        "telemetry_overhead": telemetry_overhead,
     }
     return payload, tables
 

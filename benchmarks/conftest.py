@@ -23,6 +23,7 @@ from pathlib import Path
 import pytest
 
 from repro.harness import Suite
+from repro.telemetry import registry as _telemetry
 
 _BENCH_DIR = Path(__file__).parent
 
@@ -73,10 +74,21 @@ def pytest_sessionfinish(session, exitstatus):
         "platform": platform.platform(),
     }
     for module, tests in _TIMINGS.items():
-        payload = {
-            "meta": meta,
+        out = _BENCH_DIR / f"BENCH_{module.removeprefix('bench_')}.json"
+        # Some bench modules (harness, telemetry) write a richer payload
+        # themselves during the session; fold the wall-clock summary into
+        # it instead of clobbering.
+        payload = {}
+        if out.exists():
+            try:
+                payload = json.loads(out.read_text())
+            except (OSError, ValueError):
+                payload = {}
+        payload.update({
+            "meta": {**payload.get("meta", {}), **meta},
             "seconds": tests,
             "total_seconds": round(sum(tests.values()), 3),
-        }
-        out = _BENCH_DIR / f"BENCH_{module.removeprefix('bench_')}.json"
+        })
+        if _telemetry.enabled():
+            payload["telemetry"] = _telemetry.snapshot()
         out.write_text(json.dumps(payload, indent=2) + "\n")

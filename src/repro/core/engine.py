@@ -23,6 +23,7 @@ from repro.core.replacement import ReplacementSpec
 from repro.core.tables import PatternTable, ReplacementTable
 from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
 from repro.isa.opcodes import Opcode
+from repro.telemetry import registry as _telemetry
 
 
 class ExpansionError(RuntimeError):
@@ -52,6 +53,41 @@ class Expansion:
         return len(self.instrs)
 
 
+class _EngineTelemetry:
+    """Per-engine metric handles, built only when telemetry is enabled.
+
+    Resolved once per production-set installation so :meth:`DiseEngine.process`
+    pays a single attribute check (and nothing at all for non-trigger
+    opcodes, which never reach it).
+    """
+
+    __slots__ = ("match_counters", "replacement_length", "pt_occupancy",
+                 "rt_occupancy")
+
+    def __init__(self, productions):
+        self.match_counters = {
+            id(production): _telemetry.counter(
+                "engine.production."
+                f"{production.name or f'seq{production.seq_id}'}"
+            )
+            for production in productions
+        }
+        self.replacement_length = _telemetry.histogram(
+            "engine.replacement_length")
+        self.pt_occupancy = _telemetry.gauge("engine.pt_occupancy")
+        self.rt_occupancy = _telemetry.gauge("engine.rt_occupancy")
+
+    def record(self, engine, production, expansion):
+        counter = self.match_counters.get(id(production))
+        if counter is not None:
+            counter.inc()
+        self.replacement_length.observe(len(expansion.instrs))
+        self.pt_occupancy.set(len(engine.pt._resident))
+        self.rt_occupancy.set(
+            sum(len(entries) for entries in engine.rt._sets.values())
+        )
+
+
 class DiseEngine:
     """Matches fetched instructions and produces expansions."""
 
@@ -59,6 +95,10 @@ class DiseEngine:
                  rt: Optional[ReplacementTable] = None):
         self.pt = pt or PatternTable()
         self.rt = rt or ReplacementTable()
+        #: Metric handles, or None (telemetry disabled).  Re-resolved on
+        #: every production-set change, so flipping telemetry takes effect
+        #: at the next installation.
+        self._tm: Optional[_EngineTelemetry] = None
         self._productions: List[Production] = []
         self._replacements: Dict[int, ReplacementSpec] = {}
         self._candidates_by_opcode: Dict[Opcode, List[Production]] = {}
@@ -85,6 +125,7 @@ class DiseEngine:
         self._candidates_by_opcode = {}
         self.trigger_opcodes = frozenset()
         self.generation += 1
+        self._tm = None
         if production_set is None:
             self._productions = []
             self._replacements = {}
@@ -112,6 +153,8 @@ class DiseEngine:
         self.trigger_opcodes = frozenset(by_opcode)
         self.pt.set_active_patterns(active_indexes)
         self.rt.invalidate()
+        if _telemetry.enabled():
+            self._tm = _EngineTelemetry(self._productions)
 
     @property
     def active_production_count(self) -> int:
@@ -166,6 +209,8 @@ class DiseEngine:
         rt_miss = self.rt.access_sequence(seq_id, len(spec))
         expansion = self._instantiate_cached(seq_id, spec, instr, pc)
         self.expansions += 1
+        if self._tm is not None:
+            self._tm.record(self, production, expansion)
         return expansion, pt_miss, rt_miss
 
     # ------------------------------------------------------------------

@@ -56,6 +56,8 @@ from repro.faults.inject import (
     profile_sites,
     state_mutator,
 )
+from repro.telemetry import events as _events
+from repro.telemetry import registry as _telemetry
 from repro.workloads.generator import generate_by_name
 
 #: Version stamp on reports and checkpoints.
@@ -352,7 +354,8 @@ def run_campaign(config: CampaignConfig,
 
     def bench_for(name: str) -> _Bench:
         if name not in benches:
-            benches[name] = _Bench(name, config)
+            with _events.span("campaign.prepare_bench", bench=name):
+                benches[name] = _Bench(name, config)
         return benches[name]
 
     fresh = 0
@@ -370,6 +373,12 @@ def run_campaign(config: CampaignConfig,
                           bench.profile, bench.image)
         record = _run_one(spec, fault_id, bench_name, fault_class, bench)
         records[fault_id] = record
+        outcome = record["outcome"]
+        _telemetry.counter(f"faults.outcome.{outcome}").inc()
+        if outcome != "skipped":
+            _telemetry.counter(f"faults.injected.{fault_class}").inc()
+        if outcome == "contained":
+            _telemetry.counter(f"faults.contained.{fault_class}").inc()
         fresh += 1
         if progress is not None:
             progress(fault_id, record["outcome"], len(records),

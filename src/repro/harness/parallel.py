@@ -29,7 +29,6 @@ environment variable, else 1 (serial).
 
 from __future__ import annotations
 
-import logging
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -53,10 +52,13 @@ from repro.harness.trace_cache import (
 from repro.sim.config import MachineConfig
 from repro.sim.cycle import CycleResult, simulate_trace
 from repro.sim.trace import TraceResult
+from repro.telemetry import events as _events
+from repro.telemetry import get_logger
+from repro.telemetry import registry as _telemetry
 from repro.workloads.generator import generate_benchmark
 from repro.workloads.specint import get_profile
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 #: Functional runs use a perfect RT: RT behaviour is replayed inside the
 #: timing model, so the functional pass should not burn time there.
@@ -115,11 +117,18 @@ class TaskFailure:
     task: "TraceTask"
     error: TaskError
     attempts: int
+    #: Wall seconds from the first attempt's submission to giving up.
+    elapsed: float = 0.0
+    #: Wall-clock (``time.time``) start stamp of each attempt, so fault
+    #: reports and telemetry agree on retry timing.
+    attempt_times: Tuple[float, ...] = ()
 
     def details(self) -> dict:
         out = self.error.details()
         out["task"] = repr(self.task)
         out["attempts"] = self.attempts
+        out["elapsed"] = round(self.elapsed, 6)
+        out["attempt_times"] = list(self.attempt_times)
         return out
 
 
@@ -183,9 +192,16 @@ def build_installation(task: TraceTask, image=None) -> AcfInstallation:
 
 def _run_task(task: TraceTask, configs: Sequence[MachineConfig],
               cache_root: Optional[str], max_steps: int):
-    """Produce (digest, trace_bytes, {config_repr: CycleResult}) for one
-    task.  Runs in a worker process, but is equally callable in-process —
-    that is the serial fallback path."""
+    """Produce (digest, trace_bytes, {config_repr: CycleResult}, metrics)
+    for one task.  Runs in a worker process, but is equally callable
+    in-process — that is the serial fallback path.
+
+    ``metrics`` is the registry *delta* this call produced (or ``None``
+    with telemetry off).  Pool callers merge it into the parent registry;
+    in-process callers discard it — their metrics already landed in the
+    parent's registry directly, and merging would double-count.
+    """
+    tm_before = _telemetry.snapshot() if _telemetry.enabled() else None
     cache = TraceCache(cache_root) if cache_root else None
     installation = build_installation(task)
     machine = installation.make_machine(FUNCTIONAL_DISE)
@@ -222,7 +238,9 @@ def _run_task(task: TraceTask, configs: Sequence[MachineConfig],
             if cache is not None and ck is not None:
                 cache.store_cycles(ck, result)
         cycles[config_repr] = result
-    return digest, trace_bytes, cycles
+    tm_delta = (_telemetry.snapshot_delta(tm_before, _telemetry.snapshot())
+                if tm_before is not None else None)
+    return digest, trace_bytes, cycles, tm_delta
 
 
 def _fully_cached(task: TraceTask, configs: Sequence[MachineConfig],
@@ -253,6 +271,19 @@ def _fully_cached(task: TraceTask, configs: Sequence[MachineConfig],
         max_steps=max_steps
     )
     return digest, LazyTrace(cache, digest, recompute), cycles
+
+
+def _task_label(task: TraceTask) -> str:
+    """Compact, stable task label for events and logs."""
+    return "/".join(str(part) for part in task.suite_key())
+
+
+def _record_task(task: TraceTask, seconds: float, attempts: int,
+                 status: str):
+    """One task finished: event-log record plus harness metrics."""
+    _events.emit_task(_task_label(task), seconds, attempts, status)
+    _telemetry.counter("harness.tasks").inc()
+    _telemetry.histogram("harness.task_seconds").observe(round(seconds, 6))
 
 
 def _abandon_pool(pool):
@@ -317,13 +348,28 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
     cache_root = str(cache.root) if cache is not None else None
     results = TaskResults()
 
+    # Per-task timing, kept regardless of telemetry: TaskFailure records
+    # carry the elapsed time and attempt stamps either way.
+    first_start: Dict[TraceTask, float] = {}   # monotonic, first attempt
+    attempt_log: Dict[TraceTask, List[float]] = {}  # wall-clock stamps
+
+    def begin_attempt(task):
+        attempt_log.setdefault(task, []).append(time.time())
+        first_start.setdefault(task, time.monotonic())
+
+    def task_elapsed(task):
+        start = first_start.get(task)
+        return time.monotonic() - start if start is not None else 0.0
+
     if cache is not None:
         images: Dict[Tuple, object] = {}
         for task, configs in list(merged.items()):
+            t0 = time.monotonic()
             hit = _fully_cached(task, configs, cache, max_steps, images)
             if hit is not None:
                 results[task] = hit
                 del merged[task]
+                _record_task(task, time.monotonic() - t0, 1, "cached")
         if not merged:
             return results
 
@@ -334,16 +380,20 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
 
     if jobs <= 1 or len(merged) <= 1:
         for task, configs in merged.items():
-            digest, trace_bytes, cycles = _run_task(
+            begin_attempt(task)
+            digest, trace_bytes, cycles, _ = _run_task(
                 task, configs, cache_root, max_steps
             )
             results[task] = finish(digest, trace_bytes, cycles)
+            _record_task(task, task_elapsed(task), 1, "ok")
         return results
 
     if executor_factory is None:
         executor_factory = lambda: ProcessPoolExecutor(max_workers=jobs)
 
     failed: List[Tuple[TraceTask, List[MachineConfig]]] = []
+    pool_t0 = time.monotonic()
+    busy_seconds = 0.0
     try:
         with executor_factory() as pool:
             # future -> (task, configs, attempt number, watchdog deadline)
@@ -351,6 +401,7 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
             hung = False
 
             def submit(task, configs, attempt):
+                begin_attempt(task)
                 future = pool.submit(_run_task, task, configs, cache_root,
                                      max_steps)
                 deadline = (time.monotonic() + task_timeout
@@ -371,9 +422,15 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
                 for future in done:
                     task, configs, attempt, _ = pending.pop(future)
                     try:
-                        digest, trace_bytes, cycles = future.result()
+                        digest, trace_bytes, cycles, tm_delta = \
+                            future.result()
                     except Exception as exc:
                         if attempt <= retries:
+                            _telemetry.counter("harness.retries").inc()
+                            _events.event("task_retry",
+                                          task=_task_label(task),
+                                          attempt=attempt + 1,
+                                          error=type(exc).__name__)
                             logger.warning(
                                 "worker for %s failed (%s: %s); retrying "
                                 "(attempt %d of %d)", task,
@@ -390,7 +447,12 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
                             )
                             failed.append((task, configs))
                         continue
+                    if tm_delta:
+                        _telemetry.get_registry().merge(tm_delta)
                     results[task] = finish(digest, trace_bytes, cycles)
+                    seconds = task_elapsed(task)
+                    busy_seconds += seconds
+                    _record_task(task, seconds, attempt, "ok")
                 now = time.monotonic()
                 for future in list(pending):
                     task, configs, attempt, deadline = pending[future]
@@ -398,7 +460,11 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
                         continue
                     del pending[future]
                     future.cancel()
+                    _telemetry.counter("harness.timeouts").inc()
                     if attempt <= retries:
+                        _telemetry.counter("harness.retries").inc()
+                        _events.event("task_retry", task=_task_label(task),
+                                      attempt=attempt + 1, error="timeout")
                         logger.warning(
                             "task %s exceeded its %.3gs watchdog; retrying "
                             "(attempt %d of %d)", task, task_timeout,
@@ -412,9 +478,15 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
                             task=repr(task), attempts=attempt,
                             timeout=task_timeout,
                         )
+                        seconds = task_elapsed(task)
                         results.failures.append(
-                            TaskFailure(task, error, attempt)
+                            TaskFailure(
+                                task, error, attempt, elapsed=seconds,
+                                attempt_times=tuple(
+                                    attempt_log.get(task, ())),
+                            )
                         )
+                        _record_task(task, seconds, attempt, "timeout")
                         hung = True
                         logger.warning(
                             "task %s exceeded its %.3gs watchdog after %d "
@@ -432,9 +504,17 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
         failed = [item for item in merged.items()
                   if item[0] not in results and item[0] not in skipped]
 
+    if jobs > 1:
+        wall = time.monotonic() - pool_t0
+        if wall > 0 and busy_seconds > 0:
+            _telemetry.gauge("harness.worker_utilization").set(
+                round(min(1.0, busy_seconds / (wall * jobs)), 4)
+            )
+
     for task, configs in failed:
+        begin_attempt(task)
         try:
-            digest, trace_bytes, cycles = _run_task(
+            digest, trace_bytes, cycles, _ = _run_task(
                 task, configs, cache_root, max_steps
             )
         except Exception as exc:
@@ -442,11 +522,17 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
                 f"serial fallback failed: {type(exc).__name__}: {exc}",
                 task=repr(task), attempts=retries + 2,
             )
-            results.failures.append(TaskFailure(task, error, retries + 2))
+            seconds = task_elapsed(task)
+            results.failures.append(
+                TaskFailure(task, error, retries + 2, elapsed=seconds,
+                            attempt_times=tuple(attempt_log.get(task, ())))
+            )
+            _record_task(task, seconds, retries + 2, "failed")
             logger.warning(
                 "serial fallback for %s failed (%s: %s); skipping it "
                 "(see results.failures)", task, type(exc).__name__, exc,
             )
             continue
         results[task] = finish(digest, trace_bytes, cycles)
+        _record_task(task, task_elapsed(task), retries + 2, "fallback")
     return results

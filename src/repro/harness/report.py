@@ -6,12 +6,15 @@ document — the machinery behind regenerating EXPERIMENTS.md's raw data.
 
 from __future__ import annotations
 
+import json
 from typing import Optional, Sequence
 
 from repro.harness.config import render_config_table
 from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.harness.runner import Suite
 from repro.harness.tables import ResultTable
+from repro.telemetry import events as _events
+from repro.telemetry import registry as _telemetry
 
 #: Figure id -> the paper's one-line qualitative claim, for side-by-side
 #: reading in the generated report.
@@ -95,8 +98,22 @@ def build_report(suite: Optional[Suite] = None,
     for name in names:
         section = checkpoint.completed(name) if checkpoint else None
         if section is None:
-            section = _render_section(name, suite)
+            with _events.span("experiment", experiment=name):
+                section = _render_section(name, suite)
             if checkpoint is not None:
                 checkpoint.record(name, section)
         parts.append(section)
+    if _telemetry.enabled():
+        parts.append(render_telemetry_section())
     return "\n".join(parts)
+
+
+def render_telemetry_section() -> str:
+    """The embedded ``telemetry`` section of a harness report."""
+    snapshot = _telemetry.snapshot()
+    return "\n".join([
+        "## Telemetry", "",
+        "```json",
+        json.dumps(snapshot, indent=2, sort_keys=True),
+        "```", "",
+    ])

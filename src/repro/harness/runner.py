@@ -47,6 +47,7 @@ from repro.program.image import ProgramImage
 from repro.sim.config import MachineConfig
 from repro.sim.cycle import CycleResult, simulate_trace
 from repro.sim.trace import TraceResult
+from repro.telemetry import events as _events
 from repro.workloads.generator import generate_benchmark
 from repro.workloads.specint import BENCHMARK_NAMES, get_profile
 
@@ -220,7 +221,9 @@ class Suite:
             normalized.append((task, tuple(configs)))
         if not normalized:
             return 0
-        results = run_tasks(normalized, jobs=jobs, cache=self.cache)
+        with _events.span("suite.prefetch", tasks=len(normalized),
+                          jobs=jobs):
+            results = run_tasks(normalized, jobs=jobs, cache=self.cache)
         for task, (digest, trace, cycle_results) in results.items():
             self._traces.setdefault(task.suite_key(), trace)
             fingerprint = trace_fingerprint(trace)

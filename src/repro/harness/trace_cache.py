@@ -27,7 +27,6 @@ entry silently misses.
 from __future__ import annotations
 
 import hashlib
-import logging
 import os
 import pickle
 import zlib
@@ -40,8 +39,10 @@ from repro.isa.opcodes import OPCODE_BY_CODE
 from repro.program.image import ProgramImage
 from repro.sim.memory import Memory
 from repro.sim.trace import Op, TraceResult
+from repro.telemetry import get_logger
+from repro.telemetry import registry as _telemetry
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 #: Bump when the trace format, Op fields, or generator semantics change.
 #: 2: entries gained the integrity frame (magic + content digest).
@@ -337,6 +338,7 @@ class TraceCache:
         try:
             self._quarantine_dir.mkdir(parents=True, exist_ok=True)
             os.replace(path, self._quarantine_dir / path.name)
+            _telemetry.counter("trace_cache.quarantined").inc()
             logger.warning(
                 "quarantined corrupt cache entry %s (%s); it will be "
                 "regenerated", path.name, reason,
@@ -369,7 +371,12 @@ class TraceCache:
 
     def load_trace_bytes(self, digest: str) -> Optional[bytes]:
         """Verified trace payload bytes, or ``None`` on miss/corruption."""
-        return self._load_verified(self.trace_path(digest))
+        data = self._load_verified(self.trace_path(digest))
+        _telemetry.counter(
+            "trace_cache.trace.hits" if data is not None
+            else "trace_cache.trace.misses"
+        ).inc()
+        return data
 
     def load_trace(self, digest: str) -> Optional[TraceResult]:
         data = self.load_trace_bytes(digest)
@@ -385,6 +392,7 @@ class TraceCache:
 
     def store_trace_bytes(self, digest: str, data: bytes):
         self._write_atomic(self.trace_path(digest), frame_payload(data))
+        _telemetry.counter("trace_cache.trace.stores").inc()
 
     def store_trace(self, digest: str, trace: TraceResult) -> bytes:
         data = serialize_trace(trace)
@@ -397,6 +405,10 @@ class TraceCache:
 
     def load_cycles(self, digest: str):
         data = self._load_verified(self.cycle_path(digest))
+        _telemetry.counter(
+            "trace_cache.cycles.hits" if data is not None
+            else "trace_cache.cycles.misses"
+        ).inc()
         if data is None:
             return None
         try:
@@ -408,6 +420,7 @@ class TraceCache:
     def store_cycles(self, digest: str, result):
         data = zlib.compress(pickle.dumps(result, protocol=4), level=1)
         self._write_atomic(self.cycle_path(digest), frame_payload(data))
+        _telemetry.counter("trace_cache.cycles.stores").inc()
 
     # -- maintenance ---------------------------------------------------
     def stats(self) -> dict:

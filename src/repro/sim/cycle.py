@@ -43,6 +43,7 @@ from repro.core.tables import ReplacementTable
 from repro.sim.branch import BranchPredictor
 from repro.sim.cache import Cache, PerfectCache
 from repro.sim.config import MachineConfig
+from repro.telemetry import registry as _telemetry
 from repro.sim.trace import (
     CTRL_CALL,
     CTRL_COND,
@@ -441,6 +442,28 @@ class CycleSimulator:
             last_retire = retire
 
         cycles = last_retire if ops else 0
+        if _telemetry.enabled():
+            # Published after the replay loop, so the hot loop itself is
+            # untouched (the ≤2% disabled-overhead budget covers setup only).
+            _telemetry.counter("cycle.replays").inc()
+            for name, value in (
+                ("cycle.cycles", cycles),
+                ("cycle.instructions", len(ops)),
+                ("cycle.il1.accesses", il1.accesses),
+                ("cycle.il1.misses", il1.misses),
+                ("cycle.dl1.accesses", dl1.accesses),
+                ("cycle.dl1.misses", dl1.misses),
+                ("cycle.l2.misses", l2_misses),
+                ("cycle.cond_branches", cond_branches),
+                ("cycle.mispredicts", mispredicts),
+                ("cycle.expansions", expansions),
+                ("cycle.stall.expansion", expansion_stalls),
+                ("cycle.stall.rt_miss", rt_miss_stalls),
+                ("cycle.stall.pt_miss", pt_miss_stalls),
+                ("cycle.stall.dise_redirect", dise_redirects),
+            ):
+                if value:
+                    _telemetry.counter(name).inc(value)
         return CycleResult(
             cycles=cycles,
             instructions=len(ops),

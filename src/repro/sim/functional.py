@@ -43,6 +43,7 @@ from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Format, OpClass, Opcode
 from repro.program.image import ProgramImage
 from repro.sim.memory import MASK64, Memory
+from repro.telemetry import registry as _telemetry
 from repro.sim.trace import (
     CTRL_CALL,
     CTRL_COND,
@@ -500,6 +501,13 @@ class Machine:
         self.fast_dispatch = fast_dispatch
         self._execute = (self._execute_fast if fast_dispatch
                          else self._execute_generic)
+        # Telemetry is wired at construction time: when disabled, no wrapper
+        # is installed and the dispatch path is identical to the
+        # uninstrumented machine (bench_telemetry.py asserts this).
+        self._opcode_counts: Optional[Dict[Opcode, int]] = None
+        self._tm_prev: Optional[dict] = None
+        if _telemetry.enabled():
+            self._install_opcode_telemetry()
 
         self.regs: List[int] = [0] * NUM_REGS
         self.mem = Memory(image.data_words)
@@ -539,6 +547,56 @@ class Machine:
         self._disepc = 0
         self._pending: Optional[int] = None   # deferred trigger-branch target
         self._exp_event = None                # attached to first expansion op
+
+    # ------------------------------------------------------------------
+    # Telemetry (installed only when REPRO_TELEMETRY is on)
+    # ------------------------------------------------------------------
+    def _install_opcode_telemetry(self):
+        """Wrap dispatch with a per-opcode retirement counter."""
+        inner = self._execute
+        counts: Dict[Opcode, int] = {}
+        self._opcode_counts = counts
+        self._tm_prev = {"instructions": 0, "app_instructions": 0,
+                         "expansions": 0, "pt_misses": 0, "rt_misses": 0,
+                         "opcodes": {}}
+
+        def counting_execute(instr, pc, idx, **kwargs):
+            opcode = instr.opcode
+            counts[opcode] = counts.get(opcode, 0) + 1
+            return inner(instr, pc, idx, **kwargs)
+
+        self._execute = counting_execute
+
+    def _publish_telemetry(self):
+        """Fold this machine's totals into the process registry.
+
+        Publishes only the growth since the previous call, so calling
+        :meth:`result` repeatedly (or resuming after a checkpoint) never
+        double-counts.
+        """
+        prev = self._tm_prev
+        for field in ("instructions", "app_instructions", "expansions",
+                      "pt_misses", "rt_misses"):
+            delta = getattr(self, field) - prev[field]
+            if delta:
+                _telemetry.counter(f"sim.{field}").inc(delta)
+                prev[field] = getattr(self, field)
+        loads = stores = 0
+        prev_opcodes = prev["opcodes"]
+        for opcode, count in self._opcode_counts.items():
+            delta = count - prev_opcodes.get(opcode, 0)
+            if not delta:
+                continue
+            _telemetry.counter(f"sim.opcode.{opcode.name}").inc(delta)
+            prev_opcodes[opcode] = count
+            if opcode in (Opcode.LDQ, Opcode.LDL):
+                loads += delta
+            elif opcode in (Opcode.STQ, Opcode.STL):
+                stores += delta
+        if loads:
+            _telemetry.counter("sim.mem.loads").inc(loads)
+        if stores:
+            _telemetry.counter("sim.mem.stores").inc(stores)
 
     # ------------------------------------------------------------------
     # Register access helpers
@@ -1024,6 +1082,8 @@ class Machine:
 
     # ------------------------------------------------------------------
     def result(self) -> TraceResult:
+        if self._tm_prev is not None:
+            self._publish_telemetry()
         return TraceResult(
             ops=self.ops,
             outputs=list(self.outputs),

@@ -1,0 +1,54 @@
+"""Opt-in observability for every layer of the reproduction.
+
+Set ``REPRO_TELEMETRY=1`` to collect metrics and (from the CLI/harness)
+write a structured JSONL event log; leave it unset and every
+instrumentation site degrades to shared no-op singletons.  See
+``docs/observability.md`` for the metric catalog and event schema.
+"""
+
+from repro.telemetry.registry import (
+    NULL_METRIC,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    Timer,
+    configure,
+    counter,
+    enabled,
+    enabled_scope,
+    gauge,
+    get_registry,
+    histogram,
+    snapshot,
+    snapshot_delta,
+    timer,
+)
+from repro.telemetry.events import (
+    EVENT_SCHEMA,
+    EventLog,
+    RunTelemetry,
+    TelemetryError,
+    current_run,
+    default_log_dir,
+    emit_task,
+    event,
+    final_metrics,
+    finish_run,
+    make_run_id,
+    read_events,
+    span,
+    start_run,
+    validate_log,
+)
+from repro.telemetry.log import get_logger
+
+__all__ = [
+    "NULL_METRIC", "Counter", "Gauge", "Histogram", "Registry", "Timer",
+    "configure", "counter", "enabled", "enabled_scope", "gauge",
+    "get_registry", "histogram", "snapshot", "snapshot_delta", "timer",
+    "EVENT_SCHEMA", "EventLog", "RunTelemetry", "TelemetryError",
+    "current_run", "default_log_dir", "emit_task", "event", "final_metrics",
+    "finish_run", "make_run_id", "read_events", "span", "start_run",
+    "validate_log", "get_logger",
+]

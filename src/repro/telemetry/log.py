@@ -1,0 +1,72 @@
+"""One logging setup for the whole library, honoring ``REPRO_LOG_LEVEL``.
+
+Library modules must never call ``logging.basicConfig`` (it hijacks the
+root logger of every embedding application).  Instead they ask this module
+for a namespaced logger::
+
+    from repro.telemetry import get_logger
+    logger = get_logger(__name__)
+
+All ``repro.*`` loggers hang off one ``repro`` parent that gets a single
+stderr handler — attached lazily, only if the embedding application has not
+configured logging itself — at the level named by ``REPRO_LOG_LEVEL``
+(default ``WARNING``).  Applications that do configure logging see our
+records propagate normally and our handler stays out of the way.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional
+
+_LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _resolve_level(value: Optional[str] = None) -> int:
+    name = (value if value is not None
+            else os.environ.get(_LEVEL_ENV_VAR, "")).strip().upper()
+    if not name:
+        return logging.WARNING
+    if name.isdigit():
+        return int(name)
+    resolved = logging.getLevelName(name)
+    return resolved if isinstance(resolved, int) else logging.WARNING
+
+
+def _ensure_configured():
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(_resolve_level())
+    # Leave handler wiring to the application when it has any; otherwise
+    # give the repro tree one stderr handler so warnings are visible from
+    # the CLI without touching the root logger.
+    if not root.handlers and not logging.getLogger().handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    _configured = True
+
+
+def get_logger(name: str = _ROOT_NAME) -> logging.Logger:
+    """A logger under the ``repro`` namespace with the shared setup."""
+    _ensure_configured()
+    if name != _ROOT_NAME and not name.startswith(_ROOT_NAME + "."):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def reset_for_tests():
+    """Forget the lazy setup so tests can exercise it repeatedly."""
+    global _configured
+    _configured = False
+    root = logging.getLogger(_ROOT_NAME)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)

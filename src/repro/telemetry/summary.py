@@ -1,0 +1,244 @@
+"""Render telemetry runs: ``summary``, ``top``, and two-run ``diff``.
+
+Works purely from the emitted JSONL (see :mod:`repro.telemetry.events`):
+the final ``metrics`` snapshot supplies counter/histogram values, the
+``task`` events supply per-task harness timings, and the spans supply
+phase timings.  Nothing here re-runs any simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.events import final_metrics, read_events
+
+
+class RunView:
+    """Parsed view of one run log: events, metrics, tasks, spans."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self.events = read_events(path)
+        if not self.events:
+            raise ValueError(f"{path}: empty event log")
+        self.run_id = self.events[0].get("run", "?")
+        self.metrics = final_metrics(self.events)
+        self.tasks = [e for e in self.events if e.get("kind") == "task"]
+        self.spans = [e for e in self.events if e.get("kind") == "span_end"]
+
+    # -- metric accessors ---------------------------------------------
+    def value(self, name: str, default=0):
+        entry = self.metrics.get(name)
+        if entry is None:
+            return default
+        if "value" in entry:
+            return entry["value"]
+        return entry.get("total", default)
+
+    def counters_with_prefix(self, prefix: str) -> List[Tuple[str, int]]:
+        out = []
+        for name, entry in self.metrics.items():
+            if name.startswith(prefix) and "value" in entry:
+                out.append((name[len(prefix):], entry["value"]))
+        out.sort(key=lambda pair: (-pair[1], pair[0]))
+        return out
+
+    def histogram(self, name: str) -> Optional[dict]:
+        entry = self.metrics.get(name)
+        return entry if entry and "count" in entry else None
+
+
+def _ratio(numerator, denominator) -> Optional[float]:
+    return numerator / denominator if denominator else None
+
+
+def _pct(value: Optional[float]) -> str:
+    return f"{value * 100:.2f}%" if value is not None else "—"
+
+
+def _rate_line(label: str, hits, misses) -> Optional[str]:
+    accesses = hits + misses
+    if not accesses:
+        return None
+    return (f"  {label:<22s} {_pct(_ratio(hits, accesses)):>8s} hit "
+            f"({hits}/{accesses})")
+
+
+def render_summary(run: RunView) -> str:
+    """Expansion frequency, cache hit rates, and harness task timings."""
+    lines = [f"# Telemetry summary — {run.run_id}", ""]
+
+    # -- engine / functional sim --------------------------------------
+    app = run.value("sim.app_instructions")
+    expansions = run.value("sim.expansions")
+    dynamic = run.value("sim.instructions")
+    lines.append("## Engine")
+    if app or expansions:
+        freq = _ratio(expansions, app)
+        lines.append(f"  app instructions       {app}")
+        lines.append(f"  dynamic instructions   {dynamic}")
+        lines.append(f"  expansions             {expansions} "
+                     f"(frequency {_pct(freq)})")
+        length = run.histogram("engine.replacement_length")
+        if length:
+            mean = length["total"] / length["count"] if length["count"] else 0
+            lines.append(
+                f"  replacement length     mean {mean:.2f} "
+                f"(min {length['min']}, max {length['max']}, "
+                f"n={length['count']})"
+            )
+        pt_miss = run.value("sim.pt_misses")
+        rt_miss = run.value("sim.rt_misses")
+        lines.append(f"  PT misses              {pt_miss}")
+        lines.append(f"  RT misses              {rt_miss}")
+        for gauge_name, label in (("engine.pt_occupancy", "PT occupancy"),
+                                  ("engine.rt_occupancy", "RT occupancy")):
+            if gauge_name in run.metrics:
+                lines.append(f"  {label:<22s} {run.value(gauge_name)}")
+    else:
+        lines.append("  (no functional-sim metrics in this run)")
+    lines.append("")
+
+    # -- cache hit rates ----------------------------------------------
+    lines.append("## Cache hit rates")
+    cache_lines = []
+    for label, hit_name, miss_name in (
+        ("trace cache (traces)", "trace_cache.trace.hits",
+         "trace_cache.trace.misses"),
+        ("trace cache (cycles)", "trace_cache.cycles.hits",
+         "trace_cache.cycles.misses"),
+    ):
+        line = _rate_line(label, run.value(hit_name), run.value(miss_name))
+        if line:
+            cache_lines.append(line)
+    for label, acc_name, miss_name in (
+        ("I-cache (L1)", "cycle.il1.accesses", "cycle.il1.misses"),
+        ("D-cache (L1)", "cycle.dl1.accesses", "cycle.dl1.misses"),
+    ):
+        accesses = run.value(acc_name)
+        misses = run.value(miss_name)
+        if accesses:
+            cache_lines.append(
+                f"  {label:<22s} {_pct(_ratio(accesses - misses, accesses)):>8s}"
+                f" hit ({accesses - misses}/{accesses})"
+            )
+    quarantined = run.value("trace_cache.quarantined")
+    if quarantined:
+        cache_lines.append(f"  quarantined entries    {quarantined}")
+    lines.extend(cache_lines or ["  (no cache metrics in this run)"])
+    lines.append("")
+
+    # -- timing model --------------------------------------------------
+    replays = run.value("cycle.replays")
+    if replays:
+        lines.append("## Timing model")
+        lines.append(f"  replays                {replays}")
+        lines.append(f"  cycles                 {run.value('cycle.cycles')}")
+        for name, label in (
+            ("cycle.stall.expansion", "expansion stalls"),
+            ("cycle.stall.pt_miss", "PT-miss stalls"),
+            ("cycle.stall.rt_miss", "RT-miss stalls"),
+            ("cycle.stall.dise_redirect", "DISE redirects"),
+            ("cycle.mispredicts", "mispredicts"),
+        ):
+            lines.append(f"  {label:<22s} {run.value(name)}")
+        lines.append("")
+
+    # -- harness tasks -------------------------------------------------
+    lines.append("## Harness tasks")
+    if run.tasks:
+        total = sum(t.get("seconds", 0) for t in run.tasks)
+        retries = run.value("harness.retries")
+        timeouts = run.value("harness.timeouts")
+        lines.append(f"  tasks                  {len(run.tasks)} "
+                     f"({total:.2f}s busy)")
+        lines.append(f"  retries                {retries}")
+        lines.append(f"  watchdog timeouts      {timeouts}")
+        utilization = run.metrics.get("harness.worker_utilization")
+        if utilization is not None:
+            lines.append(
+                f"  worker utilization     {_pct(utilization.get('value'))}"
+            )
+        slowest = sorted(run.tasks, key=lambda t: -t.get("seconds", 0))[:5]
+        lines.append("  slowest tasks:")
+        for task in slowest:
+            lines.append(
+                f"    {task.get('seconds', 0):8.3f}s  "
+                f"x{task.get('attempts', 1)}  {task.get('status', '?'):<8s} "
+                f"{task.get('label', '?')}"
+            )
+    else:
+        lines.append("  (no task events in this run)")
+    lines.append("")
+
+    # -- phases --------------------------------------------------------
+    if run.spans:
+        lines.append("## Phases")
+        for span_event in run.spans:
+            lines.append(f"  {span_event.get('seconds', 0):8.3f}s  "
+                         f"{span_event.get('name', '?')}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_top(run: RunView, n: int = 10) -> str:
+    """Hottest opcodes and productions from the metric snapshot."""
+    lines = [f"# Telemetry top — {run.run_id}", ""]
+    opcodes = run.counters_with_prefix("sim.opcode.")
+    lines.append(f"## Hottest opcodes (top {n})")
+    if opcodes:
+        total = sum(count for _, count in opcodes)
+        for name, count in opcodes[:n]:
+            lines.append(f"  {name:<10s} {count:>12d}  "
+                         f"{_pct(_ratio(count, total))}")
+        loads = sum(c for name, c in opcodes if name in ("LDQ", "LDL"))
+        stores = sum(c for name, c in opcodes if name in ("STQ", "STL"))
+        lines.append("")
+        lines.append(f"  memory-op mix: {loads} loads / {stores} stores "
+                     f"({_pct(_ratio(loads + stores, total))} of retired)")
+    else:
+        lines.append("  (no opcode metrics in this run)")
+    lines.append("")
+    productions = run.counters_with_prefix("engine.production.")
+    lines.append(f"## Hottest productions (top {n})")
+    if productions:
+        for name, count in productions[:n]:
+            lines.append(f"  {name:<24s} {count:>12d}")
+    else:
+        lines.append("  (no production-match metrics in this run)")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_diff(a: RunView, b: RunView, threshold: float = 0.0) -> str:
+    """Two-run regression diff over counters, gauges and histogram totals.
+
+    Timer/histogram *totals* are compared for timing metrics; raw event
+    timestamps never participate, so seeded runs diff clean.
+    """
+    lines = [f"# Telemetry diff — {a.run_id} -> {b.run_id}", ""]
+    names = sorted(set(a.metrics) | set(b.metrics))
+    rows: List[Tuple[str, float, str]] = []
+    for name in names:
+        va = a.value(name, 0) or 0
+        vb = b.value(name, 0) or 0
+        if va == vb:
+            continue
+        if va:
+            change = (vb - va) / abs(va)
+            change_str = f"{change * 100:+.1f}%"
+        else:
+            change = float("inf")
+            change_str = "new"
+        magnitude = abs(change) if change != float("inf") else float("inf")
+        if magnitude >= threshold:
+            rows.append((name, magnitude,
+                         f"  {name:<36s} {va!s:>14s} -> {vb!s:<14s} "
+                         f"{change_str}"))
+    if not rows:
+        lines.append("  (no metric differences)")
+        return "\n".join(lines) + "\n"
+    rows.sort(key=lambda row: (-row[1] if row[1] != float("inf") else
+                               float("-inf"), row[0]))
+    lines.append(f"  {'metric':<36s} {'before':>14s}    {'after':<14s} change")
+    lines.extend(row[2] for row in rows)
+    return "\n".join(lines) + "\n"

@@ -17,7 +17,10 @@ benchmarks.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from contextlib import contextmanager
+from pathlib import Path
 
 from repro.acf.compression import FIGURE7_VARIANTS, compress_image
 from repro.acf.mfi import attach_mfi, rewrite_mfi
@@ -29,6 +32,31 @@ from repro.program.builder import build_from_assembly
 from repro.sim.config import MachineConfig
 from repro.sim.cycle import simulate_trace
 from repro.workloads import BENCHMARK_NAMES, generate_by_name
+
+
+@contextmanager
+def _telemetry_run(args, argv=None):
+    """Bracket a harness command with a telemetry run (no-op when off).
+
+    The JSONL event log lands next to the command's checkpoint when one is
+    configured, else in ``REPRO_TELEMETRY_DIR`` / ``.repro-telemetry/``.
+    """
+    from repro import telemetry
+
+    log_dir = None
+    anchor = getattr(args, "checkpoint", None)
+    if anchor and telemetry.enabled():
+        log_dir = Path(os.path.abspath(anchor)).parent / ".repro-telemetry"
+    run = telemetry.start_run(log_dir=log_dir, argv=argv or sys.argv[1:])
+    try:
+        yield run
+    except BaseException:
+        telemetry.finish_run("error")
+        raise
+    else:
+        path = telemetry.finish_run("ok")
+        if path is not None:
+            print(f"telemetry: {path}", file=sys.stderr)
 
 
 def _load_image(args):
@@ -131,19 +159,23 @@ def _suite_from_args(args):
 
 def cmd_experiment(args):
     """``experiment``: regenerate one (or all) paper figures."""
+    from repro.telemetry import span
+
     suite = _suite_from_args(args)
     if args.config:
         print(render_config_table())
         print()
     names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
-    for name in names:
-        if name not in ALL_EXPERIMENTS:
-            raise SystemExit(
-                f"error: unknown experiment {name!r}; choose from "
-                f"{sorted(ALL_EXPERIMENTS)} or 'all'"
-            )
-        print(ALL_EXPERIMENTS[name](suite).render())
-        print()
+    with _telemetry_run(args):
+        for name in names:
+            if name not in ALL_EXPERIMENTS:
+                raise SystemExit(
+                    f"error: unknown experiment {name!r}; choose from "
+                    f"{sorted(ALL_EXPERIMENTS)} or 'all'"
+                )
+            with span("experiment", experiment=name):
+                print(ALL_EXPERIMENTS[name](suite).render())
+            print()
     return 0
 
 
@@ -168,8 +200,9 @@ def cmd_report(args):
                       f"from {path}", file=sys.stderr)
         else:
             checkpoint = RunCheckpoint(path, fingerprint)
-    report = build_report(suite, experiments=experiments,
-                          checkpoint=checkpoint)
+    with _telemetry_run(args):
+        report = build_report(suite, experiments=experiments,
+                              checkpoint=checkpoint)
     if checkpoint is not None:
         checkpoint.clear()
     if args.output:
@@ -213,12 +246,13 @@ def cmd_faults(args):
             print(f"  {done}/{total} faults ({fault_id}: {outcome})",
                   file=sys.stderr)
 
-    report = run_campaign(
-        config,
-        checkpoint_path=args.checkpoint,
-        resume=args.resume,
-        progress=progress,
-    )
+    with _telemetry_run(args):
+        report = run_campaign(
+            config,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            progress=progress,
+        )
     if args.out:
         save_report(report, args.out)
         print(f"wrote {args.out}", file=sys.stderr)
@@ -227,6 +261,56 @@ def cmd_faults(args):
     ok = (guarded["containment_rate"] in (None, 1.0)
           and report["summary"]["false_positives"] == 0)
     return 0 if ok else 1
+
+
+def _resolve_run_log(value) -> Path:
+    """Accept a run JSONL path or a directory (use its newest run log)."""
+    from repro.telemetry import default_log_dir
+
+    path = Path(value) if value else default_log_dir()
+    if path.is_dir():
+        logs = sorted(path.glob("run-*.jsonl"))
+        if not logs:
+            raise SystemExit(f"error: no run logs under {path}")
+        # Run ids embed a sortable timestamp; the last one is the newest.
+        return logs[-1]
+    if not path.is_file():
+        raise SystemExit(f"error: no such run log: {path}")
+    return path
+
+
+def cmd_telemetry(args):
+    """``telemetry``: inspect the JSONL event logs of instrumented runs."""
+    from repro.telemetry import TelemetryError, validate_log
+    from repro.telemetry.summary import (
+        RunView,
+        render_diff,
+        render_summary,
+        render_top,
+    )
+
+    if args.action == "diff":
+        if not args.other:
+            raise SystemExit("error: telemetry diff needs two run logs")
+        a = RunView(_resolve_run_log(args.run))
+        b = RunView(_resolve_run_log(args.other))
+        print(render_diff(a, b, threshold=args.threshold), end="")
+        return 0
+    path = _resolve_run_log(args.run)
+    if args.action == "validate":
+        try:
+            count = validate_log(path)
+        except TelemetryError as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"{path}: {count} events, schema OK")
+        return 0
+    run = RunView(path)
+    if args.action == "summary":
+        print(render_summary(run), end="")
+    else:
+        print(render_top(run, n=args.top), end="")
+    return 0
 
 
 def cmd_cache(args):
@@ -353,6 +437,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--progress", action="store_true",
                    help="print progress to stderr")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="inspect run telemetry (see docs/observability.md)",
+    )
+    p.add_argument("action",
+                   choices=["summary", "top", "diff", "validate"],
+                   help="'summary' renders a run's metrics, 'top' its "
+                   "hottest opcodes/productions, 'diff' compares two runs, "
+                   "'validate' schema-checks the JSONL")
+    p.add_argument("run", nargs="?",
+                   help="run log (.jsonl) or log directory "
+                   "(default: REPRO_TELEMETRY_DIR or .repro-telemetry)")
+    p.add_argument("other", nargs="?",
+                   help="second run log for 'diff'")
+    p.add_argument("-n", "--top", type=int, default=10,
+                   help="how many opcodes/productions to show (default 10)")
+    p.add_argument("--threshold", type=float, default=0.0,
+                   help="diff: hide metrics whose relative change is "
+                   "below this fraction")
+    p.set_defaults(func=cmd_telemetry)
 
     p = sub.add_parser("cache",
                        help="inspect or clear the persistent trace cache")

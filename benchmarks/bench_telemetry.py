@@ -70,16 +70,34 @@ def _time_cycle(trace, enabled):
 
 def check_structural_invariants(image):
     """The actual zero-overhead guarantee: disabled builds carry no hooks."""
+    from repro.sim.functional import Machine
+    from repro.verify.observe import Observer
+
     disabled = _build_machine(image, False)
     assert disabled._opcode_counts is None, \
         "telemetry-disabled machine installed an opcode counting wrapper"
     assert disabled.engine is None or disabled.engine._tm is None, \
         "telemetry-disabled engine carries a telemetry sink"
+    # The verification observer follows the same setup-time contract: a
+    # machine built without one dispatches through the unwrapped bound
+    # method, byte-identical to the pre-verify build.
+    assert disabled._observer is None, \
+        "observer-less machine carries a verification observer"
+    assert disabled._execute.__func__ is Machine._execute_fast, \
+        "observer-less machine dispatches through a wrapper"
     enabled = _build_machine(image, True)
     assert enabled._opcode_counts is not None, \
         "telemetry-enabled machine did not install the counting wrapper"
     assert enabled.engine is not None and enabled.engine._tm is not None, \
         "telemetry-enabled engine did not build its telemetry sink"
+    with _telemetry.enabled_scope(False):
+        observed = attach_mfi(image, "dise4").make_machine(
+            FUNCTIONAL_DISE, observer=Observer("full"))
+    assert observed._observer is not None, \
+        "observer-built machine did not install the observation hook"
+    assert getattr(observed._execute, "__func__", None) \
+        is not Machine._execute_fast, \
+        "observer-built machine left dispatch unwrapped"
 
 
 def run_telemetry_benchmark(scale=0.1, repeats=3, bench="bzip2"):

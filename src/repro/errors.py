@@ -171,3 +171,41 @@ class CheckpointError(HarnessError):
 # ----------------------------------------------------------------------
 class CampaignError(ReproError):
     """The fault-injection campaign driver was misconfigured."""
+
+
+# ----------------------------------------------------------------------
+# Rewriting layer
+# ----------------------------------------------------------------------
+class RewriteError(ReproError, ValueError):
+    """A static binary rewrite cannot faithfully express the requested
+    transformation (e.g. a production set whose replacement sequence uses
+    DISE-internal branches, which only have meaning inside an expansion)."""
+
+
+# ----------------------------------------------------------------------
+# Verification layer
+# ----------------------------------------------------------------------
+class VerificationError(ReproError):
+    """Base for differential-conformance failures raised by
+    :mod:`repro.verify`."""
+
+
+class DivergenceError(VerificationError):
+    """Two executions that an oracle requires to be observation-equivalent
+    diverged.
+
+    Carries the structured :class:`repro.verify.bisect.DivergenceReport`
+    locating the first divergent retirement.
+    """
+
+    def __init__(self, message: str, *, report=None):
+        super().__init__(message)
+        #: The :class:`~repro.verify.bisect.DivergenceReport`, when the
+        #: divergence was bisected; ``None`` for digest-only comparisons.
+        self.report = report
+
+    def details(self) -> dict:
+        out = super().details()
+        if self.report is not None:
+            out["report"] = self.report.to_dict()
+        return out

@@ -140,13 +140,21 @@ def parse_instruction(text) -> Instruction:
 
     if fmt is Format.BRANCH:
         if opcode is Opcode.OUT:
-            if len(operands) != 1:
-                raise AssemblyError("out needs one register operand")
-            return Instruction(opcode, ra=parse_reg(operands[0]))
+            if len(operands) == 1:
+                return Instruction(opcode, ra=parse_reg(operands[0]))
+            if len(operands) == 2:
+                return Instruction(opcode, ra=parse_reg(operands[0]),
+                                   imm=_parse_value(operands[1]))
+            raise AssemblyError("out needs 'reg' or 'reg, disp'")
         if opcode is Opcode.FAULT:
-            if len(operands) != 1:
-                raise AssemblyError("fault needs one numeric code")
-            return Instruction(opcode, ra=ZERO_REG, imm=_parse_value(operands[0]))
+            # ``fault code`` (zero ra) or ``fault reg, code``.
+            if len(operands) == 1:
+                return Instruction(opcode, ra=ZERO_REG,
+                                   imm=_parse_value(operands[0]))
+            if len(operands) == 2:
+                return Instruction(opcode, ra=parse_reg(operands[0]),
+                                   imm=_parse_value(operands[1]))
+            raise AssemblyError("fault needs 'code' or 'reg, code'")
         if len(operands) == 1 and opcode.opclass in (
             OpClass.UNCOND_BRANCH,
             OpClass.DISE_BRANCH,

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.isa.encoding import canonicalize
 from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
 from repro.isa.opcodes import Format, OpClass, Opcode
 from repro.isa.registers import reg_name
@@ -24,15 +25,22 @@ def branch_target_addr(instr: Instruction, pc: int) -> Optional[int]:
 
 
 def disassemble(instr: Instruction, pc=None, symbols=None) -> str:
-    """Render one instruction as assembly text.
+    """Render one instruction as canonical, reassemblable assembly text.
 
     ``pc`` and ``symbols`` (an address -> name mapping) are optional; when
-    provided, branch targets are symbolised.
+    provided, branch targets are symbolised.  Instructions with resolved
+    fields are canonicalised first (defaulted registers and immediates
+    rendered as decoding would produce them), so for every opcode
+    ``parse_instruction(disassemble(i))`` assembles back to the same
+    encoding — the round-trip fixed point the ``roundtrip`` conformance
+    oracle checks.
     """
     if pc is not None and symbols:
         target = branch_target_addr(instr, pc)
         if target is not None and target in symbols:
             return str(instr.with_fields(imm=None, target=symbols[target]))
+    if instr.target is None:
+        instr = canonicalize(instr)
     return str(instr)
 
 

@@ -72,13 +72,30 @@ def canonicalize(instr: Instruction) -> Instruction:
         raise EncodingError(
             f"instruction has unresolved symbolic target {instr.target!r}"
         )
-    if fmt is Format.BRANCH and instr.imm is None:
-        changes["imm"] = 0
-    if fmt is Format.BRANCH and instr.ra is None:
-        changes["ra"] = ZERO_REG
-    if fmt is Format.JUMP and instr.ra is None:
-        changes["ra"] = ZERO_REG
-    if fmt is Format.NULLARY:
+    if fmt is Format.MEM:
+        if instr.imm is None:
+            changes["imm"] = 0
+        if instr.rc is not None:
+            changes["rc"] = None
+    elif fmt is Format.BRANCH:
+        if instr.imm is None:
+            changes["imm"] = 0
+        if instr.ra is None:
+            changes["ra"] = ZERO_REG
+        if instr.rb is not None or instr.rc is not None:
+            changes.update(rb=None, rc=None)
+    elif fmt is Format.OPERATE:
+        # The register form has no literal; decode leaves imm unset.
+        if instr.rb is not None and instr.imm is not None:
+            changes["imm"] = None
+    elif fmt is Format.JUMP:
+        if instr.ra is None:
+            changes["ra"] = ZERO_REG
+        if instr.rc is not None:
+            changes["rc"] = None
+        if instr.imm is not None:
+            changes["imm"] = None  # the hint field is not architectural
+    elif fmt is Format.NULLARY:
         changes.update(ra=None, rb=None, rc=None, imm=None)
     return instr.with_fields(**changes) if changes else instr
 

@@ -203,9 +203,17 @@ class Instruction:
         if fmt is Format.BRANCH:
             where = self.target if self.target is not None else self.imm
             if op is Opcode.OUT:
-                return f"{mnem} {reg(self.ra)}"
+                # The displacement field is ignored by execution but kept
+                # reassemblable when its bits are set.
+                if self.imm in (None, 0):
+                    return f"{mnem} {reg(self.ra)}"
+                return f"{mnem} {reg(self.ra)}, {self.imm}"
             if op is Opcode.FAULT:
-                return f"{mnem} {self.imm}"
+                # ``fault code`` for the common zero-reg form; ``fault reg,
+                # code`` keeps a non-zero ra field reassemblable.
+                if self.ra in (None, ZERO_REG):
+                    return f"{mnem} {self.imm}"
+                return f"{mnem} {reg(self.ra)}, {self.imm}"
             if self.opclass is OpClass.UNCOND_BRANCH:
                 return f"{mnem} {reg(self.ra)}, {where}"
             return f"{mnem} {reg(self.ra)}, {where}"

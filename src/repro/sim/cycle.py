@@ -210,7 +210,8 @@ class CycleSimulator:
             states.pop(next(iter(states)))
         states[signature] = _snapshot_warm(il1, dl1, l2, predictor, rt)
 
-    def simulate(self, trace: TraceResult, warm_start=False) -> CycleResult:
+    def simulate(self, trace: TraceResult, warm_start=False,
+                 retire_observer=None) -> CycleResult:
         """Replay ``trace``.
 
         ``warm_start=True`` first replays the trace through the caches,
@@ -218,6 +219,12 @@ class CycleSimulator:
         steady-state behaviour, as in the paper's complete-run numbers
         (our synthetic runs are short enough that cold misses would
         otherwise dominate).
+
+        ``retire_observer``, when given, is called as ``observer(op,
+        retire_time)`` for every op in retirement order *after* the replay
+        loop finishes — the ``functional_vs_cycle`` conformance oracle
+        hangs off this, and like the telemetry block it costs the hot loop
+        nothing.
         """
         config = self.config
         ops = trace.ops
@@ -464,6 +471,11 @@ class CycleSimulator:
             ):
                 if value:
                     _telemetry.counter(name).inc(value)
+        if retire_observer is not None:
+            # Post-loop, like telemetry: the conformance oracle sees the
+            # retired-op sequence with its timestamps, zero hot-loop cost.
+            for op, when in zip(ops, retire_times):
+                retire_observer(op, when)
         return CycleResult(
             cycles=cycles,
             instructions=len(ops),
@@ -485,6 +497,7 @@ class CycleSimulator:
 
 def simulate_trace(trace: TraceResult,
                    config: Optional[MachineConfig] = None,
-                   warm_start=False) -> CycleResult:
+                   warm_start=False, retire_observer=None) -> CycleResult:
     """Convenience wrapper around :class:`CycleSimulator`."""
-    return CycleSimulator(config).simulate(trace, warm_start=warm_start)
+    return CycleSimulator(config).simulate(trace, warm_start=warm_start,
+                                           retire_observer=retire_observer)

@@ -493,7 +493,7 @@ class Machine:
 
     def __init__(self, image: ProgramImage,
                  controller: Optional[DiseController] = None,
-                 record_trace=True, fast_dispatch=True):
+                 record_trace=True, fast_dispatch=True, observer=None):
         self.image = image
         self.controller = controller
         self.engine = controller.engine if controller is not None else None
@@ -501,11 +501,15 @@ class Machine:
         self.fast_dispatch = fast_dispatch
         self._execute = (self._execute_fast if fast_dispatch
                          else self._execute_generic)
-        # Telemetry is wired at construction time: when disabled, no wrapper
-        # is installed and the dispatch path is identical to the
-        # uninstrumented machine (bench_telemetry.py asserts this).
+        # Telemetry and verification observers are wired at construction
+        # time: when absent, no wrapper is installed and the dispatch path
+        # is identical to the uninstrumented machine (bench_telemetry.py
+        # asserts this).
         self._opcode_counts: Optional[Dict[Opcode, int]] = None
         self._tm_prev: Optional[dict] = None
+        self._observer = None
+        if observer is not None:
+            self._install_observer(observer)
         if _telemetry.enabled():
             self._install_opcode_telemetry()
 
@@ -547,6 +551,27 @@ class Machine:
         self._disepc = 0
         self._pending: Optional[int] = None   # deferred trigger-branch target
         self._exp_event = None                # attached to first expansion op
+
+    # ------------------------------------------------------------------
+    # Verification observer (installed only when one is supplied)
+    # ------------------------------------------------------------------
+    def _install_observer(self, observer):
+        """Wrap dispatch with the conformance observation hook.
+
+        The observer sees architectural state *after* each retirement;
+        :mod:`repro.verify.observe` recomputes effects from it.  Faulting
+        dispatches (ExecutionError) produce no observation.
+        """
+        inner = self._execute
+        observe = observer.observe
+
+        def observing_execute(instr, pc, idx, **kwargs):
+            out = inner(instr, pc, idx, **kwargs)
+            observe(self, instr, pc, kwargs["disepc"], kwargs["is_trigger"])
+            return out
+
+        self._execute = observing_execute
+        self._observer = observer
 
     # ------------------------------------------------------------------
     # Telemetry (installed only when REPRO_TELEMETRY is on)
@@ -1099,7 +1124,9 @@ class Machine:
 
 def run_program(image: ProgramImage,
                 controller: Optional[DiseController] = None,
-                record_trace=True, max_steps=5_000_000) -> TraceResult:
+                record_trace=True, max_steps=5_000_000,
+                observer=None) -> TraceResult:
     """Convenience wrapper: build a machine, run to halt, return the trace."""
-    machine = Machine(image, controller=controller, record_trace=record_trace)
+    machine = Machine(image, controller=controller, record_trace=record_trace,
+                      observer=observer)
     return machine.run(max_steps=max_steps)

@@ -263,6 +263,74 @@ def cmd_faults(args):
     return 0 if ok else 1
 
 
+def cmd_verify(args):
+    """``verify``: differential conformance checks (see docs/verification.md)."""
+    from repro.verify import (
+        ORACLES,
+        VerifyConfig,
+        load_report,
+        render_verify_summary,
+        run_oracle,
+        run_verification,
+    )
+    from repro.verify.campaign import all_passed, save_report
+
+    if args.action == "report":
+        if not args.out:
+            raise SystemExit("error: verify report needs --out REPORT.json")
+        report = load_report(args.out)
+        print(render_verify_summary(report))
+        return 0 if all_passed(report) else 1
+
+    oracles = (ORACLES if args.oracle in (None, "all")
+               else tuple(args.oracle.split(",")))
+    benchmarks = (tuple(args.benchmarks.split(",")) if args.benchmarks
+                  else ("bzip2", "gzip", "mcf", "parser"))
+
+    if args.action == "bisect":
+        # One cell, rendered in full: the divergence-diagnosis front door.
+        if len(oracles) != 1 or len(benchmarks) != 1:
+            raise SystemExit(
+                "error: verify bisect needs exactly one --oracle and one "
+                "benchmark in --benchmarks"
+            )
+        outcome = run_oracle(
+            oracles[0], benchmarks[0], scale=args.scale,
+            variant=args.variant, max_steps=args.max_steps,
+            bisect=True, window=args.window,
+        )
+        print(f"{outcome.benchmark}:{outcome.oracle}: {outcome.status}")
+        if outcome.detail:
+            print(outcome.detail)
+        if outcome.report is not None:
+            print(outcome.report.render())
+        return 0 if outcome.passed else 1
+
+    config = VerifyConfig(
+        benchmarks=benchmarks, oracles=oracles, scale=args.scale,
+        variant=args.variant, max_steps=args.max_steps,
+        bisect=not args.no_bisect, window=args.window,
+    )
+
+    def progress(cell, status, done, total):
+        if args.progress:
+            print(f"  {done}/{total} {cell}: {status}", file=sys.stderr)
+
+    with _telemetry_run(args):
+        report = run_verification(
+            config,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            progress=progress,
+            jobs=args.jobs,
+        )
+    if args.out:
+        save_report(report, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    print(render_verify_summary(report))
+    return 0 if all_passed(report) else 1
+
+
 def _resolve_run_log(value) -> Path:
     """Accept a run JSONL path or a directory (use its newest run log)."""
     from repro.telemetry import default_log_dir
@@ -437,6 +505,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--progress", action="store_true",
                    help="print progress to stderr")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "verify",
+        help="differential conformance oracles (see docs/verification.md)",
+    )
+    p.add_argument("action", choices=["run", "report", "bisect"],
+                   help="'run' a sweep, 'report' re-renders a saved report "
+                   "from --out, 'bisect' runs one cell and prints the full "
+                   "divergence report")
+    p.add_argument("--oracle", default="all",
+                   help="comma-separated oracles, or 'all' (default)")
+    p.add_argument("--benchmarks",
+                   help="comma-separated benchmarks "
+                   "(default bzip2,gzip,mcf,parser)")
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="workload scale factor (default 0.05)")
+    p.add_argument("--variant", choices=["dise3", "dise4"],
+                   default="dise3", help="MFI production-set variant for "
+                   "dise_vs_static")
+    p.add_argument("--max-steps", type=int, default=10_000_000,
+                   help="dynamic-instruction cap per run")
+    p.add_argument("--window", type=int, default=256,
+                   help="bisection digest-window size (default 256)")
+    p.add_argument("--no-bisect", action="store_true",
+                   help="report divergences without locating the first "
+                   "divergent retirement")
+    p.add_argument("--out", help="write (or with 'report', read) the "
+                   "machine-readable report JSON here")
+    p.add_argument("--checkpoint",
+                   help="checkpoint file for interrupted sweeps")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint")
+    p.add_argument("-j", "--jobs", type=int,
+                   help="parallel workers (default: REPRO_JOBS or 1)")
+    p.add_argument("--progress", action="store_true",
+                   help="print progress to stderr")
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser(
         "telemetry",

@@ -1,0 +1,36 @@
+"""Differential conformance engine (PR 4).
+
+The paper's central correctness claims are *equivalence* claims: dynamic
+DISE expansion must be observationally equivalent to static rewriting
+(Section 3), ACFs must be transparent on fault-free runs, decompression
+must reproduce the original execution.  This package checks them
+end-to-end:
+
+* :mod:`repro.verify.observe` — per-retired-instruction observation
+  streams folded into rolling digests, plus architectural-state snapshot
+  digests;
+* :mod:`repro.verify.oracles` — the five lockstep execution oracles;
+* :mod:`repro.verify.bisect` — first-divergence bisection producing a
+  structured :class:`~repro.verify.bisect.DivergenceReport`;
+* :mod:`repro.verify.campaign` — the (benchmark x oracle) sweep driver
+  with checkpoint/resume, run by ``repro-cli verify``.
+"""
+
+from repro.verify.observe import (  # noqa: F401
+    CapturingObserver,
+    ObservationRecord,
+    Observer,
+    PROJECTIONS,
+    WindowedObserver,
+    snapshot_digest,
+    snapshot_state,
+)
+from repro.verify.bisect import DivergenceReport, bisect_divergence  # noqa: F401
+from repro.verify.oracles import ORACLES, OracleOutcome, run_oracle  # noqa: F401
+from repro.verify.campaign import (  # noqa: F401
+    VerifyConfig,
+    load_report,
+    render_verify_summary,
+    run_verification,
+    save_report,
+)

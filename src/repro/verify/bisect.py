@@ -1,0 +1,181 @@
+"""First-divergence bisection for mismatched observation streams.
+
+When an oracle's rolling digests disagree, this module re-runs both
+executions twice to locate the *first* divergent retirement without ever
+storing either stream:
+
+1. a **windowed** pass records the rolling digest every ``window``
+   observations; the first window whose boundary digests differ brackets
+   the divergence;
+2. a **capturing** pass records full :class:`~repro.verify.observe.ObservationRecord`
+   entries only inside that window; comparing them pinpoints the first
+   differing observation.
+
+Both passes rely on the executions being deterministic — which the
+determinism test suite pins for every benchmark profile.
+
+The result is a :class:`DivergenceReport` naming the divergent pc,
+DISEPC, observation index, both instructions disassembled, and the
+register delta, carried by :class:`repro.errors.DivergenceError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import DivergenceError
+from repro.isa.registers import reg_name
+from repro.verify.observe import (
+    CapturingObserver,
+    ObservationRecord,
+    WindowedObserver,
+)
+
+__all__ = ["DivergenceReport", "DivergenceError", "bisect_divergence"]
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """Structured description of the first point two executions diverge."""
+
+    #: What diverged: ``"stream"`` (observation mismatch), ``"length"``
+    #: (one stream is a strict prefix of the other), ``"snapshot"``
+    #: (streams matched but final state differs) or ``"roundtrip"``
+    #: (a static encoding fixed-point failure).
+    kind: str
+    projection: Optional[str]
+    left_label: str
+    right_label: str
+    #: Index of the first divergent observation in the projected stream
+    #: (None for snapshot divergences).
+    index: Optional[int] = None
+    left: Optional[ObservationRecord] = None
+    right: Optional[ObservationRecord] = None
+    #: ``(register name, left value, right value)`` for registers that
+    #: differ at the divergent retirement.
+    reg_delta: Tuple[Tuple[str, int, int], ...] = ()
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "projection": self.projection,
+            "left_label": self.left_label,
+            "right_label": self.right_label,
+            "index": self.index,
+            "left": self.left.to_dict() if self.left else None,
+            "right": self.right.to_dict() if self.right else None,
+            "reg_delta": [list(entry) for entry in self.reg_delta],
+            "detail": self.detail,
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"divergence ({self.kind}, projection={self.projection})"]
+        if self.detail:
+            lines.append(f"  {self.detail}")
+        if self.index is not None:
+            lines.append(f"  first divergent observation index: {self.index}")
+        for label, record in ((self.left_label, self.left),
+                              (self.right_label, self.right)):
+            if record is None:
+                lines.append(f"  {label}: <stream ended>")
+            else:
+                lines.append(
+                    f"  {label}: pc={record.pc:#x} disepc={record.disepc} "
+                    f"{record.text}"
+                )
+                lines.append(f"    observed: {record.observation!r}")
+        for name, lhs, rhs in self.reg_delta:
+            lines.append(f"  {name}: {lhs:#x} != {rhs:#x}")
+        return "\n".join(lines)
+
+
+def _reg_delta(left: Optional[ObservationRecord],
+               right: Optional[ObservationRecord]):
+    if left is None or right is None:
+        return ()
+    return tuple(
+        (reg_name(index), lhs, rhs)
+        for index, (lhs, rhs) in enumerate(zip(left.regs, right.regs))
+        if lhs != rhs
+    )
+
+
+def bisect_divergence(run_left, run_right, projection: str,
+                      left_label: str = "left", right_label: str = "right",
+                      window: int = 256) -> Optional[DivergenceReport]:
+    """Locate the first divergent observation between two deterministic runs.
+
+    ``run_left`` / ``run_right`` are callables taking an observer and
+    executing the respective program to completion under it.  Returns a
+    :class:`DivergenceReport`, or ``None`` when the streams are identical
+    (the caller then knows the divergence is elsewhere, e.g. in the final
+    snapshot).
+    """
+    wl = WindowedObserver(projection, window=window)
+    wr = WindowedObserver(projection, window=window)
+    run_left(wl)
+    run_right(wr)
+    if wl.hexdigest() == wr.hexdigest() and wl.count == wr.count:
+        return None
+
+    first_window = None
+    for k, (dl, dr) in enumerate(zip(wl.window_digests, wr.window_digests)):
+        if dl != dr:
+            first_window = k
+            break
+    if first_window is None:
+        # All shared full windows agree; the divergence is in the tail.
+        first_window = min(len(wl.window_digests), len(wr.window_digests))
+    lo, hi = first_window * window, (first_window + 1) * window
+
+    cl = CapturingObserver(projection, lo=lo, hi=hi)
+    cr = CapturingObserver(projection, lo=lo, hi=hi)
+    run_left(cl)
+    run_right(cr)
+
+    left = right = None
+    index = None
+    for rl, rr in zip(cl.records, cr.records):
+        if rl.observation != rr.observation:
+            left, right, index = rl, rr, rl.index
+            break
+    if index is None:
+        # One stream ran out inside the window: a length divergence.
+        nl, nr = len(cl.records), len(cr.records)
+        if nl == nr:
+            # Window identical but digests differ — divergence past the
+            # captured window (tail of unequal-length streams).
+            index = lo + nl
+            detail = (f"streams agree through observation {index - 1}; "
+                      f"lengths {cl.count} vs {cr.count}")
+        else:
+            shorter, longer = (cl, cr) if nl < nr else (cr, cl)
+            index = lo + min(nl, nr)
+            surviving = longer.records[min(nl, nr)]
+            if longer is cl:
+                left = surviving
+            else:
+                right = surviving
+            detail = (f"{left_label if shorter is cl else right_label} "
+                      f"stream ended at observation {index} "
+                      f"({cl.count} vs {cr.count} observations)")
+        return DivergenceReport(
+            kind="length", projection=projection, left_label=left_label,
+            right_label=right_label, index=index, left=left, right=right,
+            detail=detail,
+        )
+
+    return DivergenceReport(
+        kind="stream", projection=projection, left_label=left_label,
+        right_label=right_label, index=index, left=left, right=right,
+        reg_delta=_reg_delta(left, right),
+        detail="first divergent retirement",
+    )
+
+
+def raise_divergence(message: str, report: Optional[DivergenceReport]):
+    """Raise :class:`DivergenceError` carrying ``report``."""
+    raise DivergenceError(message, report=report)

@@ -1,0 +1,247 @@
+"""Observation streams: per-retired-instruction digests of an execution.
+
+An :class:`Observer` attaches to a functional :class:`~repro.sim.functional.Machine`
+(``Machine(image, observer=...)``) and folds one observation per retired
+dynamic instruction into a rolling sha256.  Two runs are observation-
+equivalent under a projection iff their digests (and observation counts)
+match.  Like telemetry, the hook is wired at construction time: a machine
+built without an observer keeps the bare dispatch path, byte-identical to
+an uninstrumented machine (``bench_telemetry.py`` pins this).
+
+Observations are *recomputed after execution* from architectural state,
+which is safe for this ISA: a store never writes a register, so its
+effective address and value are still recoverable from the register file,
+and a destination register's value is simply read back.
+
+Projections
+-----------
+Different oracles need different notions of "the same execution":
+
+``full``
+    ``(pc, disepc, opcode, effects)`` for every retirement, with effects
+    over all 40 registers.  The strictest stream — used for determinism
+    checks and run fingerprints.  Only bit-identical replays match.
+``app``
+    ``(pc, opcode, user effects)`` for application instructions only
+    (``is_trigger`` retirements: app-stream instructions and trigger
+    copies inside expansions).  DISE-inserted replacement instructions are
+    invisible, so an ACF is transparent iff the guarded run's ``app``
+    stream equals the unguarded run's.  Valid when both runs share one
+    image layout.
+``user``
+    User-visible effects only (user-register writes, stores, outputs),
+    from every retirement, with empty observations skipped.  Like ``app``
+    but also sees effects of inserted code — used to catch ACFs that leak
+    state into user registers or memory.
+``retire``
+    ``(opcode, dest register number, is_store[, out value])`` — the
+    retired instruction *sequence* with all values and addresses masked
+    out.  Survives code relayout (static rewriting, compression moves
+    text, so return addresses and code pointers differ by design); this
+    is "compare retirement streams modulo expansion boundaries".
+
+The digest format is ``sha256(repr(obs))`` folded in retirement order;
+``Observer.hexdigest()`` returns the running hex digest and
+``Observer.count`` the number of folded observations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import NUM_USER_REGS
+from repro.sim.memory import MASK64
+
+#: Zero register id (mirrors ``repro.sim.functional.ZERO``; re-declared to
+#: keep this module importable without pulling in the simulator).
+_ZERO = 31
+
+#: The supported observation projections.
+PROJECTIONS = ("full", "app", "user", "retire")
+
+
+def _effects(machine, instr, user_only: bool) -> List[tuple]:
+    """Architectural effects of ``instr``, recomputed post-execution."""
+    op = instr.opcode
+    effects = []
+    dest = instr.dest_reg()
+    if dest is not None and (not user_only or dest < NUM_USER_REGS):
+        effects.append(("r", dest, machine.regs[dest]))
+    if op.is_store:
+        rb = instr.rb
+        base = 0 if rb == _ZERO else machine.regs[rb]
+        addr = (base + instr.imm) & MASK64
+        ra = instr.ra
+        value = 0 if ra == _ZERO else machine.regs[ra]
+        if op is Opcode.STL:
+            value &= 0xFFFFFFFF
+        effects.append(("m", addr, value))
+    elif op is Opcode.OUT:
+        effects.append(("o", machine.outputs[-1]))
+    return effects
+
+
+class Observer:
+    """Folds one observation per retired instruction into a rolling sha256.
+
+    Attach with ``Machine(image, observer=...)``; the machine calls
+    :meth:`observe` after every retirement.
+    """
+
+    __slots__ = ("projection", "count", "_h")
+
+    def __init__(self, projection: str = "full"):
+        if projection not in PROJECTIONS:
+            raise ValueError(
+                f"unknown projection {projection!r}; expected one of "
+                f"{PROJECTIONS}"
+            )
+        self.projection = projection
+        #: Number of observations folded so far (post-projection).
+        self.count = 0
+        self._h = hashlib.sha256()
+
+    # The machine invokes this after executing each dynamic instruction.
+    def observe(self, machine, instr, pc: int, disepc: int, is_trigger: bool):
+        projection = self.projection
+        if projection == "full":
+            obs = (pc, disepc, instr.opcode.name,
+                   tuple(_effects(machine, instr, False)))
+        elif projection == "app":
+            if not is_trigger:
+                return
+            obs = (pc, instr.opcode.name,
+                   tuple(_effects(machine, instr, True)))
+        elif projection == "user":
+            effects = _effects(machine, instr, True)
+            if not effects:
+                return
+            obs = tuple(effects)
+        else:  # retire
+            op = instr.opcode
+            obs = (op.name, instr.dest_reg(), op.is_store,
+                   machine.outputs[-1] if op is Opcode.OUT else None)
+        self._emit(obs, machine, instr, pc, disepc)
+
+    def _emit(self, obs, machine, instr, pc, disepc):
+        self._h.update(repr(obs).encode("ascii"))
+        self.count += 1
+
+    def hexdigest(self) -> str:
+        """Hex digest of the observation stream so far."""
+        return self._h.hexdigest()
+
+
+class WindowedObserver(Observer):
+    """An :class:`Observer` that also records the rolling digest at every
+    ``window`` observations, so a later pass can locate the first divergent
+    window without storing the stream itself."""
+
+    __slots__ = ("window", "window_digests")
+
+    def __init__(self, projection: str = "full", window: int = 256):
+        super().__init__(projection)
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        #: Hex digest of the stream after each full window.
+        self.window_digests: List[str] = []
+
+    def _emit(self, obs, machine, instr, pc, disepc):
+        super()._emit(obs, machine, instr, pc, disepc)
+        if self.count % self.window == 0:
+            self.window_digests.append(self._h.hexdigest())
+
+
+@dataclass(frozen=True)
+class ObservationRecord:
+    """One captured observation, with enough context to diagnose it."""
+
+    #: Global index in the (projected) observation stream.
+    index: int
+    pc: int
+    disepc: int
+    opcode: str
+    #: The retired instruction, disassembled.
+    text: str
+    #: The folded observation tuple.
+    observation: tuple
+    #: Full register file immediately after this retirement.
+    regs: Tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "pc": self.pc,
+            "disepc": self.disepc,
+            "opcode": self.opcode,
+            "text": self.text,
+            "observation": repr(self.observation),
+        }
+
+
+class CapturingObserver(Observer):
+    """An :class:`Observer` that captures full :class:`ObservationRecord`
+    entries for observation indexes in ``[lo, hi)`` — the second bisection
+    pass, replaying only the divergent window at full fidelity."""
+
+    __slots__ = ("lo", "hi", "records")
+
+    def __init__(self, projection: str = "full", lo: int = 0,
+                 hi: Optional[int] = None):
+        super().__init__(projection)
+        self.lo = lo
+        self.hi = hi
+        self.records: List[ObservationRecord] = []
+
+    def _emit(self, obs, machine, instr, pc, disepc):
+        index = self.count
+        super()._emit(obs, machine, instr, pc, disepc)
+        if index >= self.lo and (self.hi is None or index < self.hi):
+            self.records.append(ObservationRecord(
+                index=index, pc=pc, disepc=disepc, opcode=instr.opcode.name,
+                text=str(instr), observation=obs, regs=tuple(machine.regs),
+            ))
+
+
+# ----------------------------------------------------------------------
+# Architectural-state snapshot digests
+# ----------------------------------------------------------------------
+def snapshot_state(trace, scope: str = "full",
+                   mem_range: Optional[Tuple[int, int]] = None) -> dict:
+    """Canonical final-state summary of a :class:`TraceResult`.
+
+    ``scope="full"`` covers all 40 registers and every non-zero memory
+    word; ``scope="user"`` restricts to user registers, and memory to
+    ``mem_range`` (a ``[lo, hi)`` address pair, typically the data
+    segment) — dedicated registers and ACF scratch buffers placed outside
+    the data segment are invisible, matching the transparency oracles.
+    """
+    if scope not in ("full", "user"):
+        raise ValueError(f"unknown snapshot scope {scope!r}")
+    regs = trace.final_regs
+    if scope == "user":
+        regs = regs[:NUM_USER_REGS]
+    items = sorted(
+        (addr, value)
+        for addr, value in trace.final_memory._nonzero().items()
+        if mem_range is None or mem_range[0] <= addr < mem_range[1]
+    )
+    return {
+        "regs": tuple(regs),
+        "memory": tuple(items),
+        "outputs": tuple(trace.outputs),
+        "fault_code": trace.fault_code,
+        "halted": trace.halted,
+    }
+
+
+def snapshot_digest(trace, scope: str = "full",
+                    mem_range: Optional[Tuple[int, int]] = None) -> str:
+    """Hex digest of :func:`snapshot_state`."""
+    state = snapshot_state(trace, scope=scope, mem_range=mem_range)
+    payload = repr(sorted(state.items())).encode("ascii")
+    return hashlib.sha256(payload).hexdigest()

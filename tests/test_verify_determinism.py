@@ -1,0 +1,48 @@
+"""Determinism pins: every benchmark profile replays bit-identically.
+
+The bisector re-runs executions and assumes the re-run retires exactly the
+same stream; these tests pin that assumption for the whole SPECint profile
+set, serially and under parallel fan-out, by requiring the same-seed
+double-run ``full``-projection observation digests to match exactly.
+"""
+
+import pytest
+
+from repro.verify.campaign import observation_digests
+from repro.workloads import BENCHMARK_NAMES
+
+SCALE = 0.02
+
+
+def test_profile_set_is_complete():
+    assert len(BENCHMARK_NAMES) == 12
+
+
+def test_double_run_digests_identical_serial():
+    first = observation_digests(BENCHMARK_NAMES, scale=SCALE, jobs=1)
+    second = observation_digests(BENCHMARK_NAMES, scale=SCALE, jobs=1)
+    assert first == second
+    assert set(first) == set(BENCHMARK_NAMES)
+    for name, (digest, count) in first.items():
+        assert count > 0, name
+        assert len(digest) == 64, name
+
+
+def test_parallel_digests_match_serial(monkeypatch):
+    serial = observation_digests(BENCHMARK_NAMES, scale=SCALE, jobs=1)
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    parallel = observation_digests(BENCHMARK_NAMES, scale=SCALE)
+    assert parallel == serial
+
+
+def test_digests_distinguish_profiles():
+    digests = observation_digests(BENCHMARK_NAMES, scale=SCALE, jobs=1)
+    values = [digest for digest, _ in digests.values()]
+    assert len(set(values)) == len(values)
+
+
+@pytest.mark.parametrize("bench", BENCHMARK_NAMES)
+def test_each_profile_double_run(bench):
+    first = observation_digests([bench], scale=SCALE, jobs=1)
+    second = observation_digests([bench], scale=SCALE, jobs=1)
+    assert first == second

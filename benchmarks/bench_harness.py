@@ -76,6 +76,13 @@ def run_harness_benchmark(jobs=4, scale=1.0, benchmarks=None):
     telemetry_overhead = run_telemetry_benchmark(
         scale=min(scale, 0.1), repeats=2
     )["timings"]
+    # Functional-dispatch summary (see bench_sim.py for the full
+    # per-profile payload in BENCH_sim.json).
+    from bench_sim import run_sim_benchmark
+    sim_dispatch = run_sim_benchmark(
+        scale=min(scale, 0.1), repeats=2,
+        benchmarks=benchmarks or ("bzip2", "mcf", "parser"),
+    )["summary"]
     payload = {
         "meta": {
             "jobs": jobs,
@@ -96,6 +103,7 @@ def run_harness_benchmark(jobs=4, scale=1.0, benchmarks=None):
         },
         "tables_identical": identical,
         "telemetry_overhead": telemetry_overhead,
+        "sim_dispatch": sim_dispatch,
     }
     return payload, tables
 

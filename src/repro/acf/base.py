@@ -35,23 +35,25 @@ class AcfInstallation:
     name: str = "acf"
 
     def make_machine(self, dise_config: Optional[DiseConfig] = None,
-                     record_trace=True, observer=None) -> Machine:
+                     record_trace=True, observer=None,
+                     dispatch=None) -> Machine:
         controller = None
         if self.production_sets:
             controller = DiseController(dise_config)
             for pset in self.production_sets:
                 controller.install(pset)
         machine = Machine(self.image, controller=controller,
-                          record_trace=record_trace, observer=observer)
+                          record_trace=record_trace, observer=observer,
+                          dispatch=dispatch)
         if self.init_machine is not None:
             self.init_machine(machine)
         return machine
 
     def run(self, dise_config: Optional[DiseConfig] = None,
             record_trace=True, max_steps=5_000_000,
-            observer=None) -> TraceResult:
+            observer=None, dispatch=None) -> TraceResult:
         machine = self.make_machine(dise_config, record_trace=record_trace,
-                                    observer=observer)
+                                    observer=observer, dispatch=dispatch)
         return machine.run(max_steps=max_steps)
 
 

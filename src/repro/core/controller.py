@@ -108,6 +108,22 @@ class DiseController:
         self._installed: Dict[str, _Installed] = {}
         self._order: List[str] = []
         self.current_pid: Optional[int] = None
+        #: Callbacks fired after every rebuild of the active production set
+        #: (install/uninstall/activation/context switch).  The functional
+        #: simulator registers its translation-cache flush here, so stale
+        #: superblocks can never be executed after a production-set swap.
+        self._invalidation_listeners: List = []
+
+    def add_invalidation_listener(self, callback):
+        """Register ``callback()`` to run after every production-set change.
+
+        Used by consumers that cache decisions derived from the active
+        productions (e.g. translated superblocks); the engine's
+        ``generation`` counter covers the same changes, so the listener is
+        a prompt-flush optimisation plus the documented hook for state the
+        generation check cannot see.
+        """
+        self._invalidation_listeners.append(callback)
 
     # ------------------------------------------------------------------
     # Production-set management (the user/kernel API)
@@ -167,6 +183,8 @@ class DiseController:
             if self._installed[name].active and self._visible(name)
         ]
         self.engine.set_production_set(combine_production_sets(active))
+        for callback in tuple(self._invalidation_listeners):
+            callback()
 
     # ------------------------------------------------------------------
     # Context switching (the OS-kernel layer)

@@ -112,6 +112,12 @@ class DiseEngine:
         #: per-opcode decisions (the functional simulator's decode cache)
         #: compare it to invalidate.
         self.generation = 0
+        #: Content signature of the active production set (None when no
+        #: set is active).  Unlike ``generation`` — a per-engine counter —
+        #: the signature is comparable *across* engines, so caches keyed
+        #: by it (the simulator's shared translation store) can be reused
+        #: by every machine running the same productions.
+        self.production_signature: Optional[tuple] = None
         self.expansions = 0
         self.inspected = 0
 
@@ -126,6 +132,7 @@ class DiseEngine:
         self.trigger_opcodes = frozenset()
         self.generation += 1
         self._tm = None
+        self.production_signature = None
         if production_set is None:
             self._productions = []
             self._replacements = {}
@@ -134,6 +141,13 @@ class DiseEngine:
             return
         self._productions = list(production_set.productions)
         self._replacements = dict(production_set.replacements)
+        # Productions and replacement specs are frozen dataclasses, so
+        # their reprs are a faithful value signature.
+        self.production_signature = (
+            tuple(repr(p) for p in self._productions),
+            tuple((seq_id, repr(self._replacements[seq_id]))
+                  for seq_id in sorted(self._replacements)),
+        )
 
         by_opcode: Dict[Opcode, List[Production]] = {}
         active_indexes: Dict[Opcode, List[int]] = {}
@@ -212,6 +226,29 @@ class DiseEngine:
         if self._tm is not None:
             self._tm.record(self, production, expansion)
         return expansion, pt_miss, rt_miss
+
+    def preexpand(self, instr: Instruction, pc: int):
+        """Match and instantiate a potential trigger *without* side effects.
+
+        Block-scope variant of :meth:`process` used by the functional
+        simulator's superblock translator: matching and instantiation are
+        pure functions of ``(instr, pc, generation)``, so they can be
+        hoisted to translation time, while the stateful PT/RT accesses (and
+        the inspected/expansions counters) stay at run time.  Shares
+        :meth:`_instantiate_cached`, so a translation and a later
+        interpretive run of the same site reuse one :class:`Expansion`.
+
+        Returns ``None`` when no production matches, else
+        ``(production, seq_id, spec, expansion)``.  May raise
+        :class:`ExpansionError` exactly where :meth:`process` would.
+        """
+        production = self.match(instr, pc)
+        if production is None:
+            return None
+        seq_id = production.select_seq_id(instr)
+        spec = self.replacement(seq_id)
+        expansion = self._instantiate_cached(seq_id, spec, instr, pc)
+        return production, seq_id, spec, expansion
 
     # ------------------------------------------------------------------
     # Instantiation logic (IL)

@@ -29,16 +29,17 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import sys
 import zlib
+from array import array
 from pathlib import Path
 from typing import Iterable, Optional
 
 from repro.core.production import ProductionSet
 from repro.errors import CacheCorruptionError
-from repro.isa.opcodes import OPCODE_BY_CODE
 from repro.program.image import ProgramImage
 from repro.sim.memory import Memory
-from repro.sim.trace import Op, TraceResult
+from repro.sim.trace import OpColumns, TraceResult
 from repro.telemetry import get_logger
 from repro.telemetry import registry as _telemetry
 
@@ -46,7 +47,10 @@ logger = get_logger(__name__)
 
 #: Bump when the trace format, Op fields, or generator semantics change.
 #: 2: entries gained the integrity frame (magic + content digest).
-SCHEMA_VERSION = 2
+#: 3: structure-of-arrays payload — the five trace columns travel as raw
+#:    ``array('Q')`` buffers (plus the recorder's byte order) instead of
+#:    per-op pickled tuples.
+SCHEMA_VERSION = 3
 
 _ENV_VAR = "REPRO_TRACE_CACHE"
 _DISABLED_VALUES = ("0", "off", "none", "no", "false")
@@ -64,10 +68,33 @@ class CacheError(CacheCorruptionError, RuntimeError):
 # Integrity framing
 # ----------------------------------------------------------------------
 #: File header of a framed cache entry (version baked into the magic).
-_MAGIC = b"RDTC2\n"
+_MAGIC = b"RDTC3\n"
 #: Truncated sha256 length — 64 bits of integrity is plenty for rot
 #: detection (this is not an authentication boundary).
 _DIGEST_BYTES = 16
+
+
+def _frame_version(path: Path) -> Optional[int]:
+    """Schema version baked into an entry's ``RDTC<n>`` magic.
+
+    Returns ``None`` (never raises) for unreadable, truncated, or
+    foreign files, so maintenance commands can walk a shared cache
+    directory safely.
+    """
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(16)
+    except OSError:
+        return None
+    if not head.startswith(b"RDTC"):
+        return None
+    end = head.find(b"\n", 4)
+    if end < 0:
+        return None
+    try:
+        return int(head[4:end])
+    except ValueError:
+        return None
 
 
 def frame_payload(payload: bytes) -> bytes:
@@ -202,16 +229,25 @@ def cycle_key(trace_digest: str, config_repr: str, warm_start: bool) -> str:
 # Trace serialization
 # ----------------------------------------------------------------------
 def serialize_trace(trace: TraceResult) -> bytes:
-    """Compact bytes for a trace: ops as plain int/str tuples, zlib'd."""
-    ops = [
-        (op.pc, op.disepc, op.opcode.code, op.srcs, op.dest, op.mem_addr,
-         op.is_store, op.fetch_addr, op.ctrl, op.ctrl_taken, op.ctrl_target,
-         op.is_trigger_ctrl, op.expansion)
-        for op in trace.ops
-    ]
+    """Compact bytes for a trace: raw column buffers, zlib'd.
+
+    The five structure-of-arrays columns travel as ``array('Q').tobytes()``
+    blobs tagged with the recorder's byte order; the sparse expansion map
+    stays a plain dict.  Output is deterministic for a given trace — the
+    parallel harness compares serialized bytes across workers.
+    """
+    cols = trace.columns
     payload = {
         "schema": SCHEMA_VERSION,
-        "ops": ops,
+        "byteorder": sys.byteorder,
+        "cols": {
+            "pc": cols.pc.tobytes(),
+            "meta": cols.meta.tobytes(),
+            "mem": cols.mem.tobytes(),
+            "target": cols.target.tobytes(),
+            "srcs": cols.srcs.tobytes(),
+            "exp": dict(sorted(cols.exp.items())),
+        },
         "outputs": list(trace.outputs),
         "fault_code": trace.fault_code,
         "halted": trace.halted,
@@ -224,6 +260,14 @@ def serialize_trace(trace: TraceResult) -> bytes:
     return zlib.compress(pickle.dumps(payload, protocol=4), level=1)
 
 
+def _column(blob: bytes, swap: bool) -> array:
+    col = array("Q")
+    col.frombytes(blob)
+    if swap:
+        col.byteswap()
+    return col
+
+
 def deserialize_trace(data: bytes) -> TraceResult:
     """Rebuild a :class:`TraceResult` from :func:`serialize_trace` bytes."""
     try:
@@ -232,25 +276,29 @@ def deserialize_trace(data: bytes) -> TraceResult:
         raise CacheError(f"undecodable trace payload: {exc}") from exc
     if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
         raise CacheError("trace payload schema mismatch")
-    ops = [
-        Op(pc, disepc, OPCODE_BY_CODE[code], srcs, dest, mem_addr, is_store,
-           fetch_addr, ctrl, ctrl_taken, ctrl_target, is_trigger_ctrl,
-           expansion)
-        for (pc, disepc, code, srcs, dest, mem_addr, is_store, fetch_addr,
-             ctrl, ctrl_taken, ctrl_target, is_trigger_ctrl, expansion)
-        in payload["ops"]
-    ]
-    return TraceResult(
-        ops=ops,
-        outputs=payload["outputs"],
-        fault_code=payload["fault_code"],
-        halted=payload["halted"],
-        instructions=payload["instructions"],
-        app_instructions=payload["app_instructions"],
-        expansions=payload["expansions"],
-        final_regs=payload["final_regs"],
-        final_memory=Memory(payload["final_memory"]),
-    )
+    try:
+        raw = payload["cols"]
+        swap = payload["byteorder"] != sys.byteorder
+        cols = OpColumns()
+        cols.pc = _column(raw["pc"], swap)
+        cols.meta = _column(raw["meta"], swap)
+        cols.mem = _column(raw["mem"], swap)
+        cols.target = _column(raw["target"], swap)
+        cols.srcs = _column(raw["srcs"], swap)
+        cols.exp = dict(raw["exp"])
+        return TraceResult(
+            columns=cols,
+            outputs=payload["outputs"],
+            fault_code=payload["fault_code"],
+            halted=payload["halted"],
+            instructions=payload["instructions"],
+            app_instructions=payload["app_instructions"],
+            expansions=payload["expansions"],
+            final_regs=payload["final_regs"],
+            final_memory=Memory(payload["final_memory"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CacheError(f"malformed trace payload: {exc}") from exc
 
 
 class LazyTrace:
@@ -424,8 +472,14 @@ class TraceCache:
 
     # -- maintenance ---------------------------------------------------
     def stats(self) -> dict:
-        """Entry counts and byte totals, per kind."""
-        out = {"root": str(self.root)}
+        """Entry counts, byte totals, and per-schema-version breakdown.
+
+        ``by_schema`` maps the version parsed from each entry's frame
+        magic (as a string key, ``"unknown"`` for unframed files) to the
+        number of entries carrying it — a mixed cache directory shows up
+        immediately instead of as silent misses.
+        """
+        out = {"root": str(self.root), "schema_version": SCHEMA_VERSION}
         for kind, directory, suffix in (
             ("traces", self._traces, ".trc"),
             ("cycles", self._cycles, ".cyc"),
@@ -433,28 +487,52 @@ class TraceCache:
         ):
             count = 0
             size = 0
+            versions: dict = {}
             if directory.is_dir():
                 for entry in directory.iterdir():
                     if (suffix is None or entry.suffix == suffix) \
                             and entry.is_file():
                         count += 1
                         size += entry.stat().st_size
-            out[kind] = {"entries": count, "bytes": size}
+                        version = _frame_version(entry)
+                        key = "unknown" if version is None else str(version)
+                        versions[key] = versions.get(key, 0) + 1
+            out[kind] = {
+                "entries": count,
+                "bytes": size,
+                "by_schema": dict(sorted(versions.items())),
+            }
         return out
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete current- and older-schema entries; returns the count.
+
+        Entries whose frame magic carries a schema version *newer* than
+        this build's are left in place — in a cache directory shared with
+        a newer tool they are live data, not garbage.  Unreadable files
+        are skipped rather than crashing the sweep.
+        """
         removed = 0
         for directory in (self._traces, self._cycles, self._quarantine_dir):
             if not directory.is_dir():
                 continue
             for entry in directory.iterdir():
-                if entry.is_file():
-                    try:
-                        entry.unlink()
-                        removed += 1
-                    except OSError:
-                        pass
+                if not entry.is_file():
+                    continue
+                if directory is not self._quarantine_dir:
+                    version = _frame_version(entry)
+                    if version is not None and version > SCHEMA_VERSION:
+                        logger.info(
+                            "cache clear: keeping %s (schema %d is newer "
+                            "than this build's %d)",
+                            entry.name, version, SCHEMA_VERSION,
+                        )
+                        continue
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
 
 

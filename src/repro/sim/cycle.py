@@ -40,22 +40,38 @@ from repro.core.config import (
     PLACEMENT_STALL,
 )
 from repro.core.tables import ReplacementTable
+from repro.isa.opcodes import OPCODE_BY_CODE
 from repro.sim.branch import BranchPredictor
 from repro.sim.cache import Cache, PerfectCache
 from repro.sim.config import MachineConfig
 from repro.telemetry import registry as _telemetry
 from repro.sim.trace import (
-    CTRL_CALL,
-    CTRL_COND,
-    CTRL_DISE,
-    CTRL_INDIRECT,
-    CTRL_RET,
+    CC_CALL,
+    CC_COND,
+    CC_DISE,
+    CC_INDIRECT,
+    CC_RET,
+    CTRL_SHIFT,
+    DEST_SHIFT,
+    DISEPC_SHIFT,
+    META_FETCH,
+    META_MEM,
+    META_STORE,
+    META_TAKEN,
+    META_TARGET,
+    META_TRIGGER,
     TraceResult,
 )
 
 NUM_REGS = 40
 
-_INDIRECT_KINDS = (CTRL_INDIRECT, CTRL_RET, CTRL_CALL)
+_CC_INDIRECT = (CC_INDIRECT, CC_RET, CC_CALL)
+
+#: Opcode code -> execute latency, for the hot loop's packed-metadata path.
+_LAT_BY_CODE = [0] * 256
+for _code, _op in OPCODE_BY_CODE.items():
+    _LAT_BY_CODE[_code] = _op.latency
+del _code, _op
 
 
 @dataclass
@@ -167,36 +183,48 @@ class CycleSimulator:
         predict_cond = predictor.predict_and_update
         predict_target = predictor.predict_indirect
         predict_replacement = self.config.predict_replacement_branches
-        for op in trace.ops:
-            if op.fetch_addr is not None and not il1_access(op.fetch_addr):
-                l2_access(op.fetch_addr)
-            if op.expansion is not None:
-                rt_access(op.expansion[0], op.expansion[1])
-            if op.mem_addr is not None and not op.is_store:
-                if not dl1_access(op.mem_addr):
-                    l2_access(op.mem_addr)
-            elif op.mem_addr is not None:
-                dl1_access(op.mem_addr)
-            ctrl = op.ctrl
-            if ctrl == CTRL_COND:
-                if op.is_trigger_ctrl:
-                    predict_cond(op.pc, op.ctrl_taken)
+        cols = trace.columns
+        pc_col = cols.pc
+        meta_col = cols.meta
+        mem_col = cols.mem
+        tgt_col = cols.target
+        exp_map = cols.exp
+        for i in range(len(pc_col)):
+            meta = meta_col[i]
+            pc = pc_col[i]
+            if meta & META_FETCH and not il1_access(pc):
+                l2_access(pc)
+            if i in exp_map:
+                event = exp_map[i]
+                rt_access(event[0], event[1])
+            if meta & META_MEM:
+                mem_addr = mem_col[i]
+                if meta & META_STORE:
+                    dl1_access(mem_addr)
+                elif not dl1_access(mem_addr):
+                    l2_access(mem_addr)
+            cc = (meta >> CTRL_SHIFT) & 0xF
+            if not cc:
+                continue
+            taken = bool(meta & META_TAKEN)
+            is_trigger = meta & META_TRIGGER
+            if cc == CC_COND:
+                if is_trigger:
+                    predict_cond(pc, taken)
                 elif predict_replacement:
                     predict_cond(
-                        op.pc ^ (op.disepc << 4), op.ctrl_taken
+                        pc ^ ((meta >> DISEPC_SHIFT) << 4), taken
                     )
-            elif ctrl in _INDIRECT_KINDS and \
-                    op.is_trigger_ctrl and op.ctrl_target is not None:
+            elif cc in _CC_INDIRECT and is_trigger and meta & META_TARGET:
                 predict_target(
-                    op.pc, op.ctrl_target,
-                    is_return=ctrl == CTRL_RET, is_call=ctrl == CTRL_CALL,
-                    return_addr=op.pc + 4,
+                    pc, tgt_col[i],
+                    is_return=cc == CC_RET, is_call=cc == CC_CALL,
+                    return_addr=pc + 4,
                 )
-            elif ctrl is not None and not op.is_trigger_ctrl and \
-                    predict_replacement and op.ctrl_taken and \
-                    ctrl != CTRL_DISE:
+            elif not is_trigger and predict_replacement and taken and \
+                    cc != CC_DISE:
                 predict_target(
-                    op.pc ^ (op.disepc << 4), op.ctrl_target or 0
+                    pc ^ ((meta >> DISEPC_SHIFT) << 4), tgt_col[i]
                 )
         # Reset statistics so the measured pass reports its own counts.
         il1.accesses = il1.misses = 0
@@ -227,7 +255,15 @@ class CycleSimulator:
         nothing.
         """
         config = self.config
-        ops = trace.ops
+        cols = trace.columns
+        pc_col = cols.pc
+        meta_col = cols.meta
+        mem_col = cols.mem
+        tgt_col = cols.target
+        srcs_col = cols.srcs
+        exp_map = cols.exp
+        n_ops = len(pc_col)
+        lat_by_code = _LAT_BY_CODE
 
         il1 = Cache(config.il1) if config.il1 is not None else PerfectCache()
         dl1 = Cache(config.dl1) if config.dl1 is not None else PerfectCache()
@@ -288,22 +324,22 @@ class CycleSimulator:
         cond_branches = 0
         l2_misses = 0
 
-        for i, op in enumerate(ops):
+        for i in range(n_ops):
+            meta = meta_col[i]
+            pc = pc_col[i]
             # ----------------------------------------------------- fetch
-            fetch_addr = op.fetch_addr
-            if fetch_addr is not None:
-                if not il1_access(fetch_addr):
-                    if l2_access(fetch_addr):
+            if meta & META_FETCH:
+                if not il1_access(pc):
+                    if l2_access(pc):
                         fetch_cycle += l2_latency
                     else:
                         l2_misses += 1
                         fetch_cycle += l2_latency + mem_latency
                     slots_used = 0
 
-            expansion = op.expansion
-            if expansion is not None:
+            if i in exp_map:
                 expansions += 1
-                seq_id, length, pt_miss, _, composed = expansion
+                seq_id, length, pt_miss, _, composed = exp_map[i]
                 if stall_per_expansion:
                     fetch_cycle += stall_per_expansion
                     expansion_stalls += 1
@@ -336,15 +372,17 @@ class CycleSimulator:
 
             # ---------------------------------------------- issue/execute
             start = dispatch + 1
-            for src in op.srcs:
-                t = ready[src]
+            packed_srcs = srcs_col[i]
+            while packed_srcs:
+                t = ready[(packed_srcs & 63) - 1]
                 if t > start:
                     start = t
+                packed_srcs >>= 6
 
-            latency = op.opcode.latency
-            mem_addr = op.mem_addr
-            if mem_addr is not None:
-                if op.is_store:
+            latency = lat_by_code[meta & 0xFF]
+            if meta & META_MEM:
+                mem_addr = mem_col[i]
+                if meta & META_STORE:
                     dl1_access(mem_addr)  # stores retire via the store buffer
                 else:
                     if not dl1_access(mem_addr):
@@ -355,15 +393,15 @@ class CycleSimulator:
                             latency += l2_latency + mem_latency
             complete = start + latency
 
-            dest = op.dest
-            if dest is not None:
-                ready[dest] = complete
+            dest_field = (meta >> DEST_SHIFT) & 0xFF
+            if dest_field:
+                ready[dest_field - 1] = complete
 
             # ----------------------------------------------------- control
-            ctrl = op.ctrl
-            if ctrl is not None:
-                taken = op.ctrl_taken
-                if ctrl == CTRL_DISE:
+            cc = (meta >> CTRL_SHIFT) & 0xF
+            if cc:
+                taken = bool(meta & META_TAKEN)
+                if cc == CC_DISE:
                     # Never predicted; a taken DISE branch redirects fetch.
                     if taken:
                         dise_redirects += 1
@@ -371,13 +409,13 @@ class CycleSimulator:
                         if redirect > fetch_cycle:
                             fetch_cycle = redirect
                             slots_used = 0
-                elif not op.is_trigger_ctrl:
-                    if predict_replacement and ctrl == CTRL_COND:
+                elif not meta & META_TRIGGER:
+                    if predict_replacement and cc == CC_COND:
                         # Enhanced design: the predictor learns replacement
                         # branches, indexed by the PC:DISEPC pair.
                         cond_branches += 1
                         if predict_cond(
-                            op.pc ^ (op.disepc << 4), taken
+                            pc ^ ((meta >> DISEPC_SHIFT) << 4), taken
                         ):
                             mispredicts += 1
                             redirect = complete + refill
@@ -390,7 +428,7 @@ class CycleSimulator:
                         # Unconditional/indirect replacement transfer: the
                         # BTB learns the codeword's PC:DISEPC.
                         if predict_target(
-                            op.pc ^ (op.disepc << 4), op.ctrl_target or 0
+                            pc ^ ((meta >> DISEPC_SHIFT) << 4), tgt_col[i]
                         ):
                             mispredicts += 1
                             redirect = complete + refill
@@ -407,9 +445,9 @@ class CycleSimulator:
                         if redirect > fetch_cycle:
                             fetch_cycle = redirect
                             slots_used = 0
-                elif ctrl == CTRL_COND:
+                elif cc == CC_COND:
                     cond_branches += 1
-                    if predict_cond(op.pc, taken):
+                    if predict_cond(pc, taken):
                         mispredicts += 1
                         redirect = complete + refill
                         if redirect > fetch_cycle:
@@ -417,14 +455,12 @@ class CycleSimulator:
                             slots_used = 0
                     elif taken:
                         slots_used = width  # taken branch ends the group
-                elif ctrl in _INDIRECT_KINDS:
-                    if op.ctrl_target is not None:
-                        is_return = ctrl == CTRL_RET
-                        is_call = ctrl == CTRL_CALL
+                elif cc in _CC_INDIRECT:
+                    if meta & META_TARGET:
                         if predict_target(
-                            op.pc, op.ctrl_target,
-                            is_return=is_return, is_call=is_call,
-                            return_addr=op.pc + 4,
+                            pc, tgt_col[i],
+                            is_return=cc == CC_RET, is_call=cc == CC_CALL,
+                            return_addr=pc + 4,
                         ):
                             mispredicts += 1
                             redirect = complete + refill
@@ -448,14 +484,14 @@ class CycleSimulator:
             start_append(start)
             last_retire = retire
 
-        cycles = last_retire if ops else 0
+        cycles = last_retire if n_ops else 0
         if _telemetry.enabled():
             # Published after the replay loop, so the hot loop itself is
             # untouched (the ≤2% disabled-overhead budget covers setup only).
             _telemetry.counter("cycle.replays").inc()
             for name, value in (
                 ("cycle.cycles", cycles),
-                ("cycle.instructions", len(ops)),
+                ("cycle.instructions", n_ops),
                 ("cycle.il1.accesses", il1.accesses),
                 ("cycle.il1.misses", il1.misses),
                 ("cycle.dl1.accesses", dl1.accesses),
@@ -474,11 +510,13 @@ class CycleSimulator:
         if retire_observer is not None:
             # Post-loop, like telemetry: the conformance oracle sees the
             # retired-op sequence with its timestamps, zero hot-loop cost.
-            for op, when in zip(ops, retire_times):
+            # Ops are materialised here only — the replay loop above never
+            # builds per-op objects.
+            for op, when in zip(trace.ops, retire_times):
                 retire_observer(op, when)
         return CycleResult(
             cycles=cycles,
-            instructions=len(ops),
+            instructions=n_ops,
             app_instructions=trace.app_instructions,
             il1_accesses=il1.accesses,
             il1_misses=il1.misses,

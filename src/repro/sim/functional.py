@@ -20,24 +20,42 @@ paper's two-level PC:DISEPC control model (Section 2.1):
 The run produces a :class:`~repro.sim.trace.TraceResult` that the timing
 simulator replays under different machine configurations.
 
-Two dispatch paths implement the instruction semantics:
+Three dispatch tiers implement the instruction semantics:
 
-* the **fast path** (default) — an opcode-indexed handler table plus a
-  per-image decoded-instruction cache, in the style of pre-decoded
-  interpreter loops (Blanqui et al., "Designing a CPU model: from a
-  pseudo-formal document to fast code");
-* the **generic path** (``fast_dispatch=False``) — the original
-  format/opcode if-chain, kept as the reference implementation that the
-  property tests compare the fast path against.
+* the **translated tier** (default) — a superblock translation cache: each
+  basic-block region (single entry, conditional branches may fall through,
+  ends at unconditional transfers / CTRL calls / a length cap) is
+  pre-decoded once into a linear list of pre-bound handler thunks, with
+  DISE replacement bodies instantiated and inlined at translation time.
+  Matching and instantiation are hoisted out of the run loop entirely;
+  only the stateful PT/RT accesses stay per-dynamic-trigger.  Blocks are
+  keyed by entry index and the engine's production-set ``generation``
+  (and flushed via the controller's invalidation hook), mirroring the
+  paper's RT, which stores replacement sequences pre-decoded so expansion
+  costs nothing at fetch (Section 2.2);
+* the **fast tier** — an opcode-indexed handler table plus a per-image
+  decoded-instruction cache, in the style of pre-decoded interpreter
+  loops (Blanqui et al., "Designing a CPU model: from a pseudo-formal
+  document to fast code");
+* the **generic tier** (``fast_dispatch=False``) — the original
+  format/opcode if-chain, kept as the reference implementation the
+  property tests compare the other tiers against.
 
-Both paths produce bit-identical traces.
+The tier is chosen by the ``dispatch`` constructor argument, the
+``REPRO_DISPATCH`` environment variable ("translated"/"fast"/"generic"),
+or the default ("translated").  All tiers produce bit-identical traces and
+observation streams; telemetry-instrumented machines fall back to the fast
+interpretive tier so the per-opcode counting wrapper sees every dispatch.
 """
 
 from __future__ import annotations
 
+import os
+import weakref
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.controller import DiseController
+from repro.core.engine import ExpansionError
 from repro.errors import ExecutionError, ExecutionTimeout
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Format, OpClass, Opcode
@@ -45,14 +63,32 @@ from repro.program.image import ProgramImage
 from repro.sim.memory import MASK64, Memory
 from repro.telemetry import registry as _telemetry
 from repro.sim.trace import (
+    CC_CALL,
+    CC_COND,
+    CC_DISE,
+    CC_INDIRECT,
+    CC_RET,
+    CC_UNCOND,
     CTRL_CALL,
     CTRL_COND,
     CTRL_DISE,
     CTRL_INDIRECT,
     CTRL_RET,
+    CTRL_SHIFT,
     CTRL_UNCOND,
+    DEST_SHIFT,
+    DISEPC_SHIFT,
+    META_EXP,
+    META_FETCH,
+    META_MEM,
+    META_STORE,
+    META_TAKEN,
+    META_TARGET,
+    META_TRIGGER,
     Op,
+    OpColumns,
     TraceResult,
+    pack_srcs,
 )
 
 NUM_REGS = 40  # 32 user + 8 DISE dedicated
@@ -488,19 +524,133 @@ _EXEC_TABLE: Dict[Opcode, object] = {
 _UNRESOLVED = object()
 
 
+def _df(instr: Instruction) -> tuple:
+    """(source_regs, dest_reg, packed_srcs) for one instruction."""
+    srcs = instr.source_regs()
+    return (srcs, instr.dest_reg(), pack_srcs(srcs))
+
+
+# ----------------------------------------------------------------------
+# Superblock translation (the pre-decoded dispatch tier)
+# ----------------------------------------------------------------------
+# Step kinds for translated app-level instructions.  Each kind fixes which
+# parts of the handler's result tuple the block runner must look at, so the
+# common cases skip all conditional record logic.
+_T_SIMPLE = 0   # no control, no memory: result tuple ignored
+_T_MEM = 1      # loads/stores: mem_addr from the handler result
+_T_BRANCH = 2   # conditional branches: may exit the block when taken
+_T_JUMP = 3     # always-taken transfers (br/bsr/jmp/jsr/ret): block-terminal
+_T_HALT = 4     # halt/fault: block-terminal
+_T_TRIG = 5     # DISE trigger with a pre-instantiated replacement body
+
+# Body kinds for pre-bound replacement instructions.
+_B_SIMPLE = 0
+_B_MEM = 1
+_B_DISE = 2     # DISE-internal branch: moves the DISEPC only
+_B_CTRL = 3     # app branches and jumps: predicted-path/squash semantics
+_B_HALT = 4
+
+_COND_BRANCHES = frozenset((Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BLE,
+                            Opcode.BGT, Opcode.BGE))
+_MEM_META = {
+    Opcode.LDQ: META_MEM, Opcode.LDL: META_MEM,
+    Opcode.STQ: META_MEM | META_STORE, Opcode.STL: META_MEM | META_STORE,
+}
+_JUMP_CC = {Opcode.BR: CC_UNCOND, Opcode.BSR: CC_CALL, Opcode.JSR: CC_CALL,
+            Opcode.JMP: CC_INDIRECT, Opcode.RET: CC_RET}
+
+
+def _classify_app(opcode: Opcode):
+    """(step kind, baked meta bits) for an app-level opcode, or None when
+    the site must stay interpretive (ctrl calls can swap production sets
+    mid-run; reserved codewords and stray DISE branches raise)."""
+    if (opcode is Opcode.CTRL or opcode.is_reserved
+            or opcode.opclass is OpClass.DISE_BRANCH):
+        return None
+    if opcode in (Opcode.HALT, Opcode.FAULT):
+        return _T_HALT, 0
+    cc = _JUMP_CC.get(opcode)
+    if cc is not None:
+        return _T_JUMP, (cc << CTRL_SHIFT) | META_TAKEN | META_TARGET
+    if opcode in _COND_BRANCHES:
+        return _T_BRANCH, CC_COND << CTRL_SHIFT
+    extra = _MEM_META.get(opcode)
+    if extra is not None:
+        return _T_MEM, extra
+    return _T_SIMPLE, 0
+
+
+def _classify_body(opcode: Opcode):
+    """(body kind, ctrl meta bits) for a replacement-body opcode, or None
+    when the expansion cannot be pre-bound."""
+    if opcode is Opcode.CTRL or opcode.is_reserved:
+        return None
+    if opcode.opclass is OpClass.DISE_BRANCH:
+        return _B_DISE, CC_DISE << CTRL_SHIFT
+    if opcode in (Opcode.HALT, Opcode.FAULT):
+        return _B_HALT, 0
+    cc = _JUMP_CC.get(opcode)
+    if cc is not None:
+        return _B_CTRL, cc << CTRL_SHIFT
+    if opcode in _COND_BRANCHES:
+        return _B_CTRL, CC_COND << CTRL_SHIFT
+    extra = _MEM_META.get(opcode)
+    if extra is not None:
+        return _B_MEM, extra
+    return _B_SIMPLE, 0
+
+
+#: Maximum app-level instructions per superblock.
+_BLOCK_CAP = 64
+
+#: Entry visits before a superblock is translated (warmup gate): code
+#: executed once — cold tails, straight-line init — runs interpretively
+#: and never pays translation; any revisited entry is hot by definition.
+_HOT_THRESHOLD = 1
+
+#: Cached marker for "this entry point cannot be translated" — the run loop
+#: falls back to one interpretive step.
+_NO_BLOCK = ((), 0)
+
+
+def _make_flush_callback(machine_ref):
+    """Production-set invalidation callback holding only a weakref, so a
+    registered machine can still be collected."""
+    def flush():
+        machine = machine_ref()
+        if machine is not None:
+            machine._attach_translations()
+    return flush
+
+
 class Machine:
     """Architectural machine state plus the fetch/expand/execute loop."""
 
     def __init__(self, image: ProgramImage,
                  controller: Optional[DiseController] = None,
-                 record_trace=True, fast_dispatch=True, observer=None):
+                 record_trace=True, fast_dispatch=True, observer=None,
+                 dispatch: Optional[str] = None):
         self.image = image
         self.controller = controller
         self.engine = controller.engine if controller is not None else None
         self.record_trace = record_trace
-        self.fast_dispatch = fast_dispatch
-        self._execute = (self._execute_fast if fast_dispatch
+        if dispatch is None:
+            if not fast_dispatch:
+                dispatch = "generic"
+            else:
+                dispatch = os.environ.get("REPRO_DISPATCH") or "translated"
+        if dispatch not in ("translated", "fast", "generic"):
+            raise ValueError(
+                f"unknown dispatch tier {dispatch!r}: expected 'translated', "
+                "'fast', or 'generic'"
+            )
+        self.dispatch = dispatch
+        self.fast_dispatch = dispatch != "generic"
+        self._execute = (self._execute_fast if self.fast_dispatch
                          else self._execute_generic)
+        # The translated tier falls back to interpretive-fast when telemetry
+        # is on: the per-opcode counting wrapper must see every dispatch.
+        self._translated = dispatch == "translated" and not _telemetry.enabled()
         # Telemetry and verification observers are wired at construction
         # time: when absent, no wrapper is installed and the dispatch path
         # is identical to the uninstrumented machine (bench_telemetry.py
@@ -519,7 +669,7 @@ class Machine:
         self.halted = False
         self.fault_code: Optional[int] = None
         self.outputs: List[int] = []
-        self.ops: List[Op] = []
+        self._cols = OpColumns()
 
         self.instructions = 0
         self.app_instructions = 0
@@ -551,6 +701,27 @@ class Machine:
         self._disepc = 0
         self._pending: Optional[int] = None   # deferred trigger-branch target
         self._exp_event = None                # attached to first expansion op
+
+        # Superblock translation cache: entry index -> (steps, exit_idx), or
+        # _NO_BLOCK for untranslatable entries.  Alongside it, the
+        # translation memos: per-index step tuples (False = untranslatable
+        # site), so overlapping superblocks pay the per-instruction cost
+        # once; per-(seq_id, trigger_pc) pre-bound replacement bodies; and
+        # entry-visit counts for the warmup gate.  All four are normally
+        # views into the image-wide store (_attach_translations), shared
+        # by every machine running the same productions, and are re-bound
+        # through the controller's invalidation listener and the engine's
+        # generation counter whenever the active set changes.
+        self._blocks: Dict[int, tuple] = {}
+        self._steps: Dict[int, tuple] = {}
+        self._bodies: Dict[tuple, list] = {}
+        self._heat: Dict[int, int] = {}
+        self._blocks_gen = self._decode_gen
+        if self._translated:
+            self._attach_translations()
+            if controller is not None:
+                controller.add_invalidation_listener(
+                    _make_flush_callback(weakref.ref(self)))
 
     # ------------------------------------------------------------------
     # Verification observer (installed only when one is supplied)
@@ -651,8 +822,8 @@ class Machine:
         instr = self.image.instructions[idx]
         opcode = instr.opcode
         engine = self.engine
-        entry = (instr, (instr.source_regs(), instr.dest_reg()),
-                 opcode.is_reserved, _EXEC_TABLE.get(opcode),
+        entry = (instr, _df(instr), opcode.is_reserved,
+                 _EXEC_TABLE.get(opcode),
                  engine is not None and opcode in engine.trigger_opcodes)
         self._decode[idx] = entry
         return entry
@@ -661,12 +832,11 @@ class Machine:
         return self._dyn_info(instr)[0]
 
     def _dyn_info(self, instr: Instruction) -> tuple:
-        """((source_regs, dest_reg), handler) for a dynamic (replacement)
-        instruction, cached by identity."""
+        """((source_regs, dest_reg, packed_srcs), handler) for a dynamic
+        (replacement) instruction, cached by identity."""
         entry = self._dyn_dataflow.get(id(instr))
         if entry is None or entry[0] is not instr:
-            entry = (instr, (instr.source_regs(), instr.dest_reg()),
-                     _EXEC_TABLE.get(instr.opcode))
+            entry = (instr, _df(instr), _EXEC_TABLE.get(instr.opcode))
             self._dyn_dataflow[id(instr)] = entry
         return entry[1], entry[2]
 
@@ -674,6 +844,8 @@ class Machine:
     # Main loop
     # ------------------------------------------------------------------
     def run(self, max_steps=5_000_000) -> TraceResult:
+        if self._translated:
+            return self._run_translated(max_steps)
         steps = 0
         while not self.halted and steps < max_steps:
             self.step()
@@ -807,6 +979,469 @@ class Machine:
         self.idx = next_idx
 
     # ------------------------------------------------------------------
+    # Superblock translation cache (translated dispatch tier)
+    # ------------------------------------------------------------------
+    def _attach_translations(self):
+        """Bind this machine's translation memos to the image-wide store.
+
+        Translated superblocks depend only on the image text and the
+        active production set, so they live on the image, keyed by the
+        engine's cross-machine :attr:`production_signature` — every
+        machine running the same installation shares one memo set and
+        fresh machines start warm.  Re-invoked (via the controller's
+        invalidation listener and the generation check in the run loop)
+        whenever the active set changes: the machine re-binds to the
+        entry for the new signature, leaving other keyings warm.  Images
+        that refuse attribute stashing fall back to private memos.
+        """
+        engine = self.engine
+        image = self.image
+        if engine is not None and engine.generation != self._decode_gen:
+            self._decode = [None] * len(image.instructions)
+            self._decode_gen = engine.generation
+        store = getattr(image, "_translation_store", None)
+        if store is None:
+            try:
+                store = image._translation_store = {}
+            except AttributeError:
+                self._blocks, self._steps = {}, {}
+                self._bodies, self._heat = {}, {}
+                if engine is not None:
+                    self._blocks_gen = engine.generation
+                return
+        key = engine.production_signature if engine is not None else None
+        entry = store.get(key)
+        if entry is None:
+            entry = store[key] = ({}, {}, {}, {})
+        self._blocks, self._steps, self._bodies, self._heat = entry
+        if engine is not None:
+            self._blocks_gen = engine.generation
+
+    def invalidate_translations(self):
+        """Flush every translated superblock and decoded instruction.
+
+        Call after rewriting the text segment in place (e.g. a
+        decompression ACF patching codewords): the *whole* image-wide
+        store is stale then, under every production-set keying, so it is
+        dropped and this machine re-binds to a fresh entry.  (Plain
+        production-set swaps do not need this — the controller's
+        invalidation listener re-binds to the right keying and keeps the
+        others warm.)
+        """
+        store = getattr(self.image, "_translation_store", None)
+        if store is not None:
+            store.clear()
+        self._attach_translations()
+        self._decode = [None] * len(self.image.instructions)
+        if self.engine is not None:
+            self._decode_gen = self.engine.generation
+
+    def _run_translated(self, max_steps) -> TraceResult:
+        """Main loop of the translated tier.
+
+        Executes whole superblocks when one is available for the current
+        index and falls back to single interpretive steps everywhere else
+        (untranslatable sites, in-flight expansions after a restore).  The
+        step budget is shared with the interpretive loop so
+        :class:`ExecutionTimeout` fires after exactly the same number of
+        dynamic instructions.
+        """
+        steps_left = max_steps
+        image_len = len(self.image.instructions)
+        while not self.halted and steps_left > 0:
+            if self._exp is not None:
+                self.step()
+                steps_left -= 1
+                continue
+            engine = self.engine
+            if engine is not None and engine.generation != self._blocks_gen:
+                # Production set changed (ctrl call or direct controller
+                # use): re-bind to the store entry for the new active set.
+                # Flushes _decode too if the interpretive fallback has not
+                # already done so under its own generation marker.
+                self._attach_translations()
+            idx = self.idx
+            block = self._blocks.get(idx)
+            if block is None:
+                if 0 <= idx < image_len:
+                    # Warmup gate: translation only pays off on re-executed
+                    # code, so cold entries run interpretively and a block
+                    # is built the first time its entry is *revisited*.
+                    count = self._heat.get(idx, 0)
+                    if count < _HOT_THRESHOLD:
+                        self._heat[idx] = count + 1
+                        self.step()
+                        steps_left -= 1
+                        continue
+                    block = self._translate(idx)
+                else:
+                    block = _NO_BLOCK   # step() raises the precise error
+                self._blocks[idx] = block
+            steps, _ = block
+            if not steps:
+                self.step()
+                steps_left -= 1
+                continue
+            steps_left -= self._exec_block(block, steps_left)
+        if not self.halted and steps_left <= 0:
+            raise ExecutionTimeout(
+                f"program did not halt within {max_steps} dynamic "
+                "instructions",
+                steps=max_steps, index=self.idx,
+            )
+        return self.result()
+
+    def _translate(self, entry_idx: int) -> tuple:
+        """Pre-decode one superblock starting at ``entry_idx``.
+
+        Returns ``(steps, exit_idx)`` — ``steps`` is a tuple of pre-bound
+        step tuples ``(kind, instr, pc, idx, handler, meta, packed_srcs,
+        probe, trig)``; ``exit_idx`` is the fall-through index when the
+        runner walks off the end of the list.  Sites whose semantics cannot
+        be hoisted (ctrl calls, stray codewords, expansion errors,
+        unsupported bodies) end the block; an empty block (``_NO_BLOCK``)
+        sends the entry back to the interpretive loop.
+        """
+        step_memo = self._steps
+        steps = []
+        idx = entry_idx
+        n = len(self._decode)
+        while idx < n and len(steps) < _BLOCK_CAP:
+            st = step_memo.get(idx)
+            if st is None:
+                st = self._translate_step(idx)
+                step_memo[idx] = st
+            if st is False:
+                break
+            steps.append(st)
+            idx += 1
+            kind = st[0]
+            if kind == _T_JUMP or kind == _T_HALT:
+                break
+        return (tuple(steps), idx) if steps else _NO_BLOCK
+
+    def _translate_step(self, idx: int):
+        """Pre-bind the step tuple for one static instruction.
+
+        Position-dependent only through ``idx``/``pc``, so overlapping
+        superblocks share the result via the ``_steps`` memo.  Returns
+        ``False`` for untranslatable sites.
+        """
+        entry = self._decode[idx]
+        if entry is None:
+            entry = self._decode_at(idx)
+        instr, dataflow, is_reserved, handler, is_engine_trigger = entry
+        opcode = instr.opcode
+        pc = self.image.addresses[idx]
+        probe = None
+        if is_engine_trigger:
+            try:
+                pre = self.engine.preexpand(instr, pc)
+            except ExpansionError:
+                # Raises only when executed on the interpretive path.
+                return False
+            if pre is not None:
+                _, seq_id, spec, exp = pre
+                body = self._translate_body(exp)
+                if body is None:
+                    return False
+                return (_T_TRIG, instr, pc, idx, None, 0, 0, None,
+                        (opcode, seq_id, len(spec), exp, body))
+            # Trigger opcode, but no production matches this site: the
+            # PT is still probed per dynamic instance.
+            probe = opcode
+        if handler is None:
+            return False
+        cls = _classify_app(opcode)
+        if cls is None:
+            return False
+        kind, extra = cls
+        meta = opcode.code | extra | META_FETCH | META_TRIGGER
+        dest = dataflow[1]
+        if dest is not None:
+            meta |= (dest + 1) << DEST_SHIFT
+        return (kind, instr, pc, idx, handler, meta, dataflow[2], probe, None)
+
+    def _translate_body(self, exp) -> Optional[list]:
+        """Pre-bind one instantiated replacement body, or None when any
+        instruction resists hoisting (ctrl calls can invalidate the block
+        they run in; codeword copies raise interpretively).
+
+        Memoised per ``(seq_id, trigger_pc)``: instantiation is a pure
+        function of the production set and the trigger instruction, both
+        fixed for the memo's lifetime (flushed with ``_blocks``).
+        """
+        key = (exp.seq_id, exp.trigger_pc)
+        cached = self._bodies.get(key)
+        if cached is not None:
+            return cached or None
+        body = self._build_body(exp)
+        self._bodies[key] = body if body is not None else ()
+        return body
+
+    def _build_body(self, exp) -> Optional[list]:
+        instrs = exp.instrs
+        if not instrs:
+            return None
+        offsets = exp.trigger_offsets
+        body = []
+        for k, binstr in enumerate(instrs):
+            cls = _classify_body(binstr.opcode)
+            if cls is None:
+                return None
+            dataflow, bhandler = self._dyn_info(binstr)
+            if bhandler is None:
+                return None
+            bkind, extra = cls
+            is_copy = k in offsets
+            meta = binstr.opcode.code | extra | (k << DISEPC_SHIFT)
+            if k == 0:
+                meta |= META_FETCH
+            if is_copy:
+                meta |= META_TRIGGER
+            dest = dataflow[1]
+            if dest is not None:
+                meta |= (dest + 1) << DEST_SHIFT
+            body.append((bkind, binstr, bhandler, meta, dataflow[2], is_copy))
+        return body
+
+    def _exec_block(self, block, budget: int) -> int:
+        """Run one translated superblock; returns retirements executed.
+
+        Mirrors the interpretive loop's observable behaviour exactly:
+        counter ordering, trace records (including the taken-DISE-branch
+        target quirk), observer calls, precise state at faults and halts,
+        and budget exhaustion mid-sequence all match ``step()``.
+        ``self.idx`` is kept current throughout, so exceptions raised by
+        handlers propagate with the same machine state the interpretive
+        path would leave.
+        """
+        steps, exit_idx = block
+        engine = self.engine
+        record = self.record_trace
+        observer = self._observer
+        observe = observer.observe if observer is not None else None
+        cols = self._cols
+        pc_col = cols.pc
+        meta_col = cols.meta
+        mem_col = cols.mem
+        tgt_col = cols.target
+        srcs_col = cols.srcs
+        exp_map = cols.exp
+        addresses = self.image.addresses
+        n_addr = len(addresses)
+        executed = 0
+        retired = 0
+        app = 0
+        i = 0
+        n = len(steps)
+        try:
+            while i < n:
+                st = steps[i]
+                idx = st[3]
+                self.idx = idx
+                if executed >= budget:
+                    return executed
+                kind = st[0]
+                instr = st[1]
+                pc = st[2]
+                probe = st[7]
+                if probe is not None and engine.pt.access(probe):
+                    self.pt_misses += 1
+                app += 1
+                if kind == _T_SIMPLE:
+                    st[4](self, instr, pc, idx, idx, True)
+                    retired += 1
+                    executed += 1
+                    if record:
+                        pc_col.append(pc)
+                        meta_col.append(st[5])
+                        mem_col.append(0)
+                        tgt_col.append(0)
+                        srcs_col.append(st[6])
+                    if observe is not None:
+                        observe(self, instr, pc, 0, True)
+                    i += 1
+                    continue
+                if kind == _T_MEM:
+                    res = st[4](self, instr, pc, idx, idx, True)
+                    retired += 1
+                    executed += 1
+                    if record:
+                        pc_col.append(pc)
+                        meta_col.append(st[5])
+                        mem_col.append(res[3])
+                        tgt_col.append(0)
+                        srcs_col.append(st[6])
+                    if observe is not None:
+                        observe(self, instr, pc, 0, True)
+                    i += 1
+                    continue
+                if kind == _T_BRANCH:
+                    res = st[4](self, instr, pc, idx, idx, True)
+                    retired += 1
+                    executed += 1
+                    taken = res[1]
+                    if record:
+                        pc_col.append(pc)
+                        if taken:
+                            meta_col.append(st[5] | META_TAKEN | META_TARGET)
+                            tgt_col.append(res[5])
+                        else:
+                            meta_col.append(st[5])
+                            tgt_col.append(0)
+                        mem_col.append(0)
+                        srcs_col.append(st[6])
+                    if observe is not None:
+                        observe(self, instr, pc, 0, True)
+                    if taken:
+                        target_idx = res[2]
+                        self.idx = target_idx
+                        if target_idx != idx + 1:
+                            return executed
+                    i += 1
+                    continue
+                if kind == _T_JUMP:
+                    res = st[4](self, instr, pc, idx, idx, True)
+                    retired += 1
+                    executed += 1
+                    if record:
+                        pc_col.append(pc)
+                        meta_col.append(st[5])
+                        mem_col.append(0)
+                        tgt_col.append(res[5])
+                        srcs_col.append(st[6])
+                    if observe is not None:
+                        observe(self, instr, pc, 0, True)
+                    if self.halted:
+                        return executed   # bad jump: idx stays at the jump
+                    self.idx = res[2]
+                    return executed
+                if kind == _T_HALT:
+                    st[4](self, instr, pc, idx, idx, True)
+                    retired += 1
+                    executed += 1
+                    if record:
+                        pc_col.append(pc)
+                        meta_col.append(st[5])
+                        mem_col.append(0)
+                        tgt_col.append(0)
+                        srcs_col.append(st[6])
+                    if observe is not None:
+                        observe(self, instr, pc, 0, True)
+                    return executed
+                # _T_TRIG: run the pre-bound replacement body inline.  Only
+                # the stateful PT/RT accesses and the counters remain from
+                # engine.process(); match + instantiation happened at
+                # translation time.
+                opcode, seq_id, spec_len, exp, body = st[8]
+                pt_miss = engine.pt.access(opcode)
+                if pt_miss:
+                    self.pt_misses += 1
+                rt_miss = engine.rt.access_sequence(seq_id, spec_len)
+                if rt_miss:
+                    self.rt_misses += 1
+                engine.expansions += 1
+                self.expansions += 1
+                event = (seq_id, len(body), pt_miss, rt_miss, exp.composed)
+                self._exp = exp
+                self._pending = None
+                self._disepc = 0
+                first = True
+                disepc = 0
+                nbody = len(body)
+                while disepc < nbody:
+                    if executed >= budget:
+                        # Out of budget mid-sequence: leave precise
+                        # PC:DISEPC state for the caller's timeout.
+                        self._disepc = disepc
+                        return executed
+                    belem = body[disepc]
+                    self._disepc = disepc
+                    binstr = belem[1]
+                    is_copy = belem[5]
+                    res = belem[2](self, binstr, pc, idx, idx, is_copy)
+                    retired += 1
+                    executed += 1
+                    bkind = belem[0]
+                    if record:
+                        bmeta = belem[3]
+                        tgt = 0
+                        memv = 0
+                        if bkind == _B_MEM:
+                            memv = res[3]
+                        elif res[1]:
+                            bmeta |= META_TAKEN
+                            if bkind == _B_DISE:
+                                # Interpretive quirk, preserved for
+                                # bit-identical traces: a taken DISE branch
+                                # records addresses[target DISEPC].
+                                td = res[2]
+                                if td is not None:
+                                    bmeta |= META_TARGET
+                                    tgt = addresses[td] if td < n_addr else 0
+                            else:
+                                tpc = res[5]
+                                if tpc is None and res[2] is not None:
+                                    tpc = (addresses[res[2]]
+                                           if res[2] < n_addr else 0)
+                                if tpc is not None:
+                                    bmeta |= META_TARGET
+                                    tgt = tpc
+                        if first:
+                            bmeta |= META_EXP
+                            exp_map[len(pc_col)] = event
+                        pc_col.append(pc)
+                        meta_col.append(bmeta)
+                        mem_col.append(memv)
+                        tgt_col.append(tgt)
+                        srcs_col.append(belem[4])
+                    first = False
+                    if observe is not None:
+                        observe(self, binstr, pc, disepc, is_copy)
+                    if bkind == _B_SIMPLE or bkind == _B_MEM:
+                        disepc += 1
+                    elif bkind == _B_DISE:
+                        disepc = res[2] if res[1] else disepc + 1
+                    elif self.halted:
+                        # Fault/halt mid-sequence: expansion state stays
+                        # live, exactly as the interpretive path leaves it.
+                        self._disepc = disepc
+                        return executed
+                    elif res[1]:
+                        if is_copy:
+                            # Predicted-path semantics: the outcome applies
+                            # at sequence end.
+                            self._pending = res[2]
+                            disepc += 1
+                        else:
+                            # Effectively predicted not-taken: squash.
+                            next_idx = res[2]
+                            self._exp = None
+                            self._disepc = 0
+                            self._pending = None
+                            self.idx = next_idx
+                            return executed
+                    else:
+                        disepc += 1
+                pending = self._pending
+                next_idx = pending if pending is not None else idx + 1
+                self._exp = None
+                self._disepc = 0
+                self._pending = None
+                self.idx = next_idx
+                if next_idx != idx + 1:
+                    return executed
+                i += 1
+            self.idx = exit_idx
+            return executed
+        finally:
+            self.instructions += retired
+            self.app_instructions += app
+            if engine is not None:
+                engine.inspected += app
+
+    # ------------------------------------------------------------------
     # Precise state (PC:DISEPC checkpoints, Section 2.1/2.2)
     # ------------------------------------------------------------------
     def checkpoint(self) -> dict:
@@ -876,16 +1511,15 @@ class Machine:
         if self.record_trace:
             if dataflow is None:
                 dataflow = self._dataflow(instr)
-            srcs, dest = dataflow
             if ctrl is not None and taken and target_pc is None and \
                     target_idx is not None:
                 addresses = self.image.addresses
                 target_pc = addresses[target_idx] \
                     if target_idx < len(addresses) else 0
-            self.ops.append(
-                Op(pc, disepc, instr.opcode, srcs, dest, mem_addr, is_store,
-                   fetch_addr, ctrl, taken, target_pc if taken else None,
-                   is_trigger, expansion_event)
+            self._cols.append(
+                pc, disepc, instr.opcode.code, dataflow[2], dataflow[1],
+                mem_addr, is_store, fetch_addr is not None, ctrl, taken,
+                target_pc if taken else None, is_trigger, expansion_event,
             )
         return ctrl, taken, target_idx
 
@@ -1069,15 +1703,14 @@ class Machine:
         if self.record_trace:
             if dataflow is None:
                 dataflow = self._dataflow(instr)
-            srcs, dest = dataflow
             if ctrl is not None and taken and target_pc is None and \
                     target_idx is not None:
                 target_pc = image.addresses[target_idx] \
                     if target_idx < len(image.addresses) else 0
-            self.ops.append(
-                Op(pc, disepc, op, srcs, dest, mem_addr, is_store,
-                   fetch_addr, ctrl, taken, target_pc if taken else None,
-                   is_trigger, expansion_event)
+            self._cols.append(
+                pc, disepc, op.code, dataflow[2], dataflow[1], mem_addr,
+                is_store, fetch_addr is not None, ctrl, taken,
+                target_pc if taken else None, is_trigger, expansion_event,
             )
         return ctrl, taken, target_idx
 
@@ -1110,7 +1743,7 @@ class Machine:
         if self._tm_prev is not None:
             self._publish_telemetry()
         return TraceResult(
-            ops=self.ops,
+            columns=self._cols,
             outputs=list(self.outputs),
             fault_code=self.fault_code,
             halted=self.halted,
@@ -1125,8 +1758,8 @@ class Machine:
 def run_program(image: ProgramImage,
                 controller: Optional[DiseController] = None,
                 record_trace=True, max_steps=5_000_000,
-                observer=None) -> TraceResult:
+                observer=None, dispatch: Optional[str] = None) -> TraceResult:
     """Convenience wrapper: build a machine, run to halt, return the trace."""
     machine = Machine(image, controller=controller, record_trace=record_trace,
-                      observer=observer)
+                      observer=observer, dispatch=dispatch)
     return machine.run(max_steps=max_steps)

@@ -1,15 +1,42 @@
 """Dynamic-trace records shared by the functional and timing simulators.
 
 The functional simulator executes the program once (with DISE expansion at
-fetch) and emits one :class:`Op` per dynamic instruction.  The timing
+fetch) and emits one dynamic-instruction record per retirement.  The timing
 simulator then replays the trace under different machine configurations —
 exactly the factoring the experiments need, since one ACF transformation is
 evaluated across many cache sizes, widths, and engine placements.
+
+Records are stored structure-of-arrays (:class:`OpColumns`): five parallel
+``array('Q')`` columns (pc, packed metadata, memory address, control target,
+packed source registers) plus a sparse ``{op_index: expansion_event}`` dict.
+The timing simulator's replay loop reads the columns directly; per-op
+:class:`Op` objects are materialised lazily (``TraceResult.ops``) for
+consumers that want them — oracles, fault-site profiling, tests.
+
+The metadata column packs one 64-bit word per op::
+
+    bits  0..7   opcode code
+    bits  8..11  control-transfer kind (see CTRL_CODES; 0 = none)
+    bit  12      control transfer taken
+    bit  13      is_store
+    bit  14      is_trigger (app-stream instruction or trigger copy)
+    bit  15      has mem_addr (value in the mem column)
+    bit  16      has fetch_addr (always equal to pc when present)
+    bit  17      has ctrl_target (value in the target column)
+    bit  18      has expansion event (entry in the exp dict)
+    bits 19..26  dest register + 1 (0 = no dest)
+    bits 27..    DISEPC
+
+Source registers pack 6 bits per operand (register id + 1), in order,
+zero-terminated — the ISA reads at most three sources per instruction.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.opcodes import OPCODE_BY_CODE
 
 # Control-transfer kinds recorded on an Op.
 CTRL_COND = "cond"          # conditional branch
@@ -19,9 +46,135 @@ CTRL_RET = "ret"            # ret
 CTRL_INDIRECT = "indirect"  # jmp
 CTRL_DISE = "dise"          # DISE-internal branch (never predicted)
 
+#: String kind -> packed metadata code (0 reserved for "no transfer").
+CTRL_CODES = {
+    None: 0, CTRL_COND: 1, CTRL_UNCOND: 2, CTRL_CALL: 3, CTRL_RET: 4,
+    CTRL_INDIRECT: 5, CTRL_DISE: 6,
+}
+#: Packed code -> string kind (index 0 = None).
+CTRL_FROM_CODE = (None, CTRL_COND, CTRL_UNCOND, CTRL_CALL, CTRL_RET,
+                  CTRL_INDIRECT, CTRL_DISE)
+
+#: Integer codes for the timing model's hot loop (compare against
+#: ``(meta >> CTRL_SHIFT) & 0xF``).
+CC_COND = 1
+CC_UNCOND = 2
+CC_CALL = 3
+CC_RET = 4
+CC_INDIRECT = 5
+CC_DISE = 6
+
+# Metadata bit layout (documented in the module docstring).
+CTRL_SHIFT = 8
+META_TAKEN = 1 << 12
+META_STORE = 1 << 13
+META_TRIGGER = 1 << 14
+META_MEM = 1 << 15
+META_FETCH = 1 << 16
+META_TARGET = 1 << 17
+META_EXP = 1 << 18
+DEST_SHIFT = 19
+DISEPC_SHIFT = 27
+
+
+def pack_srcs(srcs) -> int:
+    """Pack a source-register list into 6-bit fields (id + 1, in order)."""
+    packed = 0
+    shift = 0
+    for src in srcs:
+        packed |= (src + 1) << shift
+        shift += 6
+    return packed
+
+
+def unpack_srcs(packed: int) -> List[int]:
+    """Invert :func:`pack_srcs`."""
+    out = []
+    while packed:
+        out.append((packed & 63) - 1)
+        packed >>= 6
+    return out
+
+
+class OpColumns:
+    """Structure-of-arrays storage for a dynamic-instruction stream."""
+
+    __slots__ = ("pc", "meta", "mem", "target", "srcs", "exp")
+
+    def __init__(self):
+        self.pc = array("Q")
+        self.meta = array("Q")
+        self.mem = array("Q")
+        self.target = array("Q")
+        self.srcs = array("Q")
+        #: Sparse op_index -> (seq_id, length, pt_miss, rt_miss, composed).
+        self.exp: Dict[int, tuple] = {}
+
+    def __len__(self):
+        return len(self.pc)
+
+    def append(self, pc, disepc, code, srcs_packed, dest, mem_addr, is_store,
+               has_fetch, ctrl, taken, target, is_trigger, expansion):
+        """Record one retirement.  ``target`` is the already-resolved
+        ``ctrl_target`` value (``None`` when the op has none)."""
+        meta = code | (CTRL_CODES[ctrl] << CTRL_SHIFT) | (disepc << DISEPC_SHIFT)
+        if taken:
+            meta |= META_TAKEN
+        if is_store:
+            meta |= META_STORE
+        if is_trigger:
+            meta |= META_TRIGGER
+        if has_fetch:
+            meta |= META_FETCH
+        if mem_addr is None:
+            mem_addr = 0
+        else:
+            meta |= META_MEM
+        if target is None:
+            target = 0
+        else:
+            meta |= META_TARGET
+        if dest is not None:
+            meta |= (dest + 1) << DEST_SHIFT
+        if expansion is not None:
+            meta |= META_EXP
+            self.exp[len(self.pc)] = expansion
+        self.pc.append(pc)
+        self.meta.append(meta)
+        self.mem.append(mem_addr)
+        self.target.append(target)
+        self.srcs.append(srcs_packed)
+
+    def to_ops(self) -> List["Op"]:
+        """Materialise per-op objects (for oracles, profiling, tests)."""
+        out = []
+        exp_map = self.exp
+        pc_col, meta_col = self.pc, self.meta
+        mem_col, tgt_col, srcs_col = self.mem, self.target, self.srcs
+        for i in range(len(pc_col)):
+            meta = meta_col[i]
+            pc = pc_col[i]
+            dest = (meta >> DEST_SHIFT) & 0xFF
+            out.append(Op(
+                pc,
+                meta >> DISEPC_SHIFT,
+                OPCODE_BY_CODE[meta & 0xFF],
+                unpack_srcs(srcs_col[i]),
+                dest - 1 if dest else None,
+                mem_col[i] if meta & META_MEM else None,
+                bool(meta & META_STORE),
+                pc if meta & META_FETCH else None,
+                CTRL_FROM_CODE[(meta >> CTRL_SHIFT) & 0xF],
+                bool(meta & META_TAKEN),
+                tgt_col[i] if meta & META_TARGET else None,
+                bool(meta & META_TRIGGER),
+                exp_map.get(i) if meta & META_EXP else None,
+            ))
+        return out
+
 
 class Op:
-    """One dynamic instruction."""
+    """One dynamic instruction (materialised view of one column row)."""
 
     __slots__ = (
         "pc", "disepc", "opcode", "srcs", "dest", "mem_addr", "is_store",
@@ -66,14 +219,15 @@ class TraceResult:
     """Output of one functional run."""
 
     __slots__ = (
-        "ops", "outputs", "fault_code", "halted", "instructions",
+        "columns", "outputs", "fault_code", "halted", "instructions",
         "app_instructions", "expansions", "final_regs", "final_memory",
-        "cache_key", "_fingerprint", "_warm_states",
+        "cache_key", "_fingerprint", "_warm_states", "_ops",
     )
 
-    def __init__(self, ops, outputs, fault_code, halted, instructions,
+    def __init__(self, columns, outputs, fault_code, halted, instructions,
                  app_instructions, expansions, final_regs, final_memory):
-        self.ops: List[Op] = ops
+        #: Structure-of-arrays record stream (:class:`OpColumns`).
+        self.columns: OpColumns = columns
         self.outputs: List[int] = outputs
         self.fault_code: Optional[int] = fault_code
         self.halted: bool = halted
@@ -94,6 +248,23 @@ class TraceResult:
         #: that differ only in placement, width, or window share warmed
         #: state, so sweeps skip redundant warm passes.
         self._warm_states = None
+        #: Cached Op materialisation (one shared list, so identity-based
+        #: consumers — e.g. the retire-observer oracle — see the same
+        #: objects the trace exposes).
+        self._ops: Optional[List[Op]] = None
+
+    @property
+    def ops(self) -> List[Op]:
+        """Materialised per-op view of :attr:`columns` (cached).
+
+        Rebuilt if the underlying columns have grown since the last
+        materialisation (a live machine can keep appending to the same
+        columns across repeated ``result()`` calls).
+        """
+        ops = self._ops
+        if ops is None or len(ops) != len(self.columns):
+            ops = self._ops = self.columns.to_ops()
+        return ops
 
     @property
     def faulted(self) -> bool:

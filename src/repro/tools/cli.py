@@ -394,14 +394,23 @@ def cmd_cache(args):
         return 1
     if args.action == "stats":
         stats = cache.stats()
-        print(f"cache root: {stats['root']}")
+        print(f"cache root: {stats['root']} "
+              f"(current schema v{stats['schema_version']})")
         for kind in ("traces", "cycles", "quarantined"):
             entry = stats[kind]
+            by_schema = entry.get("by_schema") or {}
+            versions = "  ".join(
+                f"v{version}:{count}" if version != "unknown"
+                else f"unframed:{count}"
+                for version, count in by_schema.items()
+            )
             print(f"  {kind:7s} {entry['entries']:6d} entries  "
-                  f"{entry['bytes'] / 1024:10.1f} KiB")
+                  f"{entry['bytes'] / 1024:10.1f} KiB"
+                  + (f"  [{versions}]" if versions else ""))
         return 0
     removed = cache.clear()
-    print(f"removed {removed} entries from {cache.root}")
+    print(f"removed {removed} entries from {cache.root} "
+          "(entries newer than this build's schema are kept)")
     return 0
 
 

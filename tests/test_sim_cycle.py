@@ -8,6 +8,7 @@ from repro.core.language import parse_productions
 from repro.sim.config import KB, MachineConfig
 from repro.sim.cycle import CycleSimulator, simulate_trace
 from repro.sim.functional import Machine, run_program
+from repro.sim.trace import OpColumns
 
 from conftest import MFI_SOURCE, build_loop_program
 
@@ -26,7 +27,7 @@ def mfi_trace(iterations=50):
 class TestBasicInvariants:
     def test_empty_trace(self):
         trace = run_program(build_loop_program(iterations=1))
-        trace.ops = []
+        trace.columns = OpColumns()
         assert simulate_trace(trace).cycles == 0
 
     def test_cycles_at_least_instructions_over_width(self):

@@ -339,3 +339,53 @@ class TestSelfHealing:
         assert issubclass(CacheError, CacheCorruptionError)
         assert issubclass(CacheError, HarnessError)
         assert issubclass(CacheError, RuntimeError)   # legacy base
+
+
+class TestSchemaMigration:
+    """Entries from other schema versions are never misread.
+
+    Older entries (pre-SoA ``RDTC2`` frames) read as misses and are
+    quarantined so the caller regenerates them; entries from a *newer*
+    tool survive ``clear()`` and show up in ``stats()`` instead of being
+    treated as garbage.
+    """
+
+    @staticmethod
+    def _write_framed(path, magic, payload=b"foreign schema payload"):
+        import hashlib
+
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(
+            magic + hashlib.sha256(payload).digest()[:16] + payload
+        )
+
+    def test_v2_entry_quarantined_and_regenerated(self, tmp_path, trace):
+        cache = TraceCache(tmp_path)
+        path = cache.trace_path("d1")
+        self._write_framed(path, b"RDTC2\n")
+        assert cache.load_trace("d1") is None      # miss, never misread
+        assert not path.exists()                   # moved aside
+        assert cache.stats()["quarantined"]["entries"] == 1
+        cache.store_trace("d1", trace)             # regenerated entry wins
+        loaded = cache.load_trace("d1")
+        assert loaded is not None and _ops_equal(trace, loaded)
+
+    def test_future_entry_survives_clear(self, tmp_path, trace):
+        cache = TraceCache(tmp_path)
+        cache.store_trace("now", trace)
+        future = cache.trace_path("future")
+        self._write_framed(future, b"RDTC9\n")
+        assert cache.clear() == 1                  # current entry only
+        assert future.exists(), "newer-schema entry is live data, not garbage"
+        assert not cache.trace_path("now").exists()
+
+    def test_stats_break_down_by_schema_version(self, tmp_path, trace):
+        cache = TraceCache(tmp_path)
+        cache.store_trace("d1", trace)
+        self._write_framed(cache.trace_path("old"), b"RDTC2\n")
+        (cache.root / "traces" / "junk.trc").write_bytes(b"not framed")
+        stats = cache.stats()
+        assert stats["schema_version"] == SCHEMA_VERSION
+        assert stats["traces"]["by_schema"] == {
+            "2": 1, str(SCHEMA_VERSION): 1, "unknown": 1,
+        }

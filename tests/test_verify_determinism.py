@@ -35,6 +35,22 @@ def test_parallel_digests_match_serial(monkeypatch):
     assert parallel == serial
 
 
+def test_dispatch_tiers_digest_identical(monkeypatch):
+    """Translated, fast, and generic dispatch retire bit-identical streams.
+
+    The full-projection observation digest covers every retirement's
+    architectural effects, so equality here means the superblock
+    translation cache is observationally invisible on all 12 profiles.
+    """
+    digests = {}
+    for tier in ("generic", "fast", "translated"):
+        monkeypatch.setenv("REPRO_DISPATCH", tier)
+        digests[tier] = observation_digests(BENCHMARK_NAMES, scale=SCALE,
+                                            jobs=1)
+    assert digests["translated"] == digests["fast"]
+    assert digests["translated"] == digests["generic"]
+
+
 def test_digests_distinguish_profiles():
     digests = observation_digests(BENCHMARK_NAMES, scale=SCALE, jobs=1)
     values = [digest for digest, _ in digests.values()]

@@ -56,6 +56,7 @@ from repro.faults.inject import (
     profile_sites,
     state_mutator,
 )
+from repro.sim.batch import BatchMachine, resolve_batch
 from repro.telemetry import events as _events
 from repro.telemetry import registry as _telemetry
 from repro.workloads.generator import generate_by_name
@@ -280,6 +281,77 @@ def _run_one(spec: Optional[FaultSpec], fault_id: str, bench_name: str,
 
 
 # ----------------------------------------------------------------------
+# Batched execution (REPRO_BATCH / batch=): same results, cohort-stepped
+# ----------------------------------------------------------------------
+def _add_variant_lane(cohort: BatchMachine, spec: FaultSpec, bench: _Bench,
+                      mfi: bool) -> int:
+    """One faulted variant run as a batch lane (state-mutator faults)."""
+    base = bench.mfi if mfi else bench.plain
+    site_index = bench.image.index_of_addr[spec.site_pc]
+    reg = bench.image.instructions[site_index].rs
+    machine = base.make_machine(
+        _CAMPAIGN_DISE if mfi else None, record_trace=False,
+    )
+    return cohort.add_lane(
+        machine, max_steps=bench.max_steps,
+        watch=(site_index, spec.visit, state_mutator(spec), reg),
+    )
+
+
+def _lane_result(cohort: BatchMachine, lane: int,
+                 max_steps: int) -> Dict[str, object]:
+    """Map a finished lane to :func:`_run_variant`'s result dict."""
+    outcome = cohort.outcomes()[lane]
+    machine = outcome.machine
+    if outcome.status == "error":
+        return {"status": "crash", "error": outcome.error.details()}
+    if outcome.status == "timeout":
+        exc = ExecutionTimeout(
+            f"faulted run did not halt within {max_steps} dynamic "
+            "instructions", steps=max_steps, index=machine.idx,
+        )
+        return {"status": "hang", "error": exc.details()}
+    return _summarize(machine.fault_code, machine.halted,
+                      machine.outputs, machine.mem)
+
+
+def _run_wave(wave: List[Tuple[str, str, str, Optional[_Bench],
+                               Optional[FaultSpec]]]
+              ) -> List[Dict[str, object]]:
+    """Run one wave of faults, cohort-stepping the state-mutator pairs.
+
+    Image-mutation and skipped faults take the scalar path — each one
+    executes a different text segment, so there is nothing to share.
+    Returns one record per wave entry, in order.
+    """
+    cohort = BatchMachine()
+    lanes: Dict[int, Tuple[int, int]] = {}
+    for pos, (fault_id, bench_name, fault_class, bench, spec) in \
+            enumerate(wave):
+        if spec is not None and state_mutator(spec) is not None:
+            lanes[pos] = (_add_variant_lane(cohort, spec, bench, False),
+                          _add_variant_lane(cohort, spec, bench, True))
+    if lanes:
+        cohort.run()
+    records = []
+    for pos, (fault_id, bench_name, fault_class, bench, spec) in \
+            enumerate(wave):
+        if pos not in lanes:
+            records.append(_run_one(spec, fault_id, bench_name,
+                                    fault_class, bench))
+            continue
+        plain_lane, mfi_lane = lanes[pos]
+        record = {
+            "spec": spec.to_dict(),
+            "plain": _lane_result(cohort, plain_lane, bench.max_steps),
+            "mfi": _lane_result(cohort, mfi_lane, bench.max_steps),
+        }
+        record["outcome"] = _classify(record, bench)
+        records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
 # Checkpointing
 # ----------------------------------------------------------------------
 def _atomic_write_json(path: str, payload: Dict[str, object]):
@@ -334,13 +406,20 @@ def run_campaign(config: CampaignConfig,
                  checkpoint_path: Optional[str] = None,
                  resume: bool = False,
                  progress: Optional[Callable[[str, str, int, int], None]] = None,
-                 stop_after: Optional[int] = None) -> Dict[str, object]:
+                 stop_after: Optional[int] = None,
+                 batch: Optional[int] = None) -> Dict[str, object]:
     """Run (or resume) a campaign; returns the machine-readable report.
 
     ``progress(fault_id, outcome, done, total)`` is called after every
     fault.  ``stop_after`` — a test hook modelling an interrupted run —
     checkpoints and raises :class:`CampaignInterrupted` after that many
     *newly computed* faults.
+
+    ``batch`` (default: the ``REPRO_BATCH`` environment variable) runs
+    same-image fault pairs as a lockstep cohort per wave — a pure
+    execution accelerator: records, checkpoints, progress callbacks and
+    reports are bit-identical to the serial path, so it is deliberately
+    *not* part of the config fingerprint.
     """
     config.validate()
     records: Dict[str, Dict[str, object]] = {}
@@ -358,11 +437,8 @@ def run_campaign(config: CampaignConfig,
                 benches[name] = _Bench(name, config)
         return benches[name]
 
-    fresh = 0
-    for i in range(config.faults):
-        fault_id = f"f{i:04d}"
-        if fault_id in records:
-            continue
+    def plan_fault(index: int):
+        fault_id = f"f{index:04d}"
         # Per-fault generator: results are a pure function of
         # (seed, fault_id), independent of iteration order and resume.
         rng = random.Random(f"{config.seed}:{fault_id}")
@@ -371,7 +447,12 @@ def run_campaign(config: CampaignConfig,
         bench = bench_for(bench_name)
         spec = make_fault(rng, fault_id, bench_name, fault_class,
                           bench.profile, bench.image)
-        record = _run_one(spec, fault_id, bench_name, fault_class, bench)
+        return fault_id, bench_name, fault_class, bench, spec
+
+    fresh = 0
+
+    def finish(fault_id: str, fault_class: str, record: Dict[str, object]):
+        nonlocal fresh
         records[fault_id] = record
         outcome = record["outcome"]
         _telemetry.counter(f"faults.outcome.{outcome}").inc()
@@ -392,6 +473,21 @@ def run_campaign(config: CampaignConfig,
                 f"campaign interrupted after {fresh} faults "
                 f"({len(records)}/{config.faults} complete)"
             )
+
+    pending = [i for i in range(config.faults)
+               if f"f{i:04d}" not in records]
+    width = resolve_batch(batch)
+    if width >= 2:
+        for start in range(0, len(pending), width):
+            wave = [plan_fault(i) for i in pending[start:start + width]]
+            for entry, record in zip(wave, _run_wave(wave)):
+                finish(entry[0], entry[2], record)
+    else:
+        for i in pending:
+            fault_id, bench_name, fault_class, bench, spec = plan_fault(i)
+            record = _run_one(spec, fault_id, bench_name, fault_class,
+                              bench)
+            finish(fault_id, fault_class, record)
 
     if checkpoint_path:
         _write_checkpoint(checkpoint_path, config, records)

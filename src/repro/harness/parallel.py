@@ -49,13 +49,14 @@ from repro.harness.trace_cache import (
     machine_trace_key,
     serialize_trace,
 )
+from repro.sim.batch import BatchMachine, resolve_batch
 from repro.sim.config import MachineConfig
 from repro.sim.cycle import CycleResult, simulate_trace
 from repro.sim.trace import TraceResult
 from repro.telemetry import events as _events
 from repro.telemetry import get_logger
 from repro.telemetry import registry as _telemetry
-from repro.workloads.generator import generate_benchmark
+from repro.workloads.generator import generate_benchmark, reseed_data
 from repro.workloads.specint import get_profile
 
 logger = get_logger(__name__)
@@ -152,6 +153,10 @@ class TraceTask:
     label: Optional[str] = None                # compressed
     options: Optional[CompressionOptions] = None  # compressed
     scheme: Optional[str] = None               # composed
+    #: Figure points over seed variations: re-roll the data segment from
+    #: this seed while keeping the text segment (and every text-keyed
+    #: cache) identical to the base image.
+    data_seed: Optional[int] = None
 
     def __post_init__(self):
         if self.kind not in _KINDS:
@@ -160,14 +165,18 @@ class TraceTask:
     def suite_key(self) -> Tuple:
         """The :class:`~repro.harness.runner.Suite` trace-dict key."""
         if self.kind == "plain":
-            return (self.bench, "plain")
-        if self.kind == "mfi":
-            return (self.bench, "mfi", self.variant)
-        if self.kind == "rewrite":
-            return (self.bench, "rewrite")
-        if self.kind == "compressed":
-            return (self.bench, "compressed", self.label)
-        return (self.bench, "composed", self.scheme)
+            key = (self.bench, "plain")
+        elif self.kind == "mfi":
+            key = (self.bench, "mfi", self.variant)
+        elif self.kind == "rewrite":
+            key = (self.bench, "rewrite")
+        elif self.kind == "compressed":
+            key = (self.bench, "compressed", self.label)
+        else:
+            key = (self.bench, "composed", self.scheme)
+        if self.data_seed is not None:
+            key = key + ("data", self.data_seed)
+        return key
 
 
 def build_installation(task: TraceTask, image=None) -> AcfInstallation:
@@ -177,7 +186,8 @@ def build_installation(task: TraceTask, image=None) -> AcfInstallation:
     one generated program (generation is deterministic either way).
     """
     if image is None:
-        image = generate_benchmark(get_profile(task.bench), scale=task.scale)
+        image = generate_benchmark(get_profile(task.bench), scale=task.scale,
+                                   data_seed=task.data_seed)
     if task.kind == "plain":
         return plain_installation(image)
     if task.kind == "mfi":
@@ -248,10 +258,11 @@ def _fully_cached(task: TraceTask, configs: Sequence[MachineConfig],
     """Parent-side warm path: when the trace *and every requested replay*
     are already in the persistent cache, answer without deserializing the
     trace (or spawning a worker).  Returns ``None`` on any miss."""
-    image_key = (task.bench, task.scale)
+    image_key = (task.bench, task.scale, task.data_seed)
     if image_key not in images:
         images[image_key] = generate_benchmark(get_profile(task.bench),
-                                               scale=task.scale)
+                                               scale=task.scale,
+                                               data_seed=task.data_seed)
     installation = build_installation(task, image=images[image_key])
     machine = installation.make_machine(FUNCTIONAL_DISE)
     digest = machine_trace_key(installation, machine, repr(FUNCTIONAL_DISE),
@@ -271,6 +282,100 @@ def _fully_cached(task: TraceTask, configs: Sequence[MachineConfig],
         max_steps=max_steps
     )
     return digest, LazyTrace(cache, digest, recompute), cycles
+
+
+def _cohort_installation(task: TraceTask,
+                         bases: Dict[Tuple, AcfInstallation]
+                         ) -> AcfInstallation:
+    """The task's installation, derived from a shared base when possible.
+
+    ``data_seed`` variants reuse the base installation's transformed image
+    (only the data segment is re-rolled), so every lane of a cohort binds
+    to the same translation/compiled-superblock stores.  Equivalent to
+    :func:`build_installation` — the stub append commutes with the data
+    re-roll — just cheaper and cache-shared.
+    """
+    base_key = (task.bench, task.scale, task.kind, task.variant,
+                task.label, task.options, task.scheme)
+    base = bases.get(base_key)
+    if base is None:
+        base_task = TraceTask(bench=task.bench, scale=task.scale,
+                              kind=task.kind, variant=task.variant,
+                              label=task.label, options=task.options,
+                              scheme=task.scheme)
+        base = bases[base_key] = build_installation(base_task)
+    if task.data_seed is None:
+        return base
+    image = reseed_data(base.image, get_profile(task.bench), task.data_seed)
+    return AcfInstallation(image=image,
+                           production_sets=base.production_sets,
+                           init_machine=base.init_machine,
+                           name=base.name)
+
+
+def _run_tasks_cohort(merged: Dict[TraceTask, List[MachineConfig]],
+                      results: "TaskResults", cache, max_steps: int,
+                      begin_attempt, task_elapsed, finish):
+    """Serial-branch cohort path: one BatchMachine over all trace misses.
+
+    Produces exactly what the per-task serial loop produces (digests,
+    serialized traces, cycle replays, telemetry in the parent registry);
+    only the functional simulations are interleaved.
+    """
+    bases: Dict[Tuple, AcfInstallation] = {}
+    pending = []
+    for task, configs in merged.items():
+        begin_attempt(task)
+        installation = _cohort_installation(task, bases)
+        machine = installation.make_machine(FUNCTIONAL_DISE)
+        digest = machine_trace_key(installation, machine,
+                                   repr(FUNCTIONAL_DISE), max_steps)
+        trace = None
+        trace_bytes = None
+        if cache is not None and digest is not None:
+            trace_bytes = cache.load_trace_bytes(digest)
+            if trace_bytes is not None:
+                try:
+                    trace = deserialize_trace(trace_bytes)
+                except Exception:
+                    trace, trace_bytes = None, None
+        pending.append([task, configs, installation, machine, digest,
+                        trace, trace_bytes])
+
+    cohort = BatchMachine()
+    lanes = {}
+    for entry in pending:
+        if entry[5] is None:
+            lanes[id(entry[3])] = cohort.add_lane(entry[3],
+                                                  max_steps=max_steps)
+    if lanes:
+        cohort.run()
+        outcomes = cohort.outcomes()
+
+    for task, configs, installation, machine, digest, trace, \
+            trace_bytes in pending:
+        if trace is None:
+            trace = outcomes[lanes[id(machine)]].raise_or_result(max_steps)
+            trace_bytes = serialize_trace(trace)
+            if cache is not None and digest is not None:
+                cache.store_trace_bytes(digest, trace_bytes)
+        cycles: Dict[str, CycleResult] = {}
+        for config in configs:
+            config_repr = repr(config)
+            if config_repr in cycles:
+                continue
+            result = None
+            ck = cycle_key(digest, config_repr, True) if digest else None
+            if cache is not None and ck is not None:
+                result = cache.load_cycles(ck)
+            if result is None:
+                result = simulate_trace(trace, config, warm_start=True)
+                if cache is not None and ck is not None:
+                    cache.store_cycles(ck, result)
+            cycles[config_repr] = result
+        results[task] = finish(digest, trace_bytes, cycles)
+        _record_task(task, task_elapsed(task), 1, "ok")
+    return results
 
 
 def _task_label(task: TraceTask) -> str:
@@ -379,6 +484,9 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
         return digest, trace, cycles
 
     if jobs <= 1 or len(merged) <= 1:
+        if resolve_batch() >= 2 and len(merged) >= 2:
+            return _run_tasks_cohort(merged, results, cache, max_steps,
+                                     begin_attempt, task_elapsed, finish)
         for task, configs in merged.items():
             begin_attempt(task)
             digest, trace_bytes, cycles, _ = _run_task(

@@ -716,6 +716,7 @@ class Machine:
         self._steps: Dict[int, tuple] = {}
         self._bodies: Dict[tuple, list] = {}
         self._heat: Dict[int, int] = {}
+        self._warm = False
         self._blocks_gen = self._decode_gen
         if self._translated:
             self._attach_translations()
@@ -1006,6 +1007,7 @@ class Machine:
             except AttributeError:
                 self._blocks, self._steps = {}, {}
                 self._bodies, self._heat = {}, {}
+                self._warm = False
                 if engine is not None:
                     self._blocks_gen = engine.generation
                 return
@@ -1014,6 +1016,10 @@ class Machine:
         if entry is None:
             entry = store[key] = ({}, {}, {}, {})
         self._blocks, self._steps, self._bodies, self._heat = entry
+        # Warm-store pre-seed: a sibling machine already paid the
+        # interpretive warmup for this keying, so later lanes skip the
+        # revisit gate entirely and translate on first touch.
+        self._warm = bool(entry[0] or entry[1])
         if engine is not None:
             self._blocks_gen = engine.generation
 
@@ -1031,6 +1037,9 @@ class Machine:
         store = getattr(self.image, "_translation_store", None)
         if store is not None:
             store.clear()
+        bstore = getattr(self.image, "_batch_store", None)
+        if bstore is not None:
+            bstore.clear()
         self._attach_translations()
         self._decode = [None] * len(self.image.instructions)
         if self.engine is not None:
@@ -1068,7 +1077,7 @@ class Machine:
                     # code, so cold entries run interpretively and a block
                     # is built the first time its entry is *revisited*.
                     count = self._heat.get(idx, 0)
-                    if count < _HOT_THRESHOLD:
+                    if count < _HOT_THRESHOLD and not self._warm:
                         self._heat[idx] = count + 1
                         self.step()
                         steps_left -= 1

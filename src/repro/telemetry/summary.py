@@ -144,6 +144,25 @@ def render_summary(run: RunView) -> str:
             lines.append(f"  {label:<22s} {run.value(name)}")
         lines.append("")
 
+    # -- batch cohorts -------------------------------------------------
+    lanes = run.histogram("sim.batch.lanes_active")
+    drains = run.counters_with_prefix("sim.batch.drain.")
+    readmitted = run.value("sim.batch.readmitted")
+    if lanes or drains or readmitted:
+        lines.append("## Batch cohorts")
+        if lanes and lanes["count"]:
+            mean = lanes["total"] / lanes["count"]
+            lines.append(
+                f"  lanes active           mean {mean:.2f} "
+                f"(min {lanes['min']}, max {lanes['max']}, "
+                f"n={lanes['count']})"
+            )
+        for cause, count in drains:
+            label = f"drains ({cause})"
+            lines.append(f"  {label:<22s} {count}")
+        lines.append(f"  re-admissions          {readmitted}")
+        lines.append("")
+
     # -- harness tasks -------------------------------------------------
     lines.append("## Harness tasks")
     if run.tasks:

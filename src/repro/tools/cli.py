@@ -252,6 +252,7 @@ def cmd_faults(args):
             checkpoint_path=args.checkpoint,
             resume=args.resume,
             progress=progress,
+            batch=args.batch,
         )
     if args.out:
         save_report(report, args.out)
@@ -513,6 +514,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume from --checkpoint")
     p.add_argument("--progress", action="store_true",
                    help="print progress to stderr")
+    p.add_argument("--batch", type=int, default=None,
+                   help="cohort width for batched lane execution "
+                   "(0 disables; default: REPRO_BATCH or off)")
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser(

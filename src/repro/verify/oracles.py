@@ -23,6 +23,12 @@ property over generated workloads and reports an :class:`OracleOutcome`:
 ``functional_vs_cycle``
     the cycle simulator retires exactly the functional simulator's op
     sequence, in order, with monotonically non-decreasing retire times.
+``batch_cohort``
+    a cohort of data-seed variants stepped by the batch engine
+    (:class:`repro.sim.batch.BatchMachine`) is observation-equivalent
+    (``full`` projection) to the same lanes run serially on the
+    translated scalar tier, with identical outputs, fault state and
+    retirement counts per lane.
 
 On any mismatch the oracle (optionally) bisects to the first divergent
 retirement and attaches a :class:`~repro.verify.bisect.DivergenceReport`.
@@ -40,7 +46,7 @@ from repro.verify.observe import Observer, snapshot_state
 
 #: All oracle names, in canonical execution order.
 ORACLES = ("roundtrip", "acf_transparency", "dise_vs_static",
-           "compression_identity", "functional_vs_cycle")
+           "compression_identity", "functional_vs_cycle", "batch_cohort")
 
 #: Perfect replacement-table config: conformance oracles check functional
 #: equivalence, not timing, so RT capacity effects are irrelevant here.
@@ -427,12 +433,98 @@ def oracle_functional_vs_cycle(benchmark: str, scale: float,
                          checks=checks)
 
 
+# ----------------------------------------------------------------------
+# batch_cohort
+# ----------------------------------------------------------------------
+def oracle_batch_cohort(benchmark: str, scale: float,
+                        variant: str = "dise3",
+                        max_steps: int = _DEFAULT_MAX_STEPS,
+                        **_kwargs) -> OracleOutcome:
+    from repro.acf.base import AcfInstallation
+    from repro.acf.mfi import attach_mfi, ensure_error_stub
+    from repro.sim.batch import BatchMachine
+    from repro.workloads import get_profile
+    from repro.workloads.generator import reseed_data
+
+    image = _generate(benchmark, scale)
+    # Pre-stub so attach_mfi shares this exact image (and therefore the
+    # translation and compiled-block stores) instead of copying it.
+    ensure_error_stub(image)
+    inst = attach_mfi(image, variant=variant)
+    profile = get_profile(benchmark)
+    seeds = (None, 1, 2, 3)
+
+    def lane(seed):
+        target = inst
+        if seed is not None:
+            target = AcfInstallation(
+                image=reseed_data(inst.image, profile, seed),
+                production_sets=inst.production_sets,
+                init_machine=inst.init_machine, name=inst.name,
+            )
+        machine = target.make_machine(_FUNCTIONAL_DISE, record_trace=False,
+                                      dispatch="translated")
+        obs = Observer("full")
+        machine._install_observer(obs)
+        return machine, obs
+
+    serial = []
+    for seed in seeds:
+        machine, obs = lane(seed)
+        machine.run(max_steps=max_steps)
+        serial.append((machine, obs))
+
+    cohort = BatchMachine()
+    batched = []
+    for seed in seeds:
+        machine, obs = lane(seed)
+        cohort.add_lane(machine, max_steps=max_steps)
+        batched.append((machine, obs))
+    cohort.run()
+    for outcome in cohort.outcomes():
+        outcome.raise_or_result(max_steps)
+
+    checks = len(seeds)
+    for index, ((sm, sobs), (bm, bobs)) in enumerate(zip(serial, batched)):
+        mismatch = None
+        if sobs.hexdigest() != bobs.hexdigest() or sobs.count != bobs.count:
+            mismatch = (f"full streams differ: serial {sobs.count} obs "
+                        f"{sobs.hexdigest()[:16]}, batch {bobs.count} obs "
+                        f"{bobs.hexdigest()[:16]}")
+        elif (sm.halted, sm.fault_code) != (bm.halted, bm.fault_code):
+            mismatch = (f"fault state differs: serial "
+                        f"({sm.halted}, {sm.fault_code!r}) vs batch "
+                        f"({bm.halted}, {bm.fault_code!r})")
+        elif sm.outputs != bm.outputs:
+            mismatch = (f"outputs differ: serial {sm.outputs!r} vs "
+                        f"batch {bm.outputs!r}")
+        elif (sm.instructions, sm.app_instructions, sm.expansions) != \
+                (bm.instructions, bm.app_instructions, bm.expansions):
+            mismatch = (
+                f"retirement counts differ: serial "
+                f"({sm.instructions}, {sm.app_instructions}, "
+                f"{sm.expansions}) vs batch ({bm.instructions}, "
+                f"{bm.app_instructions}, {bm.expansions})")
+        if mismatch is not None:
+            seed = seeds[index]
+            report = DivergenceReport(
+                kind="stream", projection="full",
+                left_label="serial", right_label="batch", index=index,
+                detail=f"lane {index} (data_seed={seed}): {mismatch}",
+            )
+            return OracleOutcome("batch_cohort", benchmark, "diverged",
+                                 checks=checks, detail=report.detail,
+                                 report=report)
+    return OracleOutcome("batch_cohort", benchmark, "pass", checks=checks)
+
+
 _ORACLE_FNS = {
     "roundtrip": oracle_roundtrip,
     "acf_transparency": oracle_acf_transparency,
     "dise_vs_static": oracle_dise_vs_static,
     "compression_identity": oracle_compression_identity,
     "functional_vs_cycle": oracle_functional_vs_cycle,
+    "batch_cohort": oracle_batch_cohort,
 }
 
 

@@ -327,14 +327,74 @@ class WorkloadGenerator:
         builder.emit(ret(RA))
 
 
-def generate_benchmark(profile: BenchmarkProfile,
-                       scale: float = 1.0) -> ProgramImage:
-    """Generate the synthetic program for one benchmark profile."""
-    return WorkloadGenerator(profile, scale=scale).generate()
+def reseed_data(image: ProgramImage, profile: BenchmarkProfile,
+                 data_seed: int) -> ProgramImage:
+    """A data-segment variant of ``image`` for cohort seed sweeps.
+
+    Re-rolls the initial array contents (same layout, same biased-flags
+    discipline as :meth:`WorkloadGenerator._allocate_data`) from a seed
+    derived from ``data_seed``, leaving the text segment untouched.  The
+    variant *shares* the base image's text lists by reference — and with
+    them the image-wide translation/batch stores, which key on text and
+    productions only — so a cohort over data seeds pays translation and
+    compilation once.
+    """
+    total_words = max(profile.data_kb * 1024 // 8, NUM_ARRAYS * ARRAY_WORDS)
+    words_per_array = total_words // NUM_ARRAYS
+    rng = random.Random(f"{profile.seed}:data:{data_seed}")
+    data_words = dict(image.data_words)
+    for index in range(NUM_ARRAYS):
+        base = image.data_base + index * words_per_array * 8
+        count = min(words_per_array, 2048)
+        if index == 0:
+            init = [1 if rng.random() < profile.branch_bias else 0
+                    for _ in range(count)]
+        else:
+            init = [rng.getrandbits(32) for _ in range(count)]
+        for offset, value in enumerate(init):
+            data_words[base + offset * 8] = value
+    variant = ProgramImage(
+        instructions=image.instructions,
+        addresses=image.addresses,
+        sizes=image.sizes,
+        target_index=image.target_index,
+        symbols=image.symbols,
+        entry_index=image.entry_index,
+        text_base=image.text_base,
+        data_base=image.data_base,
+        data_words=data_words,
+        data_size=image.data_size,
+        load_addresses=image.load_addresses,
+    )
+    # Share the image-wide caches: translations and compiled superblocks
+    # depend only on text + productions, both identical across variants.
+    for attr in ("_translation_store", "_batch_store"):
+        store = getattr(image, attr, None)
+        if store is None:
+            store = {}
+            setattr(image, attr, store)
+        setattr(variant, attr, store)
+    return variant
 
 
-def generate_by_name(name: str, scale: float = 1.0) -> ProgramImage:
+def generate_benchmark(profile: BenchmarkProfile, scale: float = 1.0,
+                       data_seed: Optional[int] = None) -> ProgramImage:
+    """Generate the synthetic program for one benchmark profile.
+
+    ``data_seed`` (cohort runs) re-rolls the initial data segment from a
+    derived seed while keeping the text segment — and therefore every
+    text-keyed cache — identical to the base image.
+    """
+    image = WorkloadGenerator(profile, scale=scale).generate()
+    if data_seed is not None:
+        image = reseed_data(image, profile, data_seed)
+    return image
+
+
+def generate_by_name(name: str, scale: float = 1.0,
+                     data_seed: Optional[int] = None) -> ProgramImage:
     """Generate a benchmark by SPECint name (see repro.workloads.specint)."""
     from repro.workloads.specint import get_profile
 
-    return generate_benchmark(get_profile(name), scale=scale)
+    return generate_benchmark(get_profile(name), scale=scale,
+                              data_seed=data_seed)

@@ -26,6 +26,7 @@ continue to work:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional
 
 
@@ -167,6 +168,28 @@ class CheckpointError(HarnessError):
 
 
 # ----------------------------------------------------------------------
+# Fabric layer
+# ----------------------------------------------------------------------
+class FabricError(HarnessError):
+    """Base for failures of the :mod:`repro.fabric` work-queue itself."""
+
+
+class FabricInterrupted(FabricError):
+    """A fabric run stopped early (induced interruption / test hook).
+
+    Progress up to the interruption is in the checkpoint; re-run with
+    ``resume=True`` to finish.
+    """
+
+
+class CircuitOpenError(FabricError):
+    """The fabric's worker pool kept dying and its circuit breaker opened;
+    remaining work degrades to serial in-parent execution."""
+
+    retryable = True
+
+
+# ----------------------------------------------------------------------
 # Fault-injection layer
 # ----------------------------------------------------------------------
 class CampaignError(ReproError):
@@ -209,3 +232,44 @@ class DivergenceError(VerificationError):
         if self.report is not None:
             out["report"] = self.report.to_dict()
         return out
+
+
+# ----------------------------------------------------------------------
+# Retry policy helpers
+# ----------------------------------------------------------------------
+def is_retryable(exc: BaseException) -> bool:
+    """Whether a failed attempt is worth retrying.
+
+    Errors from the :class:`ReproError` taxonomy answer for themselves via
+    their ``retryable`` flag — a deterministic model or configuration
+    error will fail identically on every attempt, so retrying it only
+    burns the watchdog budget.  Anything *outside* the taxonomy is treated
+    as transient infrastructure trouble (a worker killed mid-pickle
+    surfaces as ``BrokenProcessPool``, a fork failure as ``OSError``, a
+    test double as a bare ``RuntimeError``) and is retried.
+    """
+    if isinstance(exc, ReproError):
+        return exc.retryable
+    return True
+
+
+def backoff_delay(attempt: int, *, base: float = 0.5, cap: float = 30.0,
+                  key: Optional[str] = None) -> float:
+    """Exponential backoff with deterministic per-key jitter, in seconds.
+
+    ``attempt`` counts the failures so far (1 after the first failure).
+    The un-jittered delay doubles each attempt (``base * 2**(attempt-1)``)
+    and is clamped to ``cap``; jitter then scales it into the
+    ``[0.5, 1.0]`` fraction of that window so simultaneous retries
+    de-correlate.  The jitter is a pure function of ``(key, attempt)`` —
+    not of a global RNG — so a retried task sleeps the same schedule in
+    every run, keeping resumed and chaos-perturbed campaigns reproducible.
+    """
+    if attempt < 1 or base <= 0:
+        return 0.0
+    window = min(cap, base * (2.0 ** (attempt - 1)))
+    digest = hashlib.sha256(
+        f"{key or ''}:{attempt}".encode()
+    ).digest()
+    fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return window * (0.5 + fraction / 2.0)

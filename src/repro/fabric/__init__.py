@@ -1,0 +1,53 @@
+"""repro.fabric — crash-tolerant, dedupe-aware execution fabric.
+
+One work-queue behind every campaign driver: content-addressed tasks over
+deterministic recipes (:mod:`~repro.fabric.task`), an atomic
+quarantine-and-recompute artifact store (:mod:`~repro.fabric.store`), a
+unified schema-versioned checkpoint (:mod:`~repro.fabric.checkpoint`),
+pool supervision with watchdogs/backoff/circuit breaking
+(:mod:`~repro.fabric.supervise`), the engine tying them together
+(:mod:`~repro.fabric.engine`), and a deterministic fault injector for
+torturing all of the above (:mod:`~repro.fabric.chaos`).
+
+See ``docs/fabric.md`` for the architecture and the ``REPRO_FABRIC_*``
+knob table.
+"""
+
+from repro.fabric.chaos import ChaosPlan, bitflip_file, truncate_file
+from repro.fabric.checkpoint import (
+    load_checkpoint,
+    read_checkpoint_header,
+    write_checkpoint,
+)
+from repro.fabric.engine import Fabric
+from repro.fabric.store import ArtifactStore, default_store_root, resolve_store
+from repro.fabric.supervise import PoolSupervisor, TaskOutcome
+from repro.fabric.task import (
+    Task,
+    execute_task,
+    get_recipe,
+    recipe,
+    register_recipe,
+    task_key,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "ChaosPlan",
+    "Fabric",
+    "PoolSupervisor",
+    "Task",
+    "TaskOutcome",
+    "bitflip_file",
+    "default_store_root",
+    "execute_task",
+    "get_recipe",
+    "load_checkpoint",
+    "read_checkpoint_header",
+    "recipe",
+    "register_recipe",
+    "resolve_store",
+    "task_key",
+    "truncate_file",
+    "write_checkpoint",
+]

@@ -1,0 +1,107 @@
+"""Deterministic fault injection for the execution fabric.
+
+A :class:`ChaosPlan` scripts exactly which (task, attempt) pairs get hurt
+and how — no RNG at injection time, so a chaos run is as reproducible as
+a clean one and the test suite can assert *byte-for-byte* convergence of
+a tortured campaign to its serial oracle.  Supported injections:
+
+* **Worker kills** — the worker process SIGKILLs itself before computing
+  the task, surfacing in the parent as a crashed future (or, under the
+  serial executor, as a synthetic :class:`~repro.errors.WorkerCrashError`
+  so chaos tests do not kill the test process).
+* **Hangs** — the worker sleeps past the watchdog so supervision must
+  time the task out and retry it.
+* **Duplicate delivery** — the engine enqueues a task twice; the first
+  result wins and the duplicate must be coalesced, not recomputed into
+  the report twice.
+* **Artifact/checkpoint corruption** — :func:`truncate_file` and
+  :func:`bitflip_file` damage on-disk state between runs; the store and
+  checkpoint layers must quarantine and recompute.
+
+Injections fire *before* the recipe runs (see
+:func:`repro.fabric.task.execute_task`), so a retried attempt computes
+the genuine result and determinism is preserved end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import WorkerCrashError
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A scripted, picklable set of fault injections.
+
+    ``kills`` and ``hangs`` are ``(task_id, attempt)`` pairs; ``duplicates``
+    is a tuple of task_ids the engine enqueues twice.  ``parent_pid`` is
+    captured at construction so a kill injection running *in the parent*
+    (serial/degraded execution) raises instead of SIGKILLing the driver.
+    """
+
+    seed: int = 0
+    kills: Tuple[Tuple[str, int], ...] = ()
+    hangs: Tuple[Tuple[str, int], ...] = ()
+    hang_seconds: float = 30.0
+    duplicates: Tuple[str, ...] = ()
+    parent_pid: int = field(default_factory=os.getpid)
+
+    def perturb(self, task_id: str, attempt: int) -> None:
+        """Fire any injection scripted for this (task, attempt)."""
+        if (task_id, attempt) in self.kills:
+            if os.getpid() != self.parent_pid:
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise WorkerCrashError(
+                f"chaos: injected worker crash for {task_id} "
+                f"(attempt {attempt})",
+                task=task_id, attempts=attempt,
+            )
+        if (task_id, attempt) in self.hangs:
+            if os.getpid() != self.parent_pid:
+                time.sleep(self.hang_seconds)
+            else:
+                # In-parent execution cannot be watchdogged; surface the
+                # hang as a crash so the retry path still exercises.
+                raise WorkerCrashError(
+                    f"chaos: injected hang for {task_id} "
+                    f"(attempt {attempt}) ran in-parent",
+                    task=task_id, attempts=attempt,
+                )
+
+
+def pick_targets(seed: int, task_ids, count: int) -> Tuple[str, ...]:
+    """Deterministically choose ``count`` victims from ``task_ids``.
+
+    Ranks ids by ``sha256(seed:id)`` — stable across runs and independent
+    of iteration order, so CI chaos scenarios stay reproducible.
+    """
+    ranked = sorted(
+        task_ids,
+        key=lambda tid: hashlib.sha256(f"{seed}:{tid}".encode()).hexdigest(),
+    )
+    return tuple(ranked[:max(0, count)])
+
+
+def truncate_file(path: str, keep: int = 0) -> None:
+    """Corrupt a file by truncating it to ``keep`` bytes."""
+    with open(path, "rb+") as handle:
+        handle.truncate(max(0, keep))
+
+
+def bitflip_file(path: str, bit: int = 0) -> None:
+    """Corrupt a file by flipping one bit (``bit`` counts from offset 0)."""
+    with open(path, "rb+") as handle:
+        data = bytearray(handle.read())
+        if not data:
+            return
+        index = (bit // 8) % len(data)
+        data[index] ^= 1 << (bit % 8)
+        handle.seek(0)
+        handle.write(data)
+        handle.truncate(len(data))

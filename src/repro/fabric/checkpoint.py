@@ -1,0 +1,165 @@
+"""One checkpoint format for every campaign driver.
+
+Before the fabric, faults, verify, and report runs each carried their own
+checkpoint layout with slightly different corruption behavior.  The fabric
+checkpoint unifies them:
+
+* **Schema-versioned** — a file written by an incompatible build refuses
+  to resume instead of splicing silently.
+* **Self-verifying** — the payload carries a sha256 over its canonical
+  body, so *any* corruption (truncation, bit flips, partial writes the
+  atomic rename should prevent but other tools might cause) is detected,
+  not just unparseable JSON.
+* **Quarantine on corruption** — a corrupt checkpoint is moved aside to
+  ``<path>.quarantined`` and the campaign restarts cleanly from zero
+  (results are deterministic, so a restart converges to the same bytes);
+  only a *well-formed* checkpoint from a different driver or configuration
+  raises :class:`~repro.errors.CheckpointError`, because that is a user
+  error worth surfacing.
+* **Atomic** — write-temp-fsync-rename, so the file is always either the
+  previous or the current consistent state.
+* **Executor-independent** — completed results are keyed by driver task
+  id, so a campaign checkpointed under a process pool resumes serially
+  (and vice versa) to bit-identical reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.errors import CheckpointError
+from repro.telemetry import get_logger
+from repro.telemetry import registry as _telemetry
+
+logger = get_logger(__name__)
+
+#: Bump when the checkpoint layout changes.
+CHECKPOINT_SCHEMA = 1
+
+
+def _body_digest(driver: str, fingerprint: Dict[str, object],
+                 completed: Dict[str, object]) -> str:
+    body = json.dumps(
+        {"driver": driver, "fingerprint": fingerprint,
+         "completed": completed},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def quarantine_checkpoint(path: str, reason) -> None:
+    """Move a corrupt checkpoint aside so the campaign restarts cleanly."""
+    target = f"{path}.quarantined"
+    try:
+        os.replace(path, target)
+    except OSError:
+        try:
+            os.unlink(path)
+        except OSError:
+            return
+    _telemetry.counter("fabric.checkpoint.quarantined").inc()
+    logger.warning(
+        "quarantined corrupt checkpoint %s (%s); the campaign restarts "
+        "from scratch", path, reason,
+    )
+
+
+def write_checkpoint(path: str, driver: str,
+                     fingerprint: Dict[str, object],
+                     completed: Dict[str, object]) -> None:
+    """Atomically persist a campaign's completed-task table."""
+    payload = {
+        "schema": CHECKPOINT_SCHEMA,
+        "driver": driver,
+        "fingerprint": fingerprint,
+        "completed": completed,
+        "digest": _body_digest(driver, fingerprint, completed),
+    }
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def read_checkpoint_header(path: str) -> Optional[Dict[str, object]]:
+    """The checkpoint's driver/fingerprint/size, or ``None`` if unusable.
+
+    A read-only peek for ``repro-cli fabric status|resume``: never raises
+    and never quarantines.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    completed = payload.get("completed")
+    return {
+        "schema": payload.get("schema"),
+        "driver": payload.get("driver"),
+        "fingerprint": payload.get("fingerprint"),
+        "completed": len(completed) if isinstance(completed, dict) else 0,
+        "verified": payload.get("digest") == _body_digest(
+            payload.get("driver"), payload.get("fingerprint"),
+            completed if isinstance(completed, dict) else {},
+        ),
+    }
+
+
+def load_checkpoint(path: str, driver: str,
+                    fingerprint: Dict[str, object]) -> Dict[str, object]:
+    """Load a checkpoint's completed-task table for resuming.
+
+    Corruption (unreadable, truncated, bit-flipped, digest mismatch)
+    quarantines the file and returns an empty table — the campaign
+    restarts cleanly.  A *valid* checkpoint written by a different driver,
+    schema, or configuration raises :class:`CheckpointError`.
+    """
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise ValueError("checkpoint payload is not an object")
+        completed = payload.get("completed")
+        if not isinstance(completed, dict):
+            raise ValueError("checkpoint has a malformed completed table")
+        digest = payload.get("digest")
+        if digest != _body_digest(payload.get("driver"),
+                                  payload.get("fingerprint"), completed):
+            raise ValueError("checkpoint failed its content digest")
+    except (OSError, ValueError) as exc:
+        quarantine_checkpoint(path, exc)
+        return {}
+    if payload.get("schema") != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"checkpoint {path} has schema {payload.get('schema')!r}; "
+            f"this build writes {CHECKPOINT_SCHEMA}"
+        )
+    if payload.get("driver") != driver:
+        raise CheckpointError(
+            f"checkpoint {path} belongs to driver "
+            f"{payload.get('driver')!r}, not {driver!r}"
+        )
+    if payload.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"checkpoint {path} was written by a different {driver} "
+            "configuration; delete it or match the original flags"
+        )
+    return dict(completed)

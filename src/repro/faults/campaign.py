@@ -24,7 +24,12 @@ production set — then classifies each outcome:
 Everything is a pure function of ``config.seed``: each fault gets its own
 ``random.Random(f"{seed}:{fault_id}")``, so results are independent of
 iteration order and identical across resumed and cold runs.  Campaigns
-checkpoint completed fault records to JSON and resume with ``--resume``.
+ride on the execution fabric (:mod:`repro.fabric`): each fault is a
+content-addressed task, which supplies checkpoint/resume, optional
+process-pool fan-out (``REPRO_JOBS``), crash supervision, and — with
+``REPRO_FABRIC_STORE`` enabled — cross-campaign dedupe (a 500-fault
+campaign reuses every record a 300-fault campaign over the same seed
+already computed).
 """
 
 from __future__ import annotations
@@ -47,6 +52,8 @@ from repro.errors import (
     ExecutionTimeout,
     ReproError,
 )
+from repro.fabric.engine import Fabric
+from repro.fabric.task import Task, register_recipe
 from repro.faults.inject import (
     FAULT_CLASSES,
     FaultSpec,
@@ -56,7 +63,7 @@ from repro.faults.inject import (
     profile_sites,
     state_mutator,
 )
-from repro.sim.batch import BatchMachine, resolve_batch
+from repro.sim.batch import BatchMachine
 from repro.telemetry import events as _events
 from repro.telemetry import registry as _telemetry
 from repro.workloads.generator import generate_by_name
@@ -153,10 +160,11 @@ def _same_outcome(a: Dict[str, object], b: Dict[str, object]) -> bool:
 class _Bench:
     """A prepared benchmark: images, baselines, site pools, hang budget."""
 
-    def __init__(self, name: str, config: CampaignConfig):
+    def __init__(self, name: str, *, scale: float, variant: str,
+                 max_steps: int):
         self.name = name
         try:
-            image = generate_by_name(name, scale=config.scale)
+            image = generate_by_name(name, scale=scale)
         except KeyError:
             raise CampaignError(f"unknown benchmark {name!r}") from None
         # Both variants run the *same* stubbed image, so every instruction
@@ -164,16 +172,16 @@ class _Bench:
         # FaultSpec applies identically to both.
         self.image = ensure_error_stub(image)
         self.plain = plain_installation(self.image)
-        self.mfi = attach_mfi(self.image, variant=config.variant)
+        self.mfi = attach_mfi(self.image, variant=variant)
 
-        plain_trace = self.plain.run(max_steps=config.max_steps)
+        plain_trace = self.plain.run(max_steps=max_steps)
         self.profile = profile_sites(self.image, plain_trace)
         self.plain_base = _summarize(
             plain_trace.fault_code, plain_trace.halted,
             plain_trace.outputs, plain_trace.final_memory,
         )
         mfi_trace = self.mfi.run(_CAMPAIGN_DISE, record_trace=False,
-                                 max_steps=config.max_steps)
+                                 max_steps=max_steps)
         self.mfi_base = _summarize(
             mfi_trace.fault_code, mfi_trace.halted,
             mfi_trace.outputs, mfi_trace.final_memory,
@@ -188,7 +196,24 @@ class _Bench:
         # Hang budget: generous multiple of the slower baseline, so a
         # corrupted loop counter is detected without a 2M-step wait.
         budget = max(plain_trace.instructions, mfi_trace.instructions) * 5
-        self.max_steps = min(budget + 10_000, config.max_steps)
+        self.max_steps = min(budget + 10_000, max_steps)
+
+
+#: Per-process memo of prepared benchmarks, keyed by everything a
+#: :class:`_Bench` depends on.  Fabric workers fill it on demand (baseline
+#: prep amortizes across the faults a worker handles); the parent reuses
+#: it for the report's control section.
+_BENCHES: Dict[Tuple[str, float, str, int], _Bench] = {}
+
+
+def _bench_for(name: str, scale: float, variant: str,
+               max_steps: int) -> _Bench:
+    key = (name, scale, variant, max_steps)
+    if key not in _BENCHES:
+        with _events.span("campaign.prepare_bench", bench=name):
+            _BENCHES[key] = _Bench(name, scale=scale, variant=variant,
+                                   max_steps=max_steps)
+    return _BENCHES[key]
 
 
 # ----------------------------------------------------------------------
@@ -369,34 +394,52 @@ def _atomic_write_json(path: str, payload: Dict[str, object]):
         raise
 
 
-def _write_checkpoint(path: str, config: CampaignConfig,
-                      records: Dict[str, Dict[str, object]]):
-    _atomic_write_json(path, {
-        "schema": REPORT_SCHEMA,
-        "config": config.fingerprint(),
-        "completed": records,
-    })
+# ----------------------------------------------------------------------
+# The fabric recipe: one planned fault (plus its cohort batch form)
+# ----------------------------------------------------------------------
+def _plan_fault(params: Dict[str, object]):
+    """Plan one fault from its task parameters (pure given the params)."""
+    fault_id = params["fault_id"]
+    # Per-fault generator: results are a pure function of
+    # (seed, fault_id), independent of iteration order and resume.
+    rng = random.Random(f"{params['seed']}:{fault_id}")
+    bench_name = rng.choice(params["benchmarks"])
+    fault_class = rng.choice(params["classes"])
+    bench = _bench_for(bench_name, params["scale"], params["variant"],
+                       params["max_steps"])
+    spec = make_fault(rng, fault_id, bench_name, fault_class,
+                      bench.profile, bench.image)
+    return fault_id, bench_name, fault_class, bench, spec
 
 
-def _load_checkpoint(path: str,
-                     config: CampaignConfig) -> Dict[str, Dict[str, object]]:
-    try:
-        with open(path) as handle:
-            payload = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
-        raise CheckpointError(f"unreadable campaign checkpoint {path}: "
-                              f"{exc}") from exc
-    if payload.get("schema") != REPORT_SCHEMA:
-        raise CheckpointError(
-            f"checkpoint {path} has schema {payload.get('schema')!r}; "
-            f"this build writes {REPORT_SCHEMA}"
-        )
-    if payload.get("config") != config.fingerprint():
-        raise CheckpointError(
-            f"checkpoint {path} was written by a different campaign "
-            "configuration; delete it or match the original flags"
-        )
-    return dict(payload.get("completed", {}))
+def _fault_recipe(params: Dict[str, object]) -> Dict[str, object]:
+    fault_id, bench_name, fault_class, bench, spec = _plan_fault(params)
+    return _run_one(spec, fault_id, bench_name, fault_class, bench)
+
+
+def _fault_batch(params_list) -> List[Dict[str, object]]:
+    """Cohort form: one wave of faults, lockstepping same-image pairs."""
+    return _run_wave([_plan_fault(params) for params in params_list])
+
+
+register_recipe("repro.faults.campaign:fault", _fault_recipe, _fault_batch)
+
+
+def _fault_task(config: CampaignConfig, index: int) -> Task:
+    fault_id = f"f{index:04d}"
+    return Task(
+        recipe="repro.faults.campaign:fault",
+        params={
+            "seed": config.seed,
+            "fault_id": fault_id,
+            "benchmarks": list(config.benchmarks),
+            "classes": list(config.classes),
+            "scale": config.scale,
+            "variant": config.variant,
+            "max_steps": config.max_steps,
+        },
+        task_id=fault_id,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -407,54 +450,37 @@ def run_campaign(config: CampaignConfig,
                  resume: bool = False,
                  progress: Optional[Callable[[str, str, int, int], None]] = None,
                  stop_after: Optional[int] = None,
-                 batch: Optional[int] = None) -> Dict[str, object]:
+                 batch: Optional[int] = None,
+                 jobs: Optional[int] = None,
+                 fabric_options: Optional[Dict[str, object]] = None
+                 ) -> Dict[str, object]:
     """Run (or resume) a campaign; returns the machine-readable report.
 
     ``progress(fault_id, outcome, done, total)`` is called after every
-    fault.  ``stop_after`` — a test hook modelling an interrupted run —
-    checkpoints and raises :class:`CampaignInterrupted` after that many
-    *newly computed* faults.
+    newly computed fault.  ``stop_after`` — a test hook modelling an
+    interrupted run — checkpoints and raises :class:`CampaignInterrupted`
+    after that many *newly computed* faults.
 
     ``batch`` (default: the ``REPRO_BATCH`` environment variable) runs
-    same-image fault pairs as a lockstep cohort per wave — a pure
-    execution accelerator: records, checkpoints, progress callbacks and
-    reports are bit-identical to the serial path, so it is deliberately
-    *not* part of the config fingerprint.
+    same-image fault pairs as a lockstep cohort per wave, and ``jobs``
+    (default: ``REPRO_JOBS``) fans faults out over supervised worker
+    processes — both pure execution accelerators: records, checkpoints,
+    progress counts and reports are bit-identical to the serial path, so
+    neither is part of the config fingerprint.  ``fabric_options`` passes
+    extra :class:`~repro.fabric.engine.Fabric` knobs through (``store``,
+    ``chaos``, ``task_timeout``...).
     """
     config.validate()
-    records: Dict[str, Dict[str, object]] = {}
-    if resume:
-        if not checkpoint_path:
-            raise CheckpointError("resume requested without a checkpoint path")
-        if os.path.exists(checkpoint_path):
-            records = _load_checkpoint(checkpoint_path, config)
-
-    benches: Dict[str, _Bench] = {}
-
-    def bench_for(name: str) -> _Bench:
-        if name not in benches:
-            with _events.span("campaign.prepare_bench", bench=name):
-                benches[name] = _Bench(name, config)
-        return benches[name]
-
-    def plan_fault(index: int):
-        fault_id = f"f{index:04d}"
-        # Per-fault generator: results are a pure function of
-        # (seed, fault_id), independent of iteration order and resume.
-        rng = random.Random(f"{config.seed}:{fault_id}")
-        bench_name = rng.choice(config.benchmarks)
-        fault_class = rng.choice(config.classes)
-        bench = bench_for(bench_name)
-        spec = make_fault(rng, fault_id, bench_name, fault_class,
-                          bench.profile, bench.image)
-        return fault_id, bench_name, fault_class, bench, spec
+    if resume and not checkpoint_path:
+        raise CheckpointError("resume requested without a checkpoint path")
 
     fresh = 0
 
-    def finish(fault_id: str, fault_class: str, record: Dict[str, object]):
+    def on_result(fault_id: str, record: Dict[str, object], done: int,
+                  total: int):
         nonlocal fresh
-        records[fault_id] = record
         outcome = record["outcome"]
+        fault_class = record["spec"]["class"]
         _telemetry.counter(f"faults.outcome.{outcome}").inc()
         if outcome != "skipped":
             _telemetry.counter(f"faults.injected.{fault_class}").inc()
@@ -462,41 +488,29 @@ def run_campaign(config: CampaignConfig,
             _telemetry.counter(f"faults.contained.{fault_class}").inc()
         fresh += 1
         if progress is not None:
-            progress(fault_id, record["outcome"], len(records),
-                     config.faults)
-        if checkpoint_path and fresh % config.checkpoint_every == 0:
-            _write_checkpoint(checkpoint_path, config, records)
+            progress(fault_id, outcome, done, total)
         if stop_after is not None and fresh >= stop_after:
-            if checkpoint_path:
-                _write_checkpoint(checkpoint_path, config, records)
+            # The fabric checkpoints completed work before re-raising.
             raise CampaignInterrupted(
                 f"campaign interrupted after {fresh} faults "
-                f"({len(records)}/{config.faults} complete)"
+                f"({done}/{total} complete)"
             )
 
-    pending = [i for i in range(config.faults)
-               if f"f{i:04d}" not in records]
-    width = resolve_batch(batch)
-    if width >= 2:
-        for start in range(0, len(pending), width):
-            wave = [plan_fault(i) for i in pending[start:start + width]]
-            for entry, record in zip(wave, _run_wave(wave)):
-                finish(entry[0], entry[2], record)
-    else:
-        for i in pending:
-            fault_id, bench_name, fault_class, bench, spec = plan_fault(i)
-            record = _run_one(spec, fault_id, bench_name, fault_class,
-                              bench)
-            finish(fault_id, fault_class, record)
-
-    if checkpoint_path:
-        _write_checkpoint(checkpoint_path, config, records)
+    fabric = Fabric(
+        "faults", config.fingerprint(), checkpoint_path=checkpoint_path,
+        resume=resume, jobs=jobs, checkpoint_every=config.checkpoint_every,
+        **(fabric_options or {}),
+    )
+    tasks = [_fault_task(config, i) for i in range(config.faults)]
+    records = fabric.run(tasks, on_result=on_result, batch=batch)
 
     # Benchmarks never drawn by the seed still contribute their control
     # run, so the false-positive check always covers the configured set.
-    for name in config.benchmarks:
-        bench_for(name)
-
+    benches = {
+        name: _bench_for(name, config.scale, config.variant,
+                         config.max_steps)
+        for name in config.benchmarks
+    }
     return _build_report(config, records, benches)
 
 

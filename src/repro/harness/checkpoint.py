@@ -24,6 +24,7 @@ import tempfile
 from typing import Dict, Optional
 
 from repro.errors import CheckpointError
+from repro.fabric.checkpoint import quarantine_checkpoint
 
 #: Bump when the checkpoint layout changes.
 CHECKPOINT_SCHEMA = 1
@@ -45,9 +46,13 @@ class RunCheckpoint:
              fingerprint: Dict[str, object]) -> "RunCheckpoint":
         """Open a checkpoint for resuming; empty when the file is absent.
 
-        Raises :class:`~repro.errors.CheckpointError` when the file exists
-        but is unreadable or was written by a run with different
-        parameters.
+        A *corrupt* file (unreadable, truncated, bit-flipped, malformed)
+        is quarantined — renamed aside for inspection — and the run
+        restarts from an empty checkpoint instead of dying on resume.
+        Raises :class:`~repro.errors.CheckpointError` only for a
+        *well-formed* checkpoint that belongs to a different build or a
+        run with different parameters: splicing those together silently
+        would corrupt the report.
         """
         checkpoint = cls(path, fingerprint)
         if not os.path.exists(path):
@@ -56,9 +61,13 @@ class RunCheckpoint:
             with open(path) as handle:
                 payload = json.load(handle)
         except (OSError, json.JSONDecodeError) as exc:
-            raise CheckpointError(
-                f"unreadable report checkpoint {path}: {exc}"
-            ) from exc
+            quarantine_checkpoint(path, f"unreadable report checkpoint: "
+                                        f"{exc}")
+            return checkpoint
+        if not isinstance(payload, dict) or not isinstance(
+                payload.get("sections", {}), dict):
+            quarantine_checkpoint(path, "malformed report checkpoint")
+            return checkpoint
         if payload.get("schema") != CHECKPOINT_SCHEMA:
             raise CheckpointError(
                 f"report checkpoint {path} has schema "
@@ -71,12 +80,7 @@ class RunCheckpoint:
                 "suite parameters; delete it or rerun with the original "
                 "flags"
             )
-        sections = payload.get("sections", {})
-        if not isinstance(sections, dict):
-            raise CheckpointError(
-                f"report checkpoint {path} has a malformed section table"
-            )
-        checkpoint._sections = dict(sections)
+        checkpoint._sections = dict(payload.get("sections", {}))
         return checkpoint
 
     def _save(self):

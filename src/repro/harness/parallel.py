@@ -15,13 +15,18 @@ worker produces is pushed through the persistent
 :mod:`~repro.harness.trace_cache` when one is configured, making parallel
 and cached execution one mechanism.
 
-Worker failures are non-fatal: a task whose worker dies is retried (with
-backoff) and then re-run serially in the parent with a logged warning, so
-figures always complete.  A per-task watchdog timeout (``task_timeout`` /
-``REPRO_TASK_TIMEOUT``) guards against hung workers: a task that exceeds it
-is retried and, if it keeps hanging, *skipped* with a structured
-:class:`TaskFailure` record on the returned :class:`TaskResults` — hanging
-the parent on a serial re-run would defeat the watchdog.
+Pool supervision (watchdog timeouts, deterministic exponential backoff
+between retries, circuit breaking on repeated worker deaths) comes from
+:class:`repro.fabric.supervise.PoolSupervisor` — the same machinery behind
+the campaign fabric.  Worker failures are non-fatal: a crashed task is
+retried and then re-run serially in the parent with a logged warning, so
+figures always complete.  A task that raises a *non-retryable*
+:class:`~repro.errors.ReproError` fails fast instead — it would fail
+identically on every attempt — and a task that keeps exceeding the
+``task_timeout`` / ``REPRO_TASK_TIMEOUT`` watchdog is *skipped*; both land
+as structured :class:`TaskFailure` records on the returned
+:class:`TaskResults` (re-running a hanging task serially would hang the
+parent too).
 
 Worker count resolution: explicit argument, else the ``REPRO_JOBS``
 environment variable, else 1 (serial).
@@ -29,9 +34,7 @@ environment variable, else 1 (serial).
 
 from __future__ import annotations
 
-import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -41,6 +44,13 @@ from repro.acf.compression import CompressionOptions, compress_image
 from repro.acf.mfi import attach_mfi, rewrite_mfi
 from repro.core.config import DiseConfig
 from repro.errors import TaskError, TaskTimeoutError, WorkerCrashError
+from repro.fabric.supervise import (
+    PoolSupervisor,
+    _env_number,
+    resolve_jobs,
+    resolve_retries,
+    resolve_task_timeout,
+)
 from repro.harness.trace_cache import (
     LazyTrace,
     TraceCache,
@@ -70,45 +80,22 @@ MAX_STEPS = 30_000_000
 
 _KINDS = ("plain", "mfi", "rewrite", "compressed", "composed")
 
-
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count: explicit argument > ``REPRO_JOBS`` env > 1."""
-    if jobs is not None:
-        return max(1, int(jobs))
-    env = os.environ.get("REPRO_JOBS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            logger.warning("ignoring non-integer REPRO_JOBS=%r", env)
-    return 1
-
-
-def _env_number(name: str, cast, floor):
-    value = os.environ.get(name)
-    if not value:
-        return None
-    try:
-        return max(floor, cast(value))
-    except ValueError:
-        logger.warning("ignoring non-numeric %s=%r", name, value)
-        return None
-
-
-def resolve_task_timeout(task_timeout: Optional[float] = None
-                         ) -> Optional[float]:
-    """Watchdog seconds: explicit > ``REPRO_TASK_TIMEOUT`` env > off."""
-    if task_timeout is not None:
-        return task_timeout if task_timeout > 0 else None
-    return _env_number("REPRO_TASK_TIMEOUT", float, 0.001)
-
-
-def resolve_retries(retries: Optional[int] = None) -> int:
-    """In-pool retry budget: explicit > ``REPRO_TASK_RETRIES`` env > 1."""
-    if retries is not None:
-        return max(0, int(retries))
-    env = _env_number("REPRO_TASK_RETRIES", int, 0)
-    return 1 if env is None else env
+# ``resolve_jobs`` / ``resolve_task_timeout`` / ``resolve_retries`` are this
+# module's historical public API; they now live with the rest of the
+# supervision knobs in :mod:`repro.fabric.supervise` and are re-exported
+# here unchanged.
+__all__ = [
+    "FUNCTIONAL_DISE",
+    "MAX_STEPS",
+    "TaskFailure",
+    "TaskResults",
+    "TraceTask",
+    "build_installation",
+    "resolve_jobs",
+    "resolve_retries",
+    "resolve_task_timeout",
+    "run_tasks",
+]
 
 
 @dataclass(frozen=True)
@@ -391,27 +378,6 @@ def _record_task(task: TraceTask, seconds: float, attempts: int,
     _telemetry.histogram("harness.task_seconds").observe(round(seconds, 6))
 
 
-def _abandon_pool(pool):
-    """Best-effort teardown of a pool with hung workers, so exiting the
-    ``with`` block (which joins workers) cannot hang the parent."""
-    try:
-        pool.shutdown(wait=False, cancel_futures=True)
-    except TypeError:
-        try:
-            pool.shutdown(wait=False)
-        except Exception:
-            pass
-    except Exception:
-        pass
-    processes = getattr(pool, "_processes", None)
-    if processes:
-        for proc in list(processes.values()):
-            try:
-                proc.terminate()
-            except Exception:
-                pass
-
-
 def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
               jobs: Optional[int] = None,
               cache: Optional[TraceCache] = None,
@@ -428,12 +394,15 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
     each task to the cache digest (``None`` for uncacheable runs), the
     trace, and the replay results keyed by ``repr(config)``.
 
-    Resilience: a task whose worker raises is retried in the pool up to
-    ``retries`` times (linear ``backoff`` seconds between attempts), then
-    recomputed serially in the parent.  With a ``task_timeout`` watchdog, a
-    task that exceeds it is likewise retried; if it *keeps* exceeding it,
-    the task is skipped and recorded on ``results.failures`` — re-running a
-    hanging task serially would hang the parent too.
+    Resilience: a task whose worker raises a retryable error is retried in
+    the pool up to ``retries`` times (exponential backoff from ``backoff``
+    seconds, deterministically jittered per task), then recomputed serially
+    in the parent; a non-retryable :class:`~repro.errors.ReproError` fails
+    fast and is recorded on ``results.failures`` instead.  With a
+    ``task_timeout`` watchdog, a task that exceeds it is likewise retried;
+    if it *keeps* exceeding it, the task is skipped and recorded on
+    ``results.failures`` — re-running a hanging task serially would hang
+    the parent too.
 
     ``executor_factory`` is a test hook: a zero-argument callable returning
     a ``ProcessPoolExecutor``-compatible context manager.
@@ -496,128 +465,59 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
             _record_task(task, task_elapsed(task), 1, "ok")
         return results
 
-    if executor_factory is None:
-        executor_factory = lambda: ProcessPoolExecutor(max_workers=jobs)
+    supervisor = PoolSupervisor(
+        jobs, task_timeout=task_timeout, retries=retries,
+        backoff_base=backoff, executor_factory=executor_factory,
+        label_of=_task_label, counter_prefix="harness",
+    )
+    specs = {
+        task: (lambda attempt, task=task, configs=configs:
+               (_run_task, (task, configs, cache_root, max_steps)))
+        for task, configs in merged.items()
+    }
+    outcomes = supervisor.run(specs)
 
     failed: List[Tuple[TraceTask, List[MachineConfig]]] = []
-    pool_t0 = time.monotonic()
-    busy_seconds = 0.0
-    try:
-        with executor_factory() as pool:
-            # future -> (task, configs, attempt number, watchdog deadline)
-            pending = {}
-            hung = False
-
-            def submit(task, configs, attempt):
-                begin_attempt(task)
-                future = pool.submit(_run_task, task, configs, cache_root,
-                                     max_steps)
-                deadline = (time.monotonic() + task_timeout
-                            if task_timeout else None)
-                pending[future] = (task, configs, attempt, deadline)
-
-            for task, configs in merged.items():
-                submit(task, configs, 1)
-
-            while pending:
-                wait_for = None
-                deadlines = [entry[3] for entry in pending.values()
-                             if entry[3] is not None]
-                if deadlines:
-                    wait_for = max(0.0, min(deadlines) - time.monotonic())
-                done, _ = wait(set(pending), timeout=wait_for,
-                               return_when=FIRST_COMPLETED)
-                for future in done:
-                    task, configs, attempt, _ = pending.pop(future)
-                    try:
-                        digest, trace_bytes, cycles, tm_delta = \
-                            future.result()
-                    except Exception as exc:
-                        if attempt <= retries:
-                            _telemetry.counter("harness.retries").inc()
-                            _events.event("task_retry",
-                                          task=_task_label(task),
-                                          attempt=attempt + 1,
-                                          error=type(exc).__name__)
-                            logger.warning(
-                                "worker for %s failed (%s: %s); retrying "
-                                "(attempt %d of %d)", task,
-                                type(exc).__name__, exc, attempt + 1,
-                                retries + 1,
-                            )
-                            time.sleep(backoff * attempt)
-                            submit(task, configs, attempt + 1)
-                        else:
-                            logger.warning(
-                                "worker for %s failed (%s: %s); falling "
-                                "back to serial execution", task,
-                                type(exc).__name__, exc,
-                            )
-                            failed.append((task, configs))
-                        continue
-                    if tm_delta:
-                        _telemetry.get_registry().merge(tm_delta)
-                    results[task] = finish(digest, trace_bytes, cycles)
-                    seconds = task_elapsed(task)
-                    busy_seconds += seconds
-                    _record_task(task, seconds, attempt, "ok")
-                now = time.monotonic()
-                for future in list(pending):
-                    task, configs, attempt, deadline = pending[future]
-                    if deadline is None or now < deadline:
-                        continue
-                    del pending[future]
-                    future.cancel()
-                    _telemetry.counter("harness.timeouts").inc()
-                    if attempt <= retries:
-                        _telemetry.counter("harness.retries").inc()
-                        _events.event("task_retry", task=_task_label(task),
-                                      attempt=attempt + 1, error="timeout")
-                        logger.warning(
-                            "task %s exceeded its %.3gs watchdog; retrying "
-                            "(attempt %d of %d)", task, task_timeout,
-                            attempt + 1, retries + 1,
-                        )
-                        submit(task, configs, attempt + 1)
-                    else:
-                        error = TaskTimeoutError(
-                            f"task exceeded its {task_timeout:.3g}s "
-                            f"watchdog {attempt} times",
-                            task=repr(task), attempts=attempt,
-                            timeout=task_timeout,
-                        )
-                        seconds = task_elapsed(task)
-                        results.failures.append(
-                            TaskFailure(
-                                task, error, attempt, elapsed=seconds,
-                                attempt_times=tuple(
-                                    attempt_log.get(task, ())),
-                            )
-                        )
-                        _record_task(task, seconds, attempt, "timeout")
-                        hung = True
-                        logger.warning(
-                            "task %s exceeded its %.3gs watchdog after %d "
-                            "attempts; skipping it (see results.failures)",
-                            task, task_timeout, attempt,
-                        )
-            if hung:
-                _abandon_pool(pool)
-    except Exception as exc:
-        # The pool itself broke (e.g. fork failure): run the remainder
-        # serially rather than losing the figure.
-        logger.warning("process pool failed (%s: %s); completing serially",
-                       type(exc).__name__, exc)
-        skipped = {failure.task for failure in results.failures}
-        failed = [item for item in merged.items()
-                  if item[0] not in results and item[0] not in skipped]
-
-    if jobs > 1:
-        wall = time.monotonic() - pool_t0
-        if wall > 0 and busy_seconds > 0:
-            _telemetry.gauge("harness.worker_utilization").set(
-                round(min(1.0, busy_seconds / (wall * jobs)), 4)
+    for task, configs in merged.items():
+        outcome = outcomes[task]
+        if outcome.status == "ok":
+            digest, trace_bytes, cycles, tm_delta = outcome.value
+            if tm_delta:
+                _telemetry.get_registry().merge(tm_delta)
+            results[task] = finish(digest, trace_bytes, cycles)
+            _record_task(task, outcome.elapsed, outcome.attempts, "ok")
+        elif outcome.status == "timeout":
+            error = TaskTimeoutError(
+                f"task exceeded its {task_timeout:.3g}s watchdog "
+                f"{outcome.attempts} times",
+                task=repr(task), attempts=outcome.attempts,
+                timeout=task_timeout,
             )
+            results.failures.append(
+                TaskFailure(task, error, outcome.attempts,
+                            elapsed=outcome.elapsed,
+                            attempt_times=outcome.attempt_times)
+            )
+            _record_task(task, outcome.elapsed, outcome.attempts,
+                         "timeout")
+        elif outcome.status == "fatal":
+            # Non-retryable model/configuration error: it would fail
+            # identically serially, so record it without burning the
+            # fallback on it.
+            results.failures.append(
+                TaskFailure(task, outcome.error, outcome.attempts,
+                            elapsed=outcome.elapsed,
+                            attempt_times=outcome.attempt_times)
+            )
+            _record_task(task, outcome.elapsed, outcome.attempts,
+                         "failed")
+        else:
+            # gave_up: safe to recompute serially in the parent.  Seed the
+            # local timing state with the pool attempts so the fallback's
+            # failure records cover the whole history.
+            attempt_log[task] = list(outcome.attempt_times)
+            first_start[task] = time.monotonic() - outcome.elapsed
+            failed.append((task, configs))
 
     for task, configs in failed:
         begin_attempt(task)

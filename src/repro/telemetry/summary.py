@@ -128,6 +128,41 @@ def render_summary(run: RunView) -> str:
     lines.extend(cache_lines or ["  (no cache metrics in this run)"])
     lines.append("")
 
+    # -- execution fabric ---------------------------------------------
+    fabric_names = [name for name in run.metrics
+                    if name.startswith("fabric.")]
+    if fabric_names:
+        lines.append("## Execution fabric")
+        dedupe = _rate_line("cross-campaign dedupe",
+                            run.value("fabric.dedupe.hits"),
+                            run.value("fabric.dedupe.misses"))
+        if dedupe:
+            lines.append(dedupe)
+        store = _rate_line("artifact store",
+                           run.value("fabric.store.hits"),
+                           run.value("fabric.store.misses"))
+        if store:
+            lines.append(store)
+        for name, label in (
+            ("fabric.store.stores", "artifacts written"),
+            ("fabric.store.quarantined", "artifacts quarantined"),
+            ("fabric.checkpoint.quarantined", "checkpoints quarantined"),
+            ("fabric.duplicates", "duplicates coalesced"),
+            ("fabric.retries", "retries"),
+            ("fabric.timeouts", "watchdog timeouts"),
+            ("fabric.circuit_open", "circuit opens"),
+            ("fabric.degradations", "serial degradations"),
+        ):
+            value = run.value(name)
+            if value:
+                lines.append(f"  {label:<22s} {value}")
+        utilization = run.metrics.get("fabric.worker_utilization")
+        if utilization is not None:
+            lines.append(
+                f"  worker utilization     {_pct(utilization.get('value'))}"
+            )
+        lines.append("")
+
     # -- timing model --------------------------------------------------
     replays = run.value("cycle.replays")
     if replays:

@@ -253,6 +253,7 @@ def cmd_faults(args):
             resume=args.resume,
             progress=progress,
             batch=args.batch,
+            jobs=args.jobs,
         )
     if args.out:
         save_report(report, args.out)
@@ -325,6 +326,133 @@ def cmd_verify(args):
             progress=progress,
             jobs=args.jobs,
         )
+    if args.out:
+        save_report(report, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    print(render_verify_summary(report))
+    return 0 if all_passed(report) else 1
+
+
+def cmd_fabric(args):
+    """``fabric``: checkpoint status, campaign resume, artifact-store GC."""
+    import json
+
+    from repro.fabric.checkpoint import read_checkpoint_header
+    from repro.fabric.store import resolve_store
+
+    if args.action == "gc":
+        store = resolve_store(args.store if args.store else "auto")
+        if store is None:
+            raise SystemExit("error: no artifact store configured (set "
+                             "REPRO_FABRIC_STORE or pass --store DIR)")
+        removed = store.gc(everything=args.all)
+        what = "artifact/quarantined" if args.all else "quarantined"
+        print(f"removed {removed} {what} file(s) from {store.root}")
+        return 0
+
+    if args.action == "status":
+        code = 0
+        if args.checkpoint:
+            header = read_checkpoint_header(args.checkpoint)
+            if header is None:
+                print(f"checkpoint {args.checkpoint}: missing or unreadable")
+                code = 1
+            else:
+                state = ("digest ok" if header["verified"]
+                         else "DIGEST MISMATCH")
+                print(f"checkpoint {args.checkpoint}: "
+                      f"driver={header['driver']} schema=v{header['schema']} "
+                      f"completed={header['completed']} [{state}]")
+                print("  fingerprint: "
+                      + json.dumps(header["fingerprint"], sort_keys=True))
+        store = resolve_store(args.store if args.store else "auto")
+        if store is None:
+            print("artifact store: disabled (set REPRO_FABRIC_STORE to "
+                  "enable cross-campaign dedupe)")
+        else:
+            stats = store.stats()
+            artifacts = stats["artifacts"]
+            print(f"artifact store {stats['root']} "
+                  f"(schema v{stats['schema_version']}): "
+                  f"{artifacts['entries']} artifact(s), "
+                  f"{artifacts['bytes'] / 1024:.1f} KiB, "
+                  f"{stats['quarantined']['entries']} quarantined")
+        return code
+
+    # resume: rebuild the driver's config from the checkpoint fingerprint
+    # and finish the run on the fabric.
+    if not args.checkpoint:
+        raise SystemExit("error: fabric resume needs --checkpoint")
+    header = read_checkpoint_header(args.checkpoint)
+    if header is None:
+        raise SystemExit(f"error: checkpoint {args.checkpoint} is missing "
+                         "or unreadable")
+    driver = header["driver"]
+    fingerprint = header["fingerprint"] or {}
+
+    def progress(task_id, status, done, total):
+        if args.progress:
+            print(f"  {done}/{total} {task_id}: {status}", file=sys.stderr)
+
+    try:
+        if driver == "faults":
+            from repro.faults import (
+                CampaignConfig,
+                render_summary,
+                run_campaign,
+            )
+            from repro.faults.campaign import save_report
+
+            config = CampaignConfig(
+                seed=fingerprint["seed"], faults=fingerprint["faults"],
+                benchmarks=tuple(fingerprint["benchmarks"]),
+                scale=fingerprint["scale"],
+                classes=tuple(fingerprint["classes"]),
+                variant=fingerprint["variant"],
+                max_steps=fingerprint["max_steps"],
+            )
+        elif driver == "verify":
+            from repro.verify import (
+                VerifyConfig,
+                render_verify_summary,
+                run_verification,
+            )
+            from repro.verify.campaign import all_passed, save_report
+
+            config = VerifyConfig(
+                benchmarks=tuple(fingerprint["benchmarks"]),
+                oracles=tuple(fingerprint["oracles"]),
+                scale=fingerprint["scale"],
+                variant=fingerprint["variant"],
+                max_steps=fingerprint["max_steps"],
+                bisect=fingerprint["bisect"],
+                window=fingerprint["window"],
+            )
+        else:
+            raise SystemExit(
+                f"error: checkpoint driver {driver!r} is not resumable "
+                "from the CLI (expected 'faults' or 'verify')"
+            )
+    except (KeyError, TypeError) as exc:
+        raise SystemExit(
+            f"error: checkpoint {args.checkpoint} has an incomplete "
+            f"fingerprint ({exc}); rerun the original command instead"
+        )
+
+    if driver == "faults":
+        with _telemetry_run(args):
+            report = run_campaign(config, checkpoint_path=args.checkpoint,
+                                  resume=True, progress=progress,
+                                  jobs=args.jobs)
+        if args.out:
+            save_report(report, args.out)
+            print(f"wrote {args.out}", file=sys.stderr)
+        print(render_summary(report))
+        return 0
+    with _telemetry_run(args):
+        report = run_verification(config, checkpoint_path=args.checkpoint,
+                                  resume=True, progress=progress,
+                                  jobs=args.jobs)
     if args.out:
         save_report(report, args.out)
         print(f"wrote {args.out}", file=sys.stderr)
@@ -517,6 +645,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=None,
                    help="cohort width for batched lane execution "
                    "(0 disables; default: REPRO_BATCH or off)")
+    p.add_argument("-j", "--jobs", type=int,
+                   help="parallel workers (default: REPRO_JOBS or 1)")
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser(
@@ -576,6 +706,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="diff: hide metrics whose relative change is "
                    "below this fraction")
     p.set_defaults(func=cmd_telemetry)
+
+    p = sub.add_parser(
+        "fabric",
+        help="execution-fabric checkpoints and artifact store "
+        "(see docs/fabric.md)",
+    )
+    p.add_argument("action", choices=["status", "resume", "gc"],
+                   help="'status' inspects a checkpoint and the store, "
+                   "'resume' finishes an interrupted faults/verify "
+                   "campaign from its checkpoint, 'gc' deletes "
+                   "quarantined store entries")
+    p.add_argument("--checkpoint",
+                   help="fabric checkpoint file to inspect or resume")
+    p.add_argument("--store",
+                   help="artifact-store directory "
+                   "(default: REPRO_FABRIC_STORE)")
+    p.add_argument("--all", action="store_true",
+                   help="gc: also delete live artifacts, not just "
+                   "quarantined ones")
+    p.add_argument("--out", help="resume: write the finished report "
+                   "JSON here")
+    p.add_argument("-j", "--jobs", type=int,
+                   help="parallel workers (default: REPRO_JOBS or 1)")
+    p.add_argument("--progress", action="store_true",
+                   help="print progress to stderr")
+    p.set_defaults(func=cmd_fabric)
 
     p = sub.add_parser("cache",
                        help="inspect or clear the persistent trace cache")

@@ -1,26 +1,30 @@
 """Conformance-verification campaigns: (benchmark x oracle) sweeps.
 
 A verification campaign runs every configured oracle against every
-configured benchmark profile, fanning the independent (benchmark, oracle)
-cells out over a process pool (``-j`` / ``REPRO_JOBS``), checkpointing
-completed cells so an interrupted sweep resumes where it stopped, and
-publishing ``verify.oracles.*`` telemetry counters.
+configured benchmark profile.  The sweep itself rides on the execution
+fabric (:mod:`repro.fabric`): each (benchmark, oracle) cell becomes a
+content-addressed task, so the fabric supplies the process-pool fan-out
+(``-j`` / ``REPRO_JOBS``), crash supervision, checkpoint/resume, and —
+with ``REPRO_FABRIC_STORE`` enabled — cross-campaign dedupe of cells
+other sweeps already computed.  ``verify.oracles.*`` telemetry counters
+are published from the parent either way.
 
-Reports are deterministic JSON (sorted keys, no timestamps) with the same
-schema/fingerprint discipline as :mod:`repro.faults.campaign`: a
+Reports are deterministic JSON (sorted keys, no timestamps); a
 checkpoint written by a different configuration is refused rather than
-silently merged.
+silently merged, while a *corrupt* checkpoint is quarantined and the
+sweep restarts cleanly.
 """
 
 from __future__ import annotations
 
 import json
-import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CampaignError, CheckpointError
+from repro.fabric.engine import Fabric
+from repro.fabric.task import Task, register_recipe
 from repro.faults.campaign import _atomic_write_json
 from repro.harness.parallel import resolve_jobs
 from repro.telemetry import events as _events
@@ -88,48 +92,36 @@ def _cell_id(benchmark: str, oracle: str) -> str:
     return f"{benchmark}:{oracle}"
 
 
-def _run_cell(config: VerifyConfig, benchmark: str,
-              oracle: str) -> Dict[str, object]:
-    """Top-level (picklable) worker: run one oracle cell to a dict."""
+# ----------------------------------------------------------------------
+# The fabric recipe: one oracle cell
+# ----------------------------------------------------------------------
+def _cell_recipe(params: Dict[str, object]) -> Dict[str, object]:
+    """Run one oracle cell to its deterministic result dict."""
     outcome = run_oracle(
-        oracle, benchmark, scale=config.scale, variant=config.variant,
-        max_steps=config.max_steps, bisect=config.bisect,
-        window=config.window,
+        params["oracle"], params["benchmark"], scale=params["scale"],
+        variant=params["variant"], max_steps=params["max_steps"],
+        bisect=params["bisect"], window=params["window"],
     )
     return outcome.to_dict()
 
 
-# ----------------------------------------------------------------------
-# Checkpointing
-# ----------------------------------------------------------------------
-def _write_checkpoint(path: str, config: VerifyConfig,
-                      records: Dict[str, Dict[str, object]]):
-    _atomic_write_json(path, {
-        "schema": REPORT_SCHEMA,
-        "config": config.fingerprint(),
-        "completed": records,
-    })
+register_recipe("repro.verify.campaign:cell", _cell_recipe)
 
 
-def _load_checkpoint(path: str,
-                     config: VerifyConfig) -> Dict[str, Dict[str, object]]:
-    try:
-        with open(path) as handle:
-            payload = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
-        raise CheckpointError(f"unreadable verification checkpoint {path}: "
-                              f"{exc}") from exc
-    if payload.get("schema") != REPORT_SCHEMA:
-        raise CheckpointError(
-            f"checkpoint {path} has schema {payload.get('schema')!r}; "
-            f"this build writes {REPORT_SCHEMA}"
-        )
-    if payload.get("config") != config.fingerprint():
-        raise CheckpointError(
-            f"checkpoint {path} was written by a different verification "
-            "configuration; delete it or match the original flags"
-        )
-    return dict(payload.get("completed", {}))
+def _cell_task(config: VerifyConfig, benchmark: str, oracle: str) -> Task:
+    return Task(
+        recipe="repro.verify.campaign:cell",
+        params={
+            "benchmark": benchmark,
+            "oracle": oracle,
+            "scale": config.scale,
+            "variant": config.variant,
+            "max_steps": config.max_steps,
+            "bisect": config.bisect,
+            "window": config.window,
+        },
+        task_id=_cell_id(benchmark, oracle),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -140,33 +132,24 @@ def run_verification(config: VerifyConfig,
                      resume: bool = False,
                      progress: Optional[Callable[[str, str, int, int],
                                                  None]] = None,
-                     jobs: Optional[int] = None) -> Dict[str, object]:
+                     jobs: Optional[int] = None,
+                     fabric_options: Optional[Dict[str, object]] = None
+                     ) -> Dict[str, object]:
     """Run (or resume) a verification sweep; returns the report dict.
 
     ``progress(cell_id, status, done, total)`` is called after every
-    cell.  Cells are independent, so with ``jobs > 1`` they fan out over
-    a process pool; telemetry counters are incremented in the parent
-    either way.
+    newly computed cell (restored cells stay silent).  Cells are
+    independent, so with ``jobs > 1`` they fan out under fabric
+    supervision; telemetry counters are incremented in the parent either
+    way.  ``fabric_options`` passes extra :class:`~repro.fabric.engine
+    .Fabric` knobs through (``store``, ``chaos``, ``task_timeout``...).
     """
     config.validate()
-    records: Dict[str, Dict[str, object]] = {}
-    if resume:
-        if not checkpoint_path:
-            raise CheckpointError("resume requested without a checkpoint path")
-        if os.path.exists(checkpoint_path):
-            records = _load_checkpoint(checkpoint_path, config)
+    if resume and not checkpoint_path:
+        raise CheckpointError("resume requested without a checkpoint path")
 
-    cells = config.cells()
-    pending = [(bench, oracle) for bench, oracle in cells
-               if _cell_id(bench, oracle) not in records]
-    jobs = resolve_jobs(jobs)
-    total = len(cells)
-    fresh = 0
-
-    def finish(bench: str, oracle: str, record: Dict[str, object]):
-        nonlocal fresh
-        cell = _cell_id(bench, oracle)
-        records[cell] = record
+    def on_result(cell: str, record: Dict[str, object], done: int,
+                  total: int):
         status = record["status"]
         _telemetry.counter("verify.oracles.run").inc()
         if status == "pass":
@@ -175,28 +158,18 @@ def run_verification(config: VerifyConfig,
             _telemetry.counter("verify.oracles.diverged").inc()
         else:
             _telemetry.counter("verify.oracles.errors").inc()
-        fresh += 1
         if progress is not None:
-            progress(cell, status, len(records), total)
-        if checkpoint_path and fresh % config.checkpoint_every == 0:
-            _write_checkpoint(checkpoint_path, config, records)
+            progress(cell, status, done, total)
 
-    with _events.span("verify.sweep", cells=len(pending), jobs=jobs):
-        if jobs > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = [
-                    (bench, oracle,
-                     pool.submit(_run_cell, config, bench, oracle))
-                    for bench, oracle in pending
-                ]
-                for bench, oracle, future in futures:
-                    finish(bench, oracle, future.result())
-        else:
-            for bench, oracle in pending:
-                finish(bench, oracle, _run_cell(config, bench, oracle))
-
-    if checkpoint_path:
-        _write_checkpoint(checkpoint_path, config, records)
+    fabric = Fabric(
+        "verify", config.fingerprint(), checkpoint_path=checkpoint_path,
+        resume=resume, jobs=jobs, checkpoint_every=config.checkpoint_every,
+        **(fabric_options or {}),
+    )
+    tasks = [_cell_task(config, bench, oracle)
+             for bench, oracle in config.cells()]
+    with _events.span("verify.sweep", cells=len(tasks), jobs=fabric.jobs):
+        records = fabric.run(tasks, on_result=on_result)
     return _build_report(config, records)
 
 

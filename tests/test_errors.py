@@ -8,14 +8,18 @@ from repro.errors import (
     CacheCorruptionError,
     CampaignError,
     CheckpointError,
+    CircuitOpenError,
     ExecutionError,
     ExecutionTimeout,
+    FabricError,
     HarnessError,
     ReproError,
     SimulationError,
     TaskError,
     TaskTimeoutError,
     WorkerCrashError,
+    backoff_delay,
+    is_retryable,
 )
 from repro.isa.build import halt, jmp, li
 from repro.isa.opcodes import Opcode
@@ -123,3 +127,45 @@ class TestSimulatorRaises:
             build_composition(image, "nonsense")
         with pytest.raises(ValueError):       # the deprecation shim
             build_composition(image, "nonsense")
+
+
+class TestRetryClassification:
+    def test_repro_errors_answer_for_themselves(self):
+        assert not is_retryable(CampaignError("config mistake"))
+        assert not is_retryable(ExecutionError("stray codeword"))
+        assert is_retryable(WorkerCrashError("worker died"))
+        assert is_retryable(TaskTimeoutError("hung"))
+        assert is_retryable(CircuitOpenError("pool broke"))
+
+    def test_unknown_exceptions_are_transient_infrastructure(self):
+        # Anything outside the taxonomy (a pickled RuntimeError from a
+        # dying worker, an OSError from the pool) is retried.
+        assert is_retryable(RuntimeError("worker killed"))
+        assert is_retryable(OSError("fork failed"))
+
+    def test_fabric_errors_sit_in_the_hierarchy(self):
+        assert issubclass(FabricError, HarnessError)
+        assert issubclass(CircuitOpenError, FabricError)
+
+
+class TestBackoffDelay:
+    def test_deterministic_per_key_and_attempt(self):
+        assert backoff_delay(1, key="f0001") == backoff_delay(1,
+                                                              key="f0001")
+        assert backoff_delay(1, key="f0001") != backoff_delay(1,
+                                                              key="f0002")
+        assert backoff_delay(1, key="f0001") != backoff_delay(2,
+                                                              key="f0001")
+
+    def test_exponential_window_with_bounded_jitter(self):
+        for attempt in (1, 2, 3, 4):
+            window = 0.5 * (2 ** (attempt - 1))
+            delay = backoff_delay(attempt, key="t")
+            assert 0.5 * window <= delay <= window
+
+    def test_cap_bounds_the_window(self):
+        assert backoff_delay(30, cap=2.0, key="t") <= 2.0
+
+    def test_zero_base_disables_sleeping(self):
+        assert backoff_delay(3, base=0.0, key="t") == 0.0
+        assert backoff_delay(3, base=-1.0) == 0.0

@@ -1,5 +1,6 @@
 """Harness resilience: watchdogs, retries, and report checkpoint/resume."""
 
+import json
 import logging
 import os
 from concurrent.futures import Future
@@ -193,11 +194,23 @@ class TestReportCheckpoint:
                 path, report_fingerprint(suite, ("fig6_top", "fig6_width"))
             )
 
-    def test_corrupt_checkpoint_refuses(self, tmp_path):
+    def test_corrupt_checkpoint_quarantined(self, tmp_path):
+        # A truncated/bit-flipped checkpoint must not kill the resume:
+        # it is renamed aside and the run restarts from empty.
         path = tmp_path / "ck.json"
         path.write_text("{not json")
-        with pytest.raises(CheckpointError):
-            RunCheckpoint.load(str(path), {"anything": 1})
+        checkpoint = RunCheckpoint.load(str(path), {"anything": 1})
+        assert len(checkpoint) == 0
+        assert not path.exists()
+        assert (tmp_path / "ck.json.quarantined").exists()
+
+    def test_malformed_checkpoint_quarantined(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"schema": 1, "fingerprint": {"x": 1},
+                                    "sections": "oops"}))
+        checkpoint = RunCheckpoint.load(str(path), {"x": 1})
+        assert len(checkpoint) == 0
+        assert (tmp_path / "ck.json.quarantined").exists()
 
     def test_missing_checkpoint_starts_empty(self, tmp_path):
         checkpoint = RunCheckpoint.load(str(tmp_path / "absent.json"),

@@ -72,8 +72,14 @@ def run_harness_benchmark(jobs=4, scale=1.0, benchmarks=None):
     # bench_telemetry.py for the full structural + measured check).
     if str(_BENCH_DIR) not in sys.path:
         sys.path.insert(0, str(_BENCH_DIR))
-    from bench_telemetry import run_telemetry_benchmark
+    from bench_telemetry import run_telemetry_benchmark, run_tracing_benchmark
     telemetry_overhead = run_telemetry_benchmark(
+        scale=min(scale, 0.1), repeats=2
+    )["timings"]
+    # Same deal for the tracing/profiler layer: disabled-mode dispatch
+    # stays structurally unwrapped, and the enabled-mode hot-path
+    # profiler stays block-granular cheap on a warm translated run.
+    tracing_overhead = run_tracing_benchmark(
         scale=min(scale, 0.1), repeats=2
     )["timings"]
     # Functional-dispatch summary (see bench_sim.py for the full
@@ -103,6 +109,7 @@ def run_harness_benchmark(jobs=4, scale=1.0, benchmarks=None):
         },
         "tables_identical": identical,
         "telemetry_overhead": telemetry_overhead,
+        "tracing_overhead": tracing_overhead,
         "sim_dispatch": sim_dispatch,
     }
     return payload, tables

@@ -38,7 +38,9 @@ from repro.acf.mfi import attach_mfi
 from repro.harness.parallel import FUNCTIONAL_DISE, MAX_STEPS
 from repro.sim.config import MachineConfig
 from repro.sim.cycle import simulate_trace
+from repro.telemetry import profile as _profile
 from repro.telemetry import registry as _telemetry
+from repro.telemetry import tracing as _tracing
 from repro.workloads.generator import generate_benchmark
 from repro.workloads.specint import get_profile
 
@@ -98,6 +100,75 @@ def check_structural_invariants(image):
     assert getattr(observed._execute, "__func__", None) \
         is not Machine._execute_fast, \
         "observer-built machine left dispatch unwrapped"
+
+
+def check_tracing_invariants(image):
+    """Tracing/profiling keep PR 3's disabled-mode dispatch contract.
+
+    With ``REPRO_TRACE`` and ``REPRO_TRACE_PROFILE`` off — merely
+    *importable* is not enough to change anything — a machine still
+    dispatches through the unwrapped bound method, stays on the
+    translated tier, and carries no profile state.  Enabling the
+    profiler attaches attribution dicts but, on the translated tier,
+    still leaves dispatch unwrapped (the hooks live in the superblock
+    runner, one dict bump per block execution).
+    """
+    from repro.sim.functional import Machine
+
+    assert not _tracing.enabled() and not _profile.enabled(), \
+        "tracing/profiling knobs leaked into the benchmark environment"
+    plain = _build_machine(image, False)
+    assert plain._profile is None, \
+        "profiler-disabled machine carries profile state"
+    assert plain._execute.__func__ is Machine._execute_fast, \
+        "profiler-disabled machine dispatches through a wrapper"
+    assert plain._translated, \
+        "profiler-disabled machine fell off the translated tier"
+    with _profile.profile_scope(True):
+        profiled = _build_machine(image, False)
+    assert profiled._profile is not None and \
+        profiled._profile["tier"] == "translated", \
+        "profiler-enabled machine did not attach translated-tier state"
+    assert profiled._execute.__func__ is Machine._execute_fast, \
+        "profiler-enabled translated machine wrapped dispatch"
+
+
+def _time_profiled_functional(image):
+    with _profile.profile_scope(True):
+        machine = _build_machine(image, False)
+    t0 = time.perf_counter()
+    with _profile.profile_scope(True):
+        machine.run(max_steps=MAX_STEPS)
+    return time.perf_counter() - t0
+
+
+def run_tracing_benchmark(scale=0.1, repeats=3, bench="bzip2"):
+    """Tracing/profiler overhead: structural asserts plus warm-run timing.
+
+    ``profiled_overhead_pct`` measures the hot-path profiler on a *warm
+    translated* run (telemetry off, so the translated tier stays active)
+    against the plain disabled baseline; the attribution is
+    block-granular, so it must stay under 10%.
+    """
+    image = generate_benchmark(get_profile(bench), scale=scale)
+    check_tracing_invariants(image)
+
+    disabled, profiled = [], []
+    for _ in range(repeats):
+        disabled.append(_time_functional(image, False))
+        profiled.append(_time_profiled_functional(image))
+    base = min(disabled)
+    prof = min(profiled)
+    return {
+        "meta": {"bench": bench, "scale": scale, "repeats": repeats},
+        "timings": {
+            "functional_disabled_seconds": round(base, 4),
+            "functional_profiled_seconds": round(prof, 4),
+            "profiled_overhead_pct": round(
+                (prof / base - 1.0) * 100.0, 2) if base else None,
+        },
+        "structural_invariants": "ok",
+    }
 
 
 def run_telemetry_benchmark(scale=0.1, repeats=3, bench="bzip2"):
@@ -177,6 +248,15 @@ def test_telemetry_disabled_overhead():
             assert numbers["disabled_spread_pct"] <= 2.0, (loop, numbers)
 
 
+def test_tracing_overhead():
+    payload = run_tracing_benchmark(
+        scale=float(os.environ.get("REPRO_SCALE", "0.1")),
+        repeats=int(os.environ.get("REPRO_BENCH_REPEATS", "3")),
+    )
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        assert payload["timings"]["profiled_overhead_pct"] <= 10.0, payload
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", type=float, default=0.1)
@@ -185,6 +265,8 @@ def main(argv=None):
     args = parser.parse_args(argv)
     payload = run_telemetry_benchmark(scale=args.scale,
                                       repeats=args.repeats, bench=args.bench)
+    payload["tracing_overhead"] = run_tracing_benchmark(
+        scale=args.scale, repeats=args.repeats, bench=args.bench)["timings"]
     out = _write_payload(payload)
     print(json.dumps(payload, indent=2))
     print(f"wrote {out}")

@@ -54,6 +54,7 @@ from repro.sim.batch import resolve_batch
 from repro.telemetry import events as _events
 from repro.telemetry import get_logger
 from repro.telemetry import registry as _telemetry
+from repro.telemetry import tracing as _tracing
 
 logger = get_logger(__name__)
 
@@ -173,9 +174,19 @@ class Fabric:
             if self.checkpoint_path:
                 write_checkpoint(self.checkpoint_path, self.driver,
                                  self.fingerprint, results)
+                _events.event("checkpoint_write", driver=self.driver,
+                              completed=len(results))
 
         def finish(task: Task, result, computed: bool):
             nonlocal fresh
+            if _tracing.is_envelope(result):
+                # Pool workers running under a propagated trace context
+                # return an envelope: unwrap *before* anything persists,
+                # so stored/checkpointed bytes never see trace framing.
+                result, spans, metrics = _tracing.unwrap(result)
+                if metrics:
+                    _telemetry.get_registry().merge(metrics)
+                _events.emit_remote_spans(spans)
             results[task.task_id] = result
             if computed and self.store is not None:
                 self.store.put(task.key, result)
@@ -220,11 +231,15 @@ class Fabric:
     def _run_pool(self, pending: List[Task], finish):
         by_id = {t.task_id: t for t in pending}
         chaos = self.chaos
+        # Propagate the driver's trace context (the fabric.run span) into
+        # every worker task, so worker spans join the parent's trace tree.
+        trace = _tracing.current_context()
 
         def spec_for(task):
             return lambda attempt: (
                 execute_task,
-                (task.recipe, task.params, task.task_id, attempt, chaos),
+                (task.recipe, task.params, task.task_id, attempt, chaos,
+                 trace),
             )
 
         supervisor = PoolSupervisor(
@@ -244,6 +259,16 @@ class Fabric:
         gave_up: List[Task] = []
         for task in pending:
             outcome = outcomes.get(task.task_id)
+            status = outcome.status if outcome is not None else "gave_up"
+            if status != "ok":
+                # The worker died/hung before returning its span buffer:
+                # record the loss as a truncated span (span_begin, no
+                # span_end) so the trace tree shows the crash instead of
+                # silently dropping the subtree.
+                _events.emit_truncated_span(
+                    "fabric.task", trace, task=task.task_id, status=status,
+                    attempts=outcome.attempts if outcome else 0,
+                )
             if outcome is None:
                 gave_up.append(task)
             elif outcome.status == "fatal" and fatal is None:
@@ -278,8 +303,12 @@ class Fabric:
         attempt = 1
         while True:
             try:
-                return execute_task(task.recipe, task.params, task.task_id,
-                                    attempt, self.chaos)
+                # In-parent execution: the event log is local, so the task
+                # span is opened directly (no envelope round-trip).
+                with _events.span("fabric.task", task=task.task_id,
+                                  attempt=attempt):
+                    return execute_task(task.recipe, task.params,
+                                        task.task_id, attempt, self.chaos)
             except Exception as exc:
                 if not is_retryable(exc) or attempt > self.retries:
                     raise
@@ -311,7 +340,9 @@ class Fabric:
             while (len(wave) < width and index + len(wave) < len(pending)
                    and pending[index + len(wave)].recipe == task.recipe):
                 wave.append(pending[index + len(wave)])
-            for wave_task, result in zip(wave,
-                                         batch_fn([t.params for t in wave])):
+            with _events.span("fabric.batch", recipe=task.recipe,
+                              tasks=len(wave)):
+                wave_results = batch_fn([t.params for t in wave])
+            for wave_task, result in zip(wave, wave_results):
                 finish(wave_task, result, True)
             index += len(wave)

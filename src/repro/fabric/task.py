@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import FabricError
+from repro.telemetry import registry as _tm_registry
+from repro.telemetry import tracing as _tracing
 
 #: Bump when task-key semantics change; baked into every digest so stale
 #: store entries silently miss instead of serving wrong-schema payloads.
@@ -138,13 +140,38 @@ def get_recipe(name: str) -> Tuple[Callable, Optional[Callable]]:
 
 
 def execute_task(recipe_name: str, params: dict, task_id: str = "",
-                 attempt: int = 1, chaos=None):
+                 attempt: int = 1, chaos=None, trace=None):
     """Top-level (picklable) worker entry point: run one task.
 
     ``chaos`` is an optional :class:`repro.fabric.chaos.ChaosPlan`; its
     injections fire *before* the recipe runs so a retried attempt
     recomputes the genuine result.
+
+    ``trace`` is an optional propagated trace context (see
+    :mod:`repro.telemetry.tracing`).  When present and tracing is enabled
+    in this process, the task runs under a ``fabric.task`` child span of
+    the submitting driver's context, and the return value is a *trace
+    envelope* bundling the bare result with the worker's span records and
+    a telemetry registry delta.  The engine unwraps the envelope before
+    the result reaches any store, checkpoint, or report — persisted bytes
+    are identical with tracing on or off.  A worker that dies mid-task
+    never returns the envelope; the parent synthesizes a truncated span.
     """
+    if trace is not None and _tracing.enabled():
+        with _tracing.remote_session(trace) as session:
+            before = (_tm_registry.snapshot()
+                      if _tm_registry.enabled() else None)
+            with _tracing.remote_span("fabric.task", task=task_id,
+                                      attempt=attempt):
+                if chaos is not None:
+                    chaos.perturb(task_id, attempt)
+                fn, _ = get_recipe(recipe_name)
+                result = fn(params)
+            metrics = {}
+            if before is not None:
+                metrics = _tm_registry.snapshot_delta(
+                    before, _tm_registry.snapshot())
+            return _tracing.wrap_result(result, session, metrics)
     if chaos is not None:
         chaos.perturb(task_id, attempt)
     fn, _ = get_recipe(recipe_name)

@@ -66,6 +66,7 @@ from repro.sim.trace import TraceResult
 from repro.telemetry import events as _events
 from repro.telemetry import get_logger
 from repro.telemetry import registry as _telemetry
+from repro.telemetry import tracing as _tracing
 from repro.workloads.generator import generate_benchmark, reseed_data
 from repro.workloads.specint import get_profile
 
@@ -188,16 +189,28 @@ def build_installation(task: TraceTask, image=None) -> AcfInstallation:
 
 
 def _run_task(task: TraceTask, configs: Sequence[MachineConfig],
-              cache_root: Optional[str], max_steps: int):
-    """Produce (digest, trace_bytes, {config_repr: CycleResult}, metrics)
-    for one task.  Runs in a worker process, but is equally callable
-    in-process — that is the serial fallback path.
+              cache_root: Optional[str], max_steps: int, trace_ctx=None):
+    """Produce (digest, trace_bytes, {config_repr: CycleResult}, metrics,
+    spans) for one task.  Runs in a worker process, but is equally
+    callable in-process — that is the serial fallback path.
 
     ``metrics`` is the registry *delta* this call produced (or ``None``
     with telemetry off).  Pool callers merge it into the parent registry;
     in-process callers discard it — their metrics already landed in the
     parent's registry directly, and merging would double-count.
+
+    ``trace_ctx`` is an optional propagated trace context
+    (:mod:`repro.telemetry.tracing`); when tracing is on, the task runs
+    under a ``harness.task`` child span and ``spans`` carries the
+    worker-side span records for the parent to merge into its event log
+    (``None`` otherwise).
     """
+    if trace_ctx is not None and _tracing.enabled():
+        with _tracing.remote_session(trace_ctx) as session:
+            with _tracing.remote_span("harness.task",
+                                      task=_task_label(task)):
+                out = _run_task(task, configs, cache_root, max_steps)
+        return out[:4] + (list(session.records),)
     tm_before = _telemetry.snapshot() if _telemetry.enabled() else None
     cache = TraceCache(cache_root) if cache_root else None
     installation = build_installation(task)
@@ -237,7 +250,7 @@ def _run_task(task: TraceTask, configs: Sequence[MachineConfig],
         cycles[config_repr] = result
     tm_delta = (_telemetry.snapshot_delta(tm_before, _telemetry.snapshot())
                 if tm_before is not None else None)
-    return digest, trace_bytes, cycles, tm_delta
+    return digest, trace_bytes, cycles, tm_delta, None
 
 
 def _fully_cached(task: TraceTask, configs: Sequence[MachineConfig],
@@ -458,7 +471,7 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
                                      begin_attempt, task_elapsed, finish)
         for task, configs in merged.items():
             begin_attempt(task)
-            digest, trace_bytes, cycles, _ = _run_task(
+            digest, trace_bytes, cycles, _, _ = _run_task(
                 task, configs, cache_root, max_steps
             )
             results[task] = finish(digest, trace_bytes, cycles)
@@ -470,9 +483,11 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
         backoff_base=backoff, executor_factory=executor_factory,
         label_of=_task_label, counter_prefix="harness",
     )
+    trace_ctx = _tracing.current_context()
     specs = {
         task: (lambda attempt, task=task, configs=configs:
-               (_run_task, (task, configs, cache_root, max_steps)))
+               (_run_task, (task, configs, cache_root, max_steps,
+                            trace_ctx)))
         for task, configs in merged.items()
     }
     outcomes = supervisor.run(specs)
@@ -481,9 +496,11 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
     for task, configs in merged.items():
         outcome = outcomes[task]
         if outcome.status == "ok":
-            digest, trace_bytes, cycles, tm_delta = outcome.value
+            digest, trace_bytes, cycles, tm_delta, spans = outcome.value
             if tm_delta:
                 _telemetry.get_registry().merge(tm_delta)
+            if spans:
+                _events.emit_remote_spans(spans)
             results[task] = finish(digest, trace_bytes, cycles)
             _record_task(task, outcome.elapsed, outcome.attempts, "ok")
         elif outcome.status == "timeout":
@@ -522,7 +539,7 @@ def run_tasks(plan: Iterable[Tuple[TraceTask, Sequence[MachineConfig]]],
     for task, configs in failed:
         begin_attempt(task)
         try:
-            digest, trace_bytes, cycles, _ = _run_task(
+            digest, trace_bytes, cycles, _, _ = _run_task(
                 task, configs, cache_root, max_steps
             )
         except Exception as exc:

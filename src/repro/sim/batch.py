@@ -73,6 +73,8 @@ from repro.sim.functional import (
 )
 from repro.sim.memory import MASK64
 from repro.sim.trace import META_EXP, META_TAKEN, META_TARGET
+from repro.telemetry import events as _events
+from repro.telemetry import profile as _profile_mod
 from repro.telemetry import registry as _telemetry
 
 #: Cohort width selected by ``REPRO_BATCH=1`` / ``batch=1`` ("on").
@@ -436,6 +438,7 @@ def compile_block(machine, block, record: bool, observed: bool):
     fn.max_retire = g.retired
     fn.indices = frozenset(g.indices)
     fn.src = src
+    fn.entry_pc = steps[0][2]
     return fn
 
 
@@ -845,6 +848,10 @@ class BatchMachine:
             "compiled_retired": 0, "readmitted": 0, "drains": {},
         }
         self._tm = _telemetry.enabled()
+        # Batch-lane hot-path profile: compiled-call retirements attributed
+        # to the compiled block's entry PC (tier "batch").
+        self._profile = (_profile_mod.new_profile("batch")
+                         if _profile_mod.enabled() else None)
 
     def add_lane(self, machine, max_steps: int = 5_000_000,
                  watch: Optional[tuple] = None,
@@ -938,9 +945,15 @@ class BatchMachine:
         lane.fn = None
         n = 0
         calls = 0
+        profile = self._profile
+        pblocks = profile["block"] if profile is not None else None
         while True:
-            n += fn(m)
+            r = fn(m)
+            n += r
             calls += 1
+            if pblocks is not None and r:
+                entry = fn.entry_pc
+                pblocks[entry] = pblocks.get(entry, 0) + r
             if n >= _CHAIN_QUANTUM or m.halted or m._exp is not None:
                 break
             fn, _ = self._try_fn(lane)
@@ -1038,9 +1051,13 @@ class BatchMachine:
                     d[cause] = d.get(cause, 0) + 1
                     if tm:
                         _telemetry.counter(f"sim.batch.drain.{cause}").inc()
+                        _events.event("batch_drain", cause=cause,
+                                      round=self.stats["rounds"])
                 self._drain(lane, _DRAIN_QUANTUM)
             active = [lane for lane in active if lane.status is None]
             self._sync_columns()
+        if self._profile is not None:
+            _profile_mod.publish(self._profile)
         return self
 
     def _sync_columns(self):

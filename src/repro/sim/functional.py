@@ -61,6 +61,7 @@ from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Format, OpClass, Opcode
 from repro.program.image import ProgramImage
 from repro.sim.memory import MASK64, Memory
+from repro.telemetry import profile as _profile_mod
 from repro.telemetry import registry as _telemetry
 from repro.sim.trace import (
     CC_CALL,
@@ -658,10 +659,13 @@ class Machine:
         self._opcode_counts: Optional[Dict[Opcode, int]] = None
         self._tm_prev: Optional[dict] = None
         self._observer = None
+        self._profile: Optional[dict] = None
         if observer is not None:
             self._install_observer(observer)
         if _telemetry.enabled():
             self._install_opcode_telemetry()
+        if _profile_mod.enabled():
+            self._install_profiler()
 
         self.regs: List[int] = [0] * NUM_REGS
         self.mem = Memory(image.data_words)
@@ -763,6 +767,50 @@ class Machine:
             return inner(instr, pc, idx, **kwargs)
 
         self._execute = counting_execute
+
+    # ------------------------------------------------------------------
+    # Hot-path profiler (installed only when REPRO_TRACE_PROFILE is on)
+    # ------------------------------------------------------------------
+    def _install_profiler(self):
+        """Attach retirement-attribution state for this machine's tier.
+
+        On the translated tier the hooks live inline in
+        :meth:`_exec_block` (one dict bump per superblock execution, so
+        the warm-path overhead stays block-granular).  On the
+        interpretive tiers — where no superblocks exist — dispatch is
+        wrapped and retirements are attributed to *dynamic basic-block
+        leaders*: any PC reached non-sequentially starts a new leader.
+        """
+        tier = ("translated" if self._translated
+                else ("fast" if self.fast_dispatch else "generic"))
+        profile = _profile_mod.new_profile(tier)
+        self._profile = profile
+        if self._translated:
+            return
+        inner = self._execute
+        blocks = profile["block"]
+        triggers = profile["trigger"]
+        productions = profile["production"]
+        state = {"last": None, "leader": 0}
+
+        def profiling_execute(instr, pc, idx, **kwargs):
+            if self._exp is None:
+                last = state["last"]
+                if last is None or pc != last + 4:
+                    state["leader"] = pc
+                state["last"] = pc
+                leader = state["leader"]
+                blocks[leader] = blocks.get(leader, 0) + 1
+            else:
+                seq_id = self._exp.seq_id
+                productions[seq_id] = productions.get(seq_id, 0) + 1
+                if kwargs.get("disepc") == 0 and kwargs.get("fetch_addr") \
+                        is not None:
+                    triggers[pc] = triggers.get(pc, 0) + 1
+                state["last"] = None
+            return inner(instr, pc, idx, **kwargs)
+
+        self._execute = profiling_execute
 
     def _publish_telemetry(self):
         """Fold this machine's totals into the process registry.
@@ -1239,6 +1287,7 @@ class Machine:
         exp_map = cols.exp
         addresses = self.image.addresses
         n_addr = len(addresses)
+        profile = self._profile
         executed = 0
         retired = 0
         app = 0
@@ -1352,6 +1401,11 @@ class Machine:
                     self.rt_misses += 1
                 engine.expansions += 1
                 self.expansions += 1
+                if profile is not None:
+                    ptrig = profile["trigger"]
+                    ptrig[pc] = ptrig.get(pc, 0) + 1
+                    pprod = profile["production"]
+                    pprod[seq_id] = pprod.get(seq_id, 0) + len(body)
                 event = (seq_id, len(body), pt_miss, rt_miss, exp.composed)
                 self._exp = exp
                 self._pending = None
@@ -1449,6 +1503,10 @@ class Machine:
             self.app_instructions += app
             if engine is not None:
                 engine.inspected += app
+            if profile is not None and retired:
+                entry_pc = steps[0][2]
+                pblocks = profile["block"]
+                pblocks[entry_pc] = pblocks.get(entry_pc, 0) + retired
 
     # ------------------------------------------------------------------
     # Precise state (PC:DISEPC checkpoints, Section 2.1/2.2)
@@ -1751,6 +1809,8 @@ class Machine:
     def result(self) -> TraceResult:
         if self._tm_prev is not None:
             self._publish_telemetry()
+        if self._profile is not None:
+            _profile_mod.publish(self._profile)
         return TraceResult(
             columns=self._cols,
             outputs=list(self.outputs),

@@ -25,13 +25,16 @@ from repro.telemetry.registry import (
     timer,
 )
 from repro.telemetry.events import (
+    ACCEPTED_SCHEMAS,
     EVENT_SCHEMA,
     EventLog,
     RunTelemetry,
     TelemetryError,
     current_run,
     default_log_dir,
+    emit_remote_spans,
     emit_task,
+    emit_truncated_span,
     event,
     final_metrics,
     finish_run,
@@ -42,13 +45,18 @@ from repro.telemetry.events import (
     validate_log,
 )
 from repro.telemetry.log import get_logger
+from repro.telemetry import export, profile, tracing
+from repro.telemetry.tracing import trace_scope
+from repro.telemetry.profile import profile_scope
 
 __all__ = [
     "NULL_METRIC", "Counter", "Gauge", "Histogram", "Registry", "Timer",
     "configure", "counter", "enabled", "enabled_scope", "gauge",
     "get_registry", "histogram", "snapshot", "snapshot_delta", "timer",
-    "EVENT_SCHEMA", "EventLog", "RunTelemetry", "TelemetryError",
-    "current_run", "default_log_dir", "emit_task", "event", "final_metrics",
+    "ACCEPTED_SCHEMAS", "EVENT_SCHEMA", "EventLog", "RunTelemetry",
+    "TelemetryError", "current_run", "default_log_dir", "emit_remote_spans",
+    "emit_task", "emit_truncated_span", "event", "final_metrics",
     "finish_run", "make_run_id", "read_events", "span", "start_run",
-    "validate_log", "get_logger",
+    "validate_log", "get_logger", "export", "profile", "tracing",
+    "trace_scope", "profile_scope",
 ]

@@ -25,10 +25,19 @@ tools ignore it).  Event kinds:
 ``metrics``
     A full registry snapshot (``{"metrics": {name: {...}}}``).
 
+Schema 2 (tracing) extends schema 1 without breaking it: when
+``REPRO_TRACE`` is on, span events additionally carry ``trace_id`` /
+``span_id`` / ``parent_id`` (see :mod:`repro.telemetry.tracing`), and
+spans recorded in worker processes are re-emitted here at merge time with
+a ``remote`` marker, worker ``pid``, and worker-relative ``start``.
+Id-carrying spans are matched by id instead of stack position — so a
+worker crash mid-span leaves a well-formed ``span_end``-less record that
+validation accepts as *truncated* rather than rejecting as corrupt.
+
 :func:`validate_log` is the schema check CI runs against emitted logs —
 hand-rolled (no jsonschema dependency), strict about the envelope, the
 known kinds, per-kind required fields, seq/t monotonicity, and span
-balance.
+balance.  It accepts both schema versions.
 """
 
 from __future__ import annotations
@@ -41,9 +50,13 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.telemetry import registry as _registry
+from repro.telemetry import tracing as _tracing
 
 #: Bump when the envelope or per-kind required fields change.
-EVENT_SCHEMA = 1
+EVENT_SCHEMA = 2
+
+#: Schema versions :func:`validate_log` accepts (older logs stay valid).
+ACCEPTED_SCHEMAS = (1, 2)
 
 _DIR_ENV_VAR = "REPRO_TELEMETRY_DIR"
 _DEFAULT_DIR = ".repro-telemetry"
@@ -110,24 +123,34 @@ class EventLog:
 
 
 class _Span:
-    __slots__ = ("_run", "name", "fields", "_t0")
+    __slots__ = ("_run", "name", "fields", "_t0", "_ids")
 
     def __init__(self, run: "RunTelemetry", name: str, fields: dict):
         self._run = run
         self.name = name
         self.fields = fields
         self._t0 = None
+        self._ids = None
 
     def __enter__(self):
         self._t0 = time.monotonic()
-        self._run.emit("span_begin", name=self.name, **self.fields)
+        fields = self.fields
+        if _tracing.enabled():
+            # Trace id == run id: one run, one trace, zero coordination.
+            self._ids = _tracing.push_span(self._run.log.run_id)
+            fields = dict(fields, **self._ids)
+        self._run.emit("span_begin", name=self.name, **fields)
         return self
 
     def __exit__(self, exc_type, exc, tb):
+        fields = self.fields
+        if self._ids is not None:
+            fields = dict(fields, **self._ids)
+            _tracing.pop_span()
         self._run.emit(
             "span_end", name=self.name,
             seconds=round(time.monotonic() - self._t0, 6),
-            ok=exc_type is None, **self.fields,
+            ok=exc_type is None, **fields,
         )
         return False
 
@@ -221,8 +244,66 @@ def emit_task(label: str, seconds: float, attempts: int, status: str,
 
 
 def span(name: str, **fields):
-    """A span on the current run (an inert context without one)."""
-    return _CURRENT.span(name, **fields)
+    """A span on the current run (an inert context without one).
+
+    In a worker process activated via ``tracing.remote_session`` there is
+    no event log; the span is recorded into the session buffer instead,
+    preserving existing call sites (campaign prep, fabric phases) across
+    the process boundary.
+    """
+    if _CURRENT.active:
+        return _CURRENT.span(name, **fields)
+    if _tracing.enabled() and _tracing.remote_active():
+        return _tracing.remote_span(name, **fields)
+    return _registry._NULL_CONTEXT
+
+
+def emit_remote_spans(records: List[dict]):
+    """Re-emit worker-recorded span buffers into the current run log.
+
+    Each record becomes an adjacent ``span_begin``/``span_end`` pair
+    carrying the worker's trace ids, pid, worker-relative ``start``, and
+    measured ``seconds``; the envelope ``t`` is stamped at merge time
+    (parent clock), so timeline tools place remote spans by
+    ``span_end.t - seconds``.  Id-based span matching makes the adjacent
+    emission order valid regardless of the original nesting.
+    """
+    if not _CURRENT.active or not records:
+        return
+    for record in sorted(records,
+                         key=lambda r: (r.get("start", 0.0),
+                                        str(r.get("span_id", "")))):
+        fields = {k: v for k, v in record.items()
+                  if k not in ("name", "seconds", "ok")}
+        _CURRENT.emit("span_begin", name=record.get("name", "?"),
+                      remote=True, **fields)
+        ids = {k: record[k] for k in ("trace_id", "span_id", "parent_id")
+               if k in record}
+        _CURRENT.emit("span_end", name=record.get("name", "?"),
+                      seconds=record.get("seconds", 0.0),
+                      ok=record.get("ok", True), remote=True, **ids)
+
+
+def emit_truncated_span(name: str, context: Optional[dict] = None, **fields):
+    """Synthesize a ``span_begin`` with no ``span_end`` (a crashed span).
+
+    Used by the parent when a worker died, hung, or gave up before
+    returning its span buffer: the failure becomes a *truncated* node in
+    the trace tree (``validate_log`` accepts it; the critical-path
+    analysis flags it) instead of disappearing.  Returns the synthesized
+    span id, or None when no run log is active.
+    """
+    if not _CURRENT.active or not _tracing.enabled():
+        return None
+    parent = context or _tracing.current_context()
+    ids = {"span_id": _tracing._next_span_id()}
+    if parent is not None:
+        ids["trace_id"] = parent["trace_id"]
+        ids["parent_id"] = parent["span_id"]
+    else:
+        ids["trace_id"] = _CURRENT.log.run_id
+    _CURRENT.emit("span_begin", name=name, truncated=True, **ids, **fields)
+    return ids["span_id"]
 
 
 # ----------------------------------------------------------------------
@@ -236,9 +317,10 @@ def validate_event(obj: dict, line_no: int = 0):
         if key not in obj:
             raise TelemetryError(f"line {line_no}: missing envelope key "
                                  f"{key!r}")
-    if obj["schema"] != EVENT_SCHEMA:
+    if obj["schema"] not in ACCEPTED_SCHEMAS:
         raise TelemetryError(
-            f"line {line_no}: schema {obj['schema']!r} != {EVENT_SCHEMA}"
+            f"line {line_no}: schema {obj['schema']!r} not in "
+            f"{ACCEPTED_SCHEMAS}"
         )
     kind = obj["kind"]
     if kind not in EVENT_KINDS:
@@ -262,7 +344,15 @@ def validate_log(path) -> int:
     Checks every line parses, envelopes and per-kind fields are present,
     ``seq`` counts from 0 without gaps, ``t`` never goes backwards, the
     first event is ``run_begin``, all events share one run id, and spans
-    balance (every ``span_end`` closes the innermost open ``span_begin``).
+    balance.  Span balance has two disciplines:
+
+    * **id-less spans** (schema 1, or schema 2 with tracing off) must
+      nest strictly — every ``span_end`` closes the innermost open
+      ``span_begin``, and none may remain open at the end;
+    * **id-carrying spans** (schema 2 with tracing on) match by
+      ``span_id`` in any order — a ``span_end`` without a matching begin
+      is an error, but a begin with no end is an accepted *truncated*
+      span (a worker crashed mid-span; the record is still well-formed).
     """
     events = list(read_events(path))
     if not events:
@@ -272,6 +362,7 @@ def validate_log(path) -> int:
         raise TelemetryError(f"{path}: first event is not run_begin")
     last_t = 0.0
     open_spans: List[str] = []
+    open_ids: Dict[str, str] = {}
     for i, obj in enumerate(events):
         validate_event(obj, line_no=i + 1)
         if obj["run"] != run_id:
@@ -286,16 +377,37 @@ def validate_log(path) -> int:
             )
         last_t = obj["t"]
         if obj["kind"] == "span_begin":
-            open_spans.append(obj["name"])
+            span_id = obj.get("span_id")
+            if span_id is not None:
+                if span_id in open_ids:
+                    raise TelemetryError(
+                        f"{path}: line {i + 1}: duplicate span_id "
+                        f"{span_id!r}"
+                    )
+                open_ids[span_id] = obj["name"]
+            else:
+                open_spans.append(obj["name"])
         elif obj["kind"] == "span_end":
-            if not open_spans or open_spans[-1] != obj["name"]:
-                raise TelemetryError(
-                    f"{path}: line {i + 1}: span_end {obj['name']!r} does "
-                    "not close the innermost open span"
-                )
-            open_spans.pop()
+            span_id = obj.get("span_id")
+            if span_id is not None:
+                if span_id not in open_ids:
+                    raise TelemetryError(
+                        f"{path}: line {i + 1}: span_end {obj['name']!r} "
+                        f"has no matching span_begin for span_id "
+                        f"{span_id!r}"
+                    )
+                open_ids.pop(span_id)
+            else:
+                if not open_spans or open_spans[-1] != obj["name"]:
+                    raise TelemetryError(
+                        f"{path}: line {i + 1}: span_end {obj['name']!r} "
+                        "does not close the innermost open span"
+                    )
+                open_spans.pop()
     if open_spans:
         raise TelemetryError(f"{path}: unclosed spans: {open_spans}")
+    # Id-carrying spans left open are *truncated* (worker crashes), not
+    # errors: the log stays valid and analysis tools flag them.
     return len(events)
 
 

@@ -1,0 +1,343 @@
+"""Timeline export and critical-path analysis over run event logs.
+
+Two consumers of the same span model:
+
+* :func:`chrome_trace` converts any run log (schema 1 or 2) to Chrome
+  trace-event JSON — loadable in Perfetto / ``chrome://tracing`` — with
+  spans and harness/fabric tasks as duration events, retries, drains,
+  quarantines and checkpoint writes as instant events, and one track per
+  worker process (remote spans carry their worker pid).
+* :func:`critical_path` walks the trace tree and reports the chain of
+  spans gating wall-clock: a tiling of the run interval where each
+  segment is owned by the deepest span on the gating path, so segment
+  durations sum to the run's wall-clock *exactly*, with per-edge slack
+  (how much earlier a child finished than its parent).
+
+Both work purely from the JSONL — nothing here re-runs any simulation.
+
+Span placement: local spans start at their ``span_begin`` timestamp and
+extend for ``seconds``.  Remote (worker) spans are re-emitted at merge
+time, so their envelope ``t`` reflects the merge, not the work; they are
+placed ending at the ``span_end`` timestamp and starting ``seconds``
+earlier.  Truncated spans (a ``span_begin`` whose worker died before
+``span_end``) extend to the end of the run and are flagged.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.telemetry.events import TelemetryError
+
+_EPS = 1e-9
+
+
+class Span(object):
+    """One placed span interval in the trace tree."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end",
+                 "truncated", "remote", "pid", "fields")
+
+    def __init__(self, span_id, parent_id, name, start, end,
+                 truncated=False, remote=False, pid=None, fields=None):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end = end
+        self.truncated = truncated
+        self.remote = remote
+        self.pid = pid
+        self.fields = fields or {}
+
+    @property
+    def seconds(self) -> float:
+        return max(0.0, self.end - self.start)
+
+
+def _log_end(events: List[dict]) -> float:
+    return max((e.get("t", 0.0) for e in events), default=0.0)
+
+
+def collect_spans(events: List[dict]) -> List[Span]:
+    """Pair span events (by id when present, by stack otherwise) into
+    placed :class:`Span` intervals; unended spans become truncated ones.
+    """
+    end_t = _log_end(events)
+    spans: List[Span] = []
+    open_ids: Dict[str, dict] = {}
+    open_stack: List[dict] = []
+    for obj in events:
+        kind = obj.get("kind")
+        if kind == "span_begin":
+            span_id = obj.get("span_id")
+            if span_id is not None:
+                open_ids[span_id] = obj
+            else:
+                open_stack.append(obj)
+        elif kind == "span_end":
+            span_id = obj.get("span_id")
+            if span_id is not None:
+                begin = open_ids.pop(span_id, None)
+            else:
+                begin = open_stack.pop() if open_stack else None
+            if begin is None:
+                continue
+            seconds = obj.get("seconds", 0.0)
+            remote = bool(begin.get("remote"))
+            if remote:
+                end = obj.get("t", 0.0)
+                start = max(0.0, end - seconds)
+            else:
+                start = begin.get("t", 0.0)
+                end = start + seconds
+            spans.append(Span(
+                span_id, begin.get("parent_id"), begin.get("name", "?"),
+                start, end, remote=remote, pid=begin.get("pid"),
+                fields={k: v for k, v in begin.items()
+                        if k not in ("schema", "run", "seq", "t", "kind",
+                                     "name", "trace_id", "span_id",
+                                     "parent_id", "remote", "pid")},
+            ))
+    for begin in list(open_ids.values()) + open_stack:
+        start = begin.get("t", 0.0)
+        spans.append(Span(
+            begin.get("span_id"), begin.get("parent_id"),
+            begin.get("name", "?"), start, max(start, end_t),
+            truncated=True, remote=bool(begin.get("remote")),
+            pid=begin.get("pid"),
+        ))
+    spans.sort(key=lambda s: (s.start, s.end, str(s.span_id)))
+    return spans
+
+
+def trace_ids(events: List[dict]) -> List[str]:
+    """Distinct trace ids carried by span events (sorted)."""
+    return sorted({e["trace_id"] for e in events if "trace_id" in e})
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def chrome_trace(events: List[dict]) -> dict:
+    """Convert run events to the Chrome trace-event JSON object format.
+
+    Tracks: ``pid`` is constant (one run); ``tid`` 0 is the driver
+    process, and each worker pid seen on remote spans gets its own tid.
+    Timestamps are microseconds of run-relative monotonic time.
+    """
+    if not events:
+        raise TelemetryError("no events to export")
+    run_id = events[0].get("run", "?")
+    trace_events: List[dict] = []
+    tids = {None: 0}
+
+    def tid_for(pid) -> int:
+        if pid not in tids:
+            tids[pid] = pid
+        return tids[pid]
+
+    def us(t: float) -> int:
+        return int(round(t * 1e6))
+
+    for span in collect_spans(events):
+        args = {k: v for k, v in span.fields.items()}
+        if span.truncated:
+            args["truncated"] = True
+        trace_events.append({
+            "name": span.name, "ph": "X", "cat": "span",
+            "ts": us(span.start), "dur": us(span.seconds),
+            "pid": 1, "tid": tid_for(span.pid), "args": args,
+        })
+    for obj in events:
+        kind = obj.get("kind")
+        if kind == "task":
+            end = obj.get("t", 0.0)
+            seconds = obj.get("seconds", 0.0)
+            trace_events.append({
+                "name": obj.get("label", "?"), "ph": "X", "cat": "task",
+                "ts": us(max(0.0, end - seconds)), "dur": us(seconds),
+                "pid": 1, "tid": 0,
+                "args": {"attempts": obj.get("attempts"),
+                         "status": obj.get("status")},
+            })
+        elif kind == "event":
+            trace_events.append({
+                "name": obj.get("name", "?"), "ph": "i", "cat": "event",
+                "ts": us(obj.get("t", 0.0)), "pid": 1, "tid": 0, "s": "t",
+                "args": {k: v for k, v in obj.items()
+                         if k not in ("schema", "run", "seq", "t", "kind",
+                                      "name")},
+            })
+        elif kind in ("run_begin", "run_end"):
+            trace_events.append({
+                "name": kind, "ph": "i", "cat": "run",
+                "ts": us(obj.get("t", 0.0)), "pid": 1, "tid": 0, "s": "g",
+                "args": {},
+            })
+    # Track names, so Perfetto shows "driver" / "worker <pid>".
+    trace_events.append({
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": run_id},
+    })
+    for pid, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        label = "driver" if pid is None else f"worker {pid}"
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": label},
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms",
+            "otherData": {"run": run_id}}
+
+
+def validate_chrome_trace(obj) -> int:
+    """Structural check of a Chrome trace-event JSON object.
+
+    Hand-rolled (no jsonschema dependency): the CI smoke job feeds the
+    exported file through this before uploading it.  Returns the event
+    count.
+    """
+    if not isinstance(obj, dict):
+        raise TelemetryError("chrome trace: top level is not an object")
+    trace_events = obj.get("traceEvents")
+    if not isinstance(trace_events, list) or not trace_events:
+        raise TelemetryError("chrome trace: traceEvents missing or empty")
+    for i, entry in enumerate(trace_events):
+        if not isinstance(entry, dict):
+            raise TelemetryError(f"chrome trace: event {i} is not an object")
+        ph = entry.get("ph")
+        if ph not in ("X", "i", "I", "M", "B", "E"):
+            raise TelemetryError(f"chrome trace: event {i} bad ph {ph!r}")
+        if not isinstance(entry.get("name"), str):
+            raise TelemetryError(f"chrome trace: event {i} missing name")
+        if "pid" not in entry:
+            raise TelemetryError(f"chrome trace: event {i} missing pid")
+        if ph != "M":
+            ts = entry.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise TelemetryError(
+                    f"chrome trace: event {i} bad ts {ts!r}"
+                )
+        if ph == "X":
+            dur = entry.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise TelemetryError(
+                    f"chrome trace: event {i} bad dur {dur!r}"
+                )
+    json.dumps(obj)  # must be serializable as-is
+    return len(trace_events)
+
+
+# ----------------------------------------------------------------------
+# Critical-path analysis
+# ----------------------------------------------------------------------
+class PathSegment(object):
+    """One tile of the critical-path chain."""
+
+    __slots__ = ("name", "span", "start", "end", "depth", "slack")
+
+    def __init__(self, name, span, start, end, depth, slack=None):
+        self.name = name
+        self.span = span       # owning Span, or None for driver idle time
+        self.start = start
+        self.end = end
+        self.depth = depth
+        self.slack = slack     # parent_end - child_end at the entry edge
+
+    @property
+    def seconds(self) -> float:
+        return max(0.0, self.end - self.start)
+
+
+def critical_path(events: List[dict]) -> dict:
+    """The chain of spans gating wall-clock, as a tiling of the run.
+
+    Walks the trace tree backwards from the end of the run: at every
+    point the *gating* child is the one that ends last; time no child
+    covers is the owner's own.  Because the segments tile the interval,
+    their durations sum to the run's wall-clock exactly — the reported
+    ``coverage`` is 1.0 by construction and exists as a cross-check.
+    """
+    if not events:
+        raise TelemetryError("no events to analyse")
+    wall = _log_end(events)
+    spans = collect_spans(events)
+    by_parent: Dict[Optional[str], List[Span]] = {}
+    known = {s.span_id for s in spans if s.span_id is not None}
+    for s in spans:
+        parent = s.parent_id if s.parent_id in known else None
+        by_parent.setdefault(parent, []).append(s)
+
+    segments: List[PathSegment] = []
+
+    def walk(owner: Optional[Span], lo: float, hi: float, depth: int,
+             slack: Optional[float]):
+        """Tile [lo, hi] with the gating chain under ``owner``."""
+        key = owner.span_id if owner is not None else None
+        children = [c for c in by_parent.get(key, ())
+                    if c.start < hi - _EPS and c.end > lo + _EPS]
+        name = owner.name if owner is not None else "(driver)"
+        cursor = hi
+        entry_slack = slack
+        while cursor > lo + _EPS:
+            gating = None
+            gating_end = lo
+            for child in children:
+                if child.start < cursor - _EPS:
+                    clipped = min(child.end, cursor)
+                    if clipped > gating_end + _EPS:
+                        gating, gating_end = child, clipped
+            if gating is None:
+                segments.append(PathSegment(name, owner, lo, cursor, depth,
+                                            entry_slack))
+                return
+            if gating_end < cursor - _EPS:
+                # Nothing covered (gating_end, cursor): the owner's own
+                # time gates here (serial driver work between children).
+                segments.append(PathSegment(name, owner, gating_end, cursor,
+                                            depth, entry_slack))
+                entry_slack = None
+            child_lo = max(gating.start, lo)
+            walk(gating, child_lo, gating_end, depth + 1,
+                 round(cursor - gating_end, 6))
+            cursor = child_lo
+            children = [c for c in children if c is not gating]
+
+    walk(None, 0.0, wall, 0, None)
+    segments.sort(key=lambda seg: (seg.start, seg.depth))
+    total = sum(seg.seconds for seg in segments)
+    truncated = [s for s in spans if s.truncated]
+    return {
+        "wall_seconds": round(wall, 6),
+        "chain_seconds": round(total, 6),
+        "coverage": round(total / wall, 6) if wall else 1.0,
+        "segments": segments,
+        "truncated": truncated,
+        "spans": len(spans),
+    }
+
+
+def render_critical_path(run_id: str, analysis: dict) -> str:
+    """Human-readable critical-path report (CLI output)."""
+    lines = [f"# Critical path — {run_id}", ""]
+    lines.append(f"  wall-clock             {analysis['wall_seconds']:.3f}s")
+    lines.append(f"  chain total            {analysis['chain_seconds']:.3f}s "
+                 f"({analysis['coverage'] * 100:.1f}% of wall-clock)")
+    lines.append(f"  spans in tree          {analysis['spans']}")
+    if analysis["truncated"]:
+        names = ", ".join(sorted({s.name for s in analysis["truncated"]}))
+        lines.append(f"  truncated spans        "
+                     f"{len(analysis['truncated'])} ({names})")
+    lines.append("")
+    lines.append(f"  {'start':>9s}  {'dur':>9s}  {'slack':>8s}  span")
+    for seg in analysis["segments"]:
+        if seg.seconds < 1e-6:
+            continue
+        slack = f"{seg.slack:8.3f}" if seg.slack is not None else "       —"
+        marker = " [truncated]" if seg.span is not None and \
+            seg.span.truncated else ""
+        indent = "  " * seg.depth
+        lines.append(f"  {seg.start:9.3f}  {seg.seconds:9.3f}  {slack}  "
+                     f"{indent}{seg.name}{marker}")
+    return "\n".join(lines).rstrip() + "\n"

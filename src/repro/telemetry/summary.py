@@ -22,6 +22,7 @@ class RunView:
         if not self.events:
             raise ValueError(f"{path}: empty event log")
         self.run_id = self.events[0].get("run", "?")
+        self.schema = self.events[0].get("schema")
         self.metrics = final_metrics(self.events)
         self.tasks = [e for e in self.events if e.get("kind") == "task"]
         self.spans = [e for e in self.events if e.get("kind") == "span_end"]
@@ -260,6 +261,13 @@ def render_top(run: RunView, n: int = 10) -> str:
             lines.append(f"  {name:<24s} {count:>12d}")
     else:
         lines.append("  (no production-match metrics in this run)")
+    blocks = run.counters_with_prefix("profile.block.")
+    if blocks:
+        lines.append("")
+        lines.append(f"## Hottest superblocks (top {n})")
+        for name, count in blocks[:n]:
+            tier, _, pc = name.partition(".")
+            lines.append(f"  {tier:<12s} {pc:<16s} {count:>12d}")
     return "\n".join(lines).rstrip() + "\n"
 
 

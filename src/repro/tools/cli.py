@@ -460,8 +460,32 @@ def cmd_fabric(args):
     return 0 if all_passed(report) else 1
 
 
+def _run_log_header(path):
+    """``(t, run_id)`` from a log's ``run_begin`` header, or ``None``."""
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            first = fh.readline()
+        obj = json.loads(first)
+    except (OSError, ValueError):
+        return None
+    if obj.get("kind") != "run_begin":
+        return None
+    return (obj.get("t", 0.0), str(obj.get("run", "")))
+
+
 def _resolve_run_log(value) -> Path:
-    """Accept a run JSONL path or a directory (use its newest run log)."""
+    """Accept a run JSONL path or a directory (use its newest run log).
+
+    "Newest" is decided by each log's ``run_begin`` header (start
+    timestamp, then run id) — concurrent-process runs flush and rename
+    their files in arbitrary order, so neither filename sorting nor
+    mtime identifies the most recent *run*.  Logs without a readable
+    header (partial copies, foreign files matching the glob) are
+    skipped; a timestamp tie is reported on stderr so scripted callers
+    know the choice was ambiguous.
+    """
     from repro.telemetry import default_log_dir
 
     path = Path(value) if value else default_log_dir()
@@ -469,8 +493,27 @@ def _resolve_run_log(value) -> Path:
         logs = sorted(path.glob("run-*.jsonl"))
         if not logs:
             raise SystemExit(f"error: no run logs under {path}")
-        # Run ids embed a sortable timestamp; the last one is the newest.
-        return logs[-1]
+        headed = []
+        for log in logs:
+            header = _run_log_header(log)
+            if header is not None:
+                headed.append((header, log))
+        if not headed:
+            raise SystemExit(
+                f"error: no run log under {path} has a readable "
+                "run_begin header"
+            )
+        headed.sort(key=lambda pair: pair[0])
+        (top_t, top_run), newest = headed[-1]
+        ties = [log.name for (t, _), log in headed[:-1] if t == top_t]
+        if ties:
+            print(
+                f"warning: {len(ties) + 1} run logs under {path} start at "
+                f"the same timestamp; picked {newest.name} (run {top_run}) "
+                f"over {', '.join(ties)} — pass an explicit path to "
+                "disambiguate", file=sys.stderr,
+            )
+        return newest
     if not path.is_file():
         raise SystemExit(f"error: no such run log: {path}")
     return path
@@ -478,7 +521,9 @@ def _resolve_run_log(value) -> Path:
 
 def cmd_telemetry(args):
     """``telemetry``: inspect the JSONL event logs of instrumented runs."""
-    from repro.telemetry import TelemetryError, validate_log
+    import json
+
+    from repro.telemetry import TelemetryError, read_events, validate_log
     from repro.telemetry.summary import (
         RunView,
         render_diff,
@@ -491,6 +536,14 @@ def cmd_telemetry(args):
             raise SystemExit("error: telemetry diff needs two run logs")
         a = RunView(_resolve_run_log(args.run))
         b = RunView(_resolve_run_log(args.other))
+        if a.schema != b.schema and not args.allow_schema_mismatch:
+            raise SystemExit(
+                f"error: cannot diff across event-log schemas "
+                f"(v{a.schema} vs v{b.schema}): metric names and "
+                "semantics may differ between versions.  Regenerate one "
+                "side with this build, or pass --allow-schema-mismatch "
+                "to compare anyway."
+            )
         print(render_diff(a, b, threshold=args.threshold), end="")
         return 0
     path = _resolve_run_log(args.run)
@@ -501,6 +554,52 @@ def cmd_telemetry(args):
             print(f"INVALID: {exc}", file=sys.stderr)
             return 1
         print(f"{path}: {count} events, schema OK")
+        return 0
+    if args.action == "trace":
+        from repro.telemetry.export import chrome_trace, validate_chrome_trace
+
+        events = read_events(path)
+        doc = chrome_trace(events)
+        try:
+            count = validate_chrome_trace(doc)
+        except TelemetryError as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        text = json.dumps(doc, sort_keys=True)
+        if args.chrome:
+            Path(args.chrome).write_text(text + "\n", encoding="utf-8")
+            print(f"wrote {args.chrome} ({count} trace events; open in "
+                  "chrome://tracing or https://ui.perfetto.dev)",
+                  file=sys.stderr)
+        else:
+            print(text)
+        return 0
+    if args.action == "critical-path":
+        from repro.telemetry.export import (
+            critical_path,
+            render_critical_path,
+        )
+
+        events = read_events(path)
+        run_id = events[0].get("run", "?") if events else "?"
+        print(render_critical_path(run_id, critical_path(events)), end="")
+        return 0
+    if args.action == "profile":
+        from repro.telemetry.profile import collapsed_from_metrics
+
+        run = RunView(path)
+        lines = collapsed_from_metrics(run.metrics)
+        if not lines:
+            print("(no profile.* counters in this run — rerun with "
+                  "REPRO_TRACE_PROFILE=1)", file=sys.stderr)
+            return 1
+        body = "\n".join(lines) + "\n"
+        if args.out:
+            Path(args.out).write_text(body, encoding="utf-8")
+            print(f"wrote {args.out} ({len(lines)} collapsed stacks)",
+                  file=sys.stderr)
+        else:
+            print(body, end="")
         return 0
     run = RunView(path)
     if args.action == "summary":
@@ -691,10 +790,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="inspect run telemetry (see docs/observability.md)",
     )
     p.add_argument("action",
-                   choices=["summary", "top", "diff", "validate"],
+                   choices=["summary", "top", "diff", "validate",
+                            "trace", "critical-path", "profile"],
                    help="'summary' renders a run's metrics, 'top' its "
                    "hottest opcodes/productions, 'diff' compares two runs, "
-                   "'validate' schema-checks the JSONL")
+                   "'validate' schema-checks the JSONL, 'trace' exports "
+                   "Chrome trace-event JSON, 'critical-path' reports the "
+                   "span chain gating wall-clock, 'profile' renders "
+                   "collapsed stacks from the hot-path profiler")
     p.add_argument("run", nargs="?",
                    help="run log (.jsonl) or log directory "
                    "(default: REPRO_TELEMETRY_DIR or .repro-telemetry)")
@@ -705,6 +808,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=0.0,
                    help="diff: hide metrics whose relative change is "
                    "below this fraction")
+    p.add_argument("--allow-schema-mismatch", action="store_true",
+                   help="diff: compare runs even when their event-log "
+                   "schema versions differ")
+    p.add_argument("--chrome", metavar="PATH",
+                   help="trace: write Chrome trace-event JSON here "
+                   "(default: stdout)")
+    p.add_argument("--out", metavar="PATH",
+                   help="profile: write collapsed stacks here "
+                   "(default: stdout)")
     p.set_defaults(func=cmd_telemetry)
 
     p = sub.add_parser(

@@ -235,6 +235,53 @@ class DivergenceError(VerificationError):
 
 
 # ----------------------------------------------------------------------
+# Serving layer
+# ----------------------------------------------------------------------
+class ServeError(ReproError):
+    """Base for failures of the :mod:`repro.serve` simulation server."""
+
+
+class ProtocolError(ServeError):
+    """A request violates the newline-delimited JSON wire protocol
+    (unparseable frame, missing ``op``, unknown operation, bad params).
+
+    Never retryable: the same bytes will fail the same way.
+    """
+
+
+class SessionError(ServeError):
+    """A request named a session the server does not hold (never created,
+    already closed, or owned by a different tenant)."""
+
+    def __init__(self, message: str, *, session: Optional[str] = None):
+        super().__init__(message)
+        self.session = session
+
+
+class BudgetExceededError(ServeError):
+    """A tenant exhausted one of its serving budgets.
+
+    ``budget`` names the exhausted dimension (``"retirements"`` or
+    ``"wall_clock"``); ``limit`` and ``used`` quantify it.  Retirement
+    budgets are enforced with :class:`ExecutionTimeout` precision: the
+    session retires *exactly* ``limit`` dynamic instructions before this
+    is raised, so a budgeted run's observation digest is a prefix-exact
+    replay of the unbudgeted one.  Not retryable — the budget does not
+    replenish by retrying.
+    """
+
+    retryable = False
+
+    def __init__(self, message: str, *, tenant: Optional[str] = None,
+                 budget: Optional[str] = None, limit=None, used=None):
+        super().__init__(message)
+        self.tenant = tenant
+        self.budget = budget
+        self.limit = limit
+        self.used = used
+
+
+# ----------------------------------------------------------------------
 # Retry policy helpers
 # ----------------------------------------------------------------------
 def is_retryable(exc: BaseException) -> bool:

@@ -1,0 +1,28 @@
+"""DISE-as-a-service: sessions, machine pools, budgets, and a TCP server.
+
+See ``docs/serving.md``.  The public surface:
+
+* :class:`~repro.serve.server.ServerCore` — the whole service as a
+  synchronous dict-in/dict-out object;
+* :class:`~repro.serve.server.ReproServer` / :func:`~repro.serve.server.run_server`
+  — the asyncio TCP shell (``repro-cli serve``);
+* :class:`~repro.serve.client.InProcessClient` /
+  :class:`~repro.serve.client.TcpClient` / :func:`~repro.serve.client.connect`
+  — transport-agnostic clients;
+* :func:`~repro.serve.session.batch_digest` — the batch side of the
+  served-vs-batch reproducibility oracle.
+"""
+
+from repro.serve.client import BaseClient, InProcessClient, TcpClient, connect
+from repro.serve.pool import MachinePool
+from repro.serve.protocol import PROTOCOL_VERSION
+from repro.serve.server import ReproServer, ServerCore, run_server
+from repro.serve.session import ImageCatalog, Session, batch_digest
+from repro.serve.budgets import BudgetBook, TenantLedger
+
+__all__ = [
+    "BaseClient", "InProcessClient", "TcpClient", "connect",
+    "MachinePool", "PROTOCOL_VERSION", "ReproServer", "ServerCore",
+    "run_server", "ImageCatalog", "Session", "batch_digest",
+    "BudgetBook", "TenantLedger",
+]

@@ -1,0 +1,160 @@
+"""Per-tenant serving budgets: retirements and wall-clock seconds.
+
+The server meters two dimensions per tenant:
+
+* **retirements** — dynamic instructions retired across *all* the
+  tenant's sessions.  Enforced with :class:`~repro.errors.ExecutionTimeout`
+  precision: when a ``run``/``step`` would cross the budget, the machine's
+  step limit is clamped to exactly the remaining allowance, so the tenant
+  retires precisely ``limit`` instructions before
+  :class:`~repro.errors.BudgetExceededError` is raised.  A budgeted run's
+  observation digest is therefore a prefix-exact replay of an unbudgeted
+  one — the budget changes *when* the run stops, never *what* it computes.
+* **wall_clock** — seconds since the tenant's first request, checked at
+  request entry (mirroring ``REPRO_TASK_TIMEOUT``'s role in the fabric).
+
+Limits resolve explicit-argument > ``REPRO_SERVE_RETIREMENTS`` /
+``REPRO_SERVE_WALL`` environment > unlimited, the same precedence
+:func:`repro.fabric.supervise.resolve_task_timeout` uses.  The clock is
+injectable so tests enforce wall-clock budgets deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.errors import BudgetExceededError
+from repro.fabric.supervise import _env_number
+
+
+def resolve_retirement_budget(limit: Optional[int] = None) -> Optional[int]:
+    """Retirement allowance per tenant: explicit > env > unlimited."""
+    if limit is not None:
+        return int(limit) if limit > 0 else None
+    return _env_number("REPRO_SERVE_RETIREMENTS", int, 1)
+
+
+def resolve_wall_budget(limit: Optional[float] = None) -> Optional[float]:
+    """Wall-clock allowance per tenant (seconds): explicit > env > unlimited."""
+    if limit is not None:
+        return float(limit) if limit > 0 else None
+    return _env_number("REPRO_SERVE_WALL", float, 0.001)
+
+
+class TenantLedger:
+    """One tenant's metered usage against its budgets.
+
+    ``charge_window`` / ``settle`` implement the exact-count contract:
+    before running, the caller asks how many retirements it may attempt
+    (the window, clamping its own ``max_steps``); after running it settles
+    the number actually retired.  ``settle`` raises
+    :class:`BudgetExceededError` only once usage *equals* the limit and
+    the tenant asked to go further — so the error surfaces at exactly
+    ``used == limit``, never before, never beyond.
+    """
+
+    def __init__(self, tenant: str, *,
+                 retirement_limit: Optional[int] = None,
+                 wall_limit: Optional[float] = None,
+                 clock=time.monotonic):
+        self.tenant = tenant
+        self.retirement_limit = retirement_limit
+        self.wall_limit = wall_limit
+        self._clock = clock
+        self._started = clock()
+        self.retired = 0
+        self.requests = 0
+
+    # -- wall clock ---------------------------------------------------
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def check_wall(self):
+        """Request-entry check; raises once the wall budget is spent."""
+        self.requests += 1
+        if self.wall_limit is None:
+            return
+        elapsed = self.elapsed()
+        if elapsed >= self.wall_limit:
+            raise BudgetExceededError(
+                f"tenant {self.tenant!r} exhausted its wall-clock budget "
+                f"({elapsed:.3f}s of {self.wall_limit:.3f}s)",
+                tenant=self.tenant, budget="wall_clock",
+                limit=self.wall_limit, used=elapsed,
+            )
+
+    # -- retirements --------------------------------------------------
+    def remaining(self) -> Optional[int]:
+        if self.retirement_limit is None:
+            return None
+        return max(0, self.retirement_limit - self.retired)
+
+    def charge_window(self, requested: int) -> int:
+        """Clamp a step request to the remaining retirement allowance.
+
+        Raises immediately when the allowance is already zero — the
+        tenant cannot retire even one more instruction.
+        """
+        remaining = self.remaining()
+        if remaining is None:
+            return requested
+        if remaining == 0:
+            raise BudgetExceededError(
+                f"tenant {self.tenant!r} exhausted its retirement budget "
+                f"({self.retirement_limit} retirements)",
+                tenant=self.tenant, budget="retirements",
+                limit=self.retirement_limit, used=self.retired,
+            )
+        return min(requested, remaining)
+
+    def settle(self, retired: int, *, clamped: bool):
+        """Record actual retirements; raise if the clamp was what stopped us.
+
+        ``clamped`` is True when the run hit the budget-clamped window
+        (rather than halting or hitting the caller's own smaller limit):
+        that is the moment usage reaches ``limit`` exactly and the budget
+        error must surface.
+        """
+        self.retired += retired
+        if clamped:
+            raise BudgetExceededError(
+                f"tenant {self.tenant!r} exhausted its retirement budget "
+                f"({self.retirement_limit} retirements)",
+                tenant=self.tenant, budget="retirements",
+                limit=self.retirement_limit, used=self.retired,
+            )
+
+    def snapshot(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "retired": self.retired,
+            "retirement_limit": self.retirement_limit,
+            "wall_limit": self.wall_limit,
+            "elapsed": self.elapsed(),
+            "requests": self.requests,
+        }
+
+
+class BudgetBook:
+    """All tenants' ledgers, created lazily with the server's defaults."""
+
+    def __init__(self, *, retirement_limit: Optional[int] = None,
+                 wall_limit: Optional[float] = None, clock=time.monotonic):
+        self.retirement_limit = resolve_retirement_budget(retirement_limit)
+        self.wall_limit = resolve_wall_budget(wall_limit)
+        self._clock = clock
+        self._ledgers: Dict[str, TenantLedger] = {}
+
+    def ledger(self, tenant: str) -> TenantLedger:
+        entry = self._ledgers.get(tenant)
+        if entry is None:
+            entry = TenantLedger(
+                tenant, retirement_limit=self.retirement_limit,
+                wall_limit=self.wall_limit, clock=self._clock,
+            )
+            self._ledgers[tenant] = entry
+        return entry
+
+    def snapshot(self) -> list:
+        return [ledger.snapshot() for ledger in self._ledgers.values()]

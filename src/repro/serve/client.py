@@ -1,0 +1,164 @@
+"""Clients for the simulation server.
+
+Two transports, one surface:
+
+* :class:`InProcessClient` wraps a :class:`~repro.serve.server.ServerCore`
+  directly — no sockets, no asyncio — but routes every call through the
+  same request/response envelope as the wire, so error semantics are
+  byte-identical to TCP (tests pin this).
+* :class:`TcpClient` speaks the newline-delimited JSON protocol over a
+  blocking socket.
+
+Both raise the typed :mod:`repro.errors` exceptions rebuilt from error
+payloads (:func:`repro.serve.protocol.raise_error_payload`), so caller
+code is transport-agnostic:
+
+    with connect("127.0.0.1", 7337) as client:
+        session = client.open_session({"benchmark": "gzip",
+                                       "scale": 0.05, "acf": "dise3"})
+        view = client.run(session)
+        print(view["digest"])
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.serve import protocol
+from repro.serve.server import ServerCore
+from repro.serve.session import MAX_STEPS_PER_REQUEST
+
+
+class BaseClient:
+    """Request plumbing + one helper per op; transports override
+    ``_roundtrip``."""
+
+    def __init__(self, tenant: str = "anonymous"):
+        self.tenant = tenant
+        self._next_id = 0
+
+    # -- transport hook ------------------------------------------------
+    def _roundtrip(self, request: dict) -> dict:
+        raise NotImplementedError
+
+    def call(self, op: str, **params) -> dict:
+        """Issue one request; returns the result or raises the rebuilt
+        server-side error."""
+        self._next_id += 1
+        request = {"id": self._next_id, "op": op, "tenant": self.tenant}
+        request.update(params)
+        response = self._roundtrip(request)
+        if response.get("id") not in (request["id"], None):
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request['id']!r}"
+            )
+        if response.get("ok"):
+            return response.get("result", {})
+        protocol.raise_error_payload(response.get("error", {}))
+
+    # -- op helpers ----------------------------------------------------
+    def hello(self) -> dict:
+        return self.call("hello")
+
+    def open_session(self, spec: dict) -> str:
+        """Create a session; returns its id (full view via ``state``)."""
+        return self.call("open_session", spec=spec)["session"]
+
+    def step(self, session: str, steps: int = 1) -> dict:
+        return self.call("step", session=session, steps=steps)
+
+    def run(self, session: str,
+            max_steps: int = MAX_STEPS_PER_REQUEST) -> dict:
+        return self.call("run", session=session, max_steps=max_steps)
+
+    def checkpoint(self, session: str) -> dict:
+        return self.call("checkpoint", session=session)["checkpoint"]
+
+    def restore(self, session: str, checkpoint: dict) -> dict:
+        return self.call("restore", session=session, checkpoint=checkpoint)
+
+    def fork(self, session: str) -> dict:
+        return self.call("fork", session=session)
+
+    def state(self, session: str) -> dict:
+        return self.call("state", session=session)
+
+    def result(self, session: str) -> dict:
+        return self.call("result", session=session)
+
+    def events(self, session: str, cursor: int = 0) -> dict:
+        return self.call("events", session=session, cursor=cursor)
+
+    def close_session(self, session: str) -> dict:
+        return self.call("close_session", session=session)
+
+    def campaign_start(self, kind: str, params: Optional[dict] = None) -> str:
+        return self.call("campaign_start", kind=kind,
+                         params=params or {})["campaign"]
+
+    def campaign_poll(self, campaign: str) -> dict:
+        return self.call("campaign_poll", campaign=campaign)
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def shutdown(self) -> dict:
+        return self.call("shutdown")
+
+    # -- context -------------------------------------------------------
+    def close(self):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class InProcessClient(BaseClient):
+    """Drive a :class:`ServerCore` in this process, via the envelope."""
+
+    def __init__(self, core: ServerCore, tenant: str = "anonymous"):
+        super().__init__(tenant)
+        self.core = core
+
+    def _roundtrip(self, request: dict) -> dict:
+        # Round-trip through canonical JSON so anything unserializable
+        # fails here exactly as it would on the wire.
+        frame = protocol.encode_message(request)
+        response = self.core.handle(protocol.decode_message(frame))
+        return protocol.decode_message(protocol.encode_message(response))
+
+
+class TcpClient(BaseClient):
+    """Blocking newline-delimited JSON over a TCP socket."""
+
+    def __init__(self, host: str, port: int, tenant: str = "anonymous",
+                 timeout: Optional[float] = 60.0):
+        super().__init__(tenant)
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    def _roundtrip(self, request: dict) -> dict:
+        self._sock.sendall(protocol.encode_message(request))
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        return protocol.decode_message(line)
+
+    def close(self):
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+
+def connect(host: str, port: int, tenant: str = "anonymous",
+            timeout: Optional[float] = 60.0) -> TcpClient:
+    """Open a :class:`TcpClient`; usable as a context manager."""
+    return TcpClient(host, port, tenant=tenant, timeout=timeout)

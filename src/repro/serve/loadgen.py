@@ -1,0 +1,172 @@
+"""Mini load generator for the simulation server (CI ``serve-smoke``).
+
+Drives N tenants x M sessions against a server — over TCP
+(``--connect HOST:PORT``) or an in-process core — stepping all sessions
+round-robin so the machine pool actually churns, then checks every
+served digest against :func:`repro.serve.session.batch_digest`
+(``--check-batch``): the byte-for-byte reproducibility oracle.
+
+Prints a JSON summary (sessions/sec, per-request step latency
+percentiles, warm rates per tenant) to stdout; exits non-zero on any
+digest mismatch or failed session.
+
+    python -m repro.serve.loadgen --connect 127.0.0.1:7337 \
+        --tenants 2 --sessions 3 --benchmark gzip --scale 0.05 \
+        --acf dise3 --check-batch
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def percentile(values, fraction: float):
+    """Nearest-rank percentile of a non-empty list (0 <= fraction <= 1)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def run_load(make_client, *, tenants: int, sessions: int, spec: dict,
+             steps: int, check_batch: bool) -> dict:
+    """Run the cohort; returns the JSON-ready summary document."""
+    from repro.serve.session import batch_digest
+
+    expected = batch_digest(spec) if check_batch else None
+    step_latencies = []
+    tenant_stats = {}
+    digests = []
+    failures = []
+    t_start = time.perf_counter()
+    total_sessions = 0
+
+    clients = [make_client(f"tenant{i}") for i in range(tenants)]
+    try:
+        for tenant_index, client in enumerate(clients):
+            tenant = f"tenant{tenant_index}"
+            opened = []
+            warm = 0
+            for _ in range(sessions):
+                sid = client.open_session(spec)
+                view = client.state(sid)
+                if view.get("warm_start"):
+                    warm += 1
+                opened.append(sid)
+                total_sessions += 1
+            live = list(opened)
+            # Round-robin stepping: with more sessions than pool slots
+            # this forces evict/revive cycles mid-run.
+            while live:
+                still = []
+                for sid in live:
+                    t0 = time.perf_counter()
+                    view = client.step(sid, steps=steps)
+                    step_latencies.append(time.perf_counter() - t0)
+                    if not view["halted"]:
+                        still.append(sid)
+                live = still
+            for sid in opened:
+                result = client.result(sid)
+                digests.append(result["digest"])
+                if expected is not None and \
+                        result["digest"] != expected["digest"]:
+                    failures.append({
+                        "tenant": tenant, "session": sid,
+                        "served": result["digest"],
+                        "batch": expected["digest"],
+                    })
+                client.close_session(sid)
+            tenant_stats[tenant] = {
+                "sessions": len(opened),
+                "warm_starts": warm,
+                "warm_rate": warm / len(opened) if opened else None,
+            }
+    finally:
+        for client in clients:
+            client.close()
+    elapsed = time.perf_counter() - t_start
+
+    return {
+        "spec": spec,
+        "tenants": tenants,
+        "sessions": total_sessions,
+        "elapsed_s": round(elapsed, 6),
+        "sessions_per_s": round(total_sessions / elapsed, 3)
+        if elapsed else None,
+        "step_requests": len(step_latencies),
+        "step_latency_ms": {
+            "p50": round(percentile(step_latencies, 0.50) * 1e3, 3),
+            "p99": round(percentile(step_latencies, 0.99) * 1e3, 3),
+        } if step_latencies else None,
+        "per_tenant": tenant_stats,
+        "digest_checked": check_batch,
+        "batch_digest": expected["digest"] if expected else None,
+        "digest_matches": check_batch and not failures,
+        "failures": failures,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="mini load generator for repro-cli serve")
+    parser.add_argument("--connect", metavar="HOST:PORT",
+                        help="TCP server address (default: in-process core)")
+    parser.add_argument("--tenants", type=int, default=2)
+    parser.add_argument("--sessions", type=int, default=3,
+                        help="sessions per tenant (default 3)")
+    parser.add_argument("--benchmark", default="gzip")
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--acf", default="dise3",
+                        choices=["plain", "dise3", "dise4"])
+    parser.add_argument("--steps", type=int, default=5000,
+                        help="retirements per step request (default 5000)")
+    parser.add_argument("--pool", type=int, default=2,
+                        help="in-process mode: machine-pool capacity")
+    parser.add_argument("--check-batch", action="store_true",
+                        help="verify served digests against the batch run")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="send a shutdown request when done (TCP mode)")
+    args = parser.parse_args(argv)
+
+    spec = {"benchmark": args.benchmark, "scale": args.scale,
+            "acf": args.acf}
+
+    if args.connect:
+        from repro.serve.client import connect
+
+        host, _, port = args.connect.rpartition(":")
+        make_client = lambda tenant: connect(host or "127.0.0.1", int(port),
+                                             tenant=tenant)
+    else:
+        from repro.serve.client import InProcessClient
+        from repro.serve.server import ServerCore
+
+        core = ServerCore(pool_capacity=args.pool)
+        make_client = lambda tenant: InProcessClient(core, tenant=tenant)
+
+    summary = run_load(make_client, tenants=args.tenants,
+                       sessions=args.sessions, spec=spec, steps=args.steps,
+                       check_batch=args.check_batch)
+    if args.shutdown and args.connect:
+        from repro.serve.client import connect
+
+        host, _, port = args.connect.rpartition(":")
+        with connect(host or "127.0.0.1", int(port)) as client:
+            summary["shutdown"] = client.shutdown()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if summary["failures"]:
+        print(f"DIGEST MISMATCH in {len(summary['failures'])} session(s)",
+              file=sys.stderr)
+        return 1
+    if args.check_batch and not summary["digest_matches"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""The serve wire protocol: newline-delimited JSON frames.
+
+One request per line, one response per line, UTF-8, canonical JSON
+(sorted keys) on the way out.  The shape is deliberately minimal — it is
+the same framing the fabric's future multi-host executor will speak, so
+a remote worker can reuse this module verbatim:
+
+* request: ``{"id": <int>, "op": "<name>", ...params}``
+* success: ``{"id": <int>, "ok": true, "result": {...}}``
+* failure: ``{"id": <int>, "ok": false, "error": {"type": ..., "message":
+  ..., "retryable": ..., ...fields}}``
+
+``id`` is chosen by the client and echoed verbatim so a pipelined client
+can match responses to requests.  Errors are the structured
+:class:`~repro.errors.ReproError` taxonomy flattened through
+``details()`` — a client can rebuild the typed exception
+(:func:`raise_error_payload`) and apply the same retry policy it would
+in-process.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.errors import (
+    BudgetExceededError,
+    ProtocolError,
+    ReproError,
+    SessionError,
+    ServeError,
+)
+
+#: Bumped whenever a request/response field changes meaning.  ``hello``
+#: reports it; clients refuse to talk across versions.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame, request or response (16 MiB): a run's worth of
+#: campaign report fits, a runaway payload does not.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: The operations a server accepts.  Kept here (not in server.py) so the
+#: client, the load generator, and the docs enumerate the same surface.
+OPS = (
+    "hello",
+    "open_session",
+    "step",
+    "run",
+    "checkpoint",
+    "restore",
+    "fork",
+    "state",
+    "result",
+    "events",
+    "close_session",
+    "campaign_start",
+    "campaign_poll",
+    "stats",
+    "shutdown",
+)
+
+
+def encode_message(message: dict) -> bytes:
+    """One canonical-JSON frame, newline-terminated."""
+    data = json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return data
+
+
+def decode_message(line) -> dict:
+    """Parse one frame (bytes or str); raises :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame of {len(line)} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte limit"
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not UTF-8: {exc}") from None
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"frame is not JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def check_request(request: dict) -> str:
+    """Validate a decoded request; returns its ``op`` name."""
+    op = request.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request has no 'op' field")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; this server speaks {', '.join(OPS)}"
+        )
+    return op
+
+
+def ok_response(request_id, result: dict) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id, exc: BaseException) -> dict:
+    """Flatten an exception into the error envelope."""
+    if isinstance(exc, ReproError):
+        payload = exc.details()
+        payload["retryable"] = exc.retryable
+    else:
+        payload = {"type": type(exc).__name__, "message": str(exc),
+                   "retryable": False}
+    return {"id": request_id, "ok": False, "error": payload}
+
+
+#: Error types the client rebuilds as their original class, so server-side
+#: and in-process failures are caught by the same ``except`` clauses.
+_REBUILDERS = {
+    "BudgetExceededError": lambda p: BudgetExceededError(
+        p.get("message", ""), tenant=p.get("tenant"), budget=p.get("budget"),
+        limit=p.get("limit"), used=p.get("used"),
+    ),
+    "SessionError": lambda p: SessionError(
+        p.get("message", ""), session=p.get("session"),
+    ),
+    "ProtocolError": lambda p: ProtocolError(p.get("message", "")),
+}
+
+
+class RemoteError(ServeError):
+    """A server-side failure with no richer client-side class.
+
+    ``error_type`` preserves the server's exception type name and
+    ``payload`` the full structured error, so callers can still branch on
+    cause without string matching.
+    """
+
+    def __init__(self, message: str, *, error_type: Optional[str] = None,
+                 payload: Optional[dict] = None):
+        super().__init__(message)
+        self.error_type = error_type
+        self._payload = payload or {}
+
+    @property
+    def retryable(self):  # type: ignore[override]
+        return bool(self._payload.get("retryable", False))
+
+
+def raise_error_payload(payload: dict):
+    """Re-raise a response's error payload as a typed exception."""
+    error_type = payload.get("type", "RemoteError")
+    rebuild = _REBUILDERS.get(error_type)
+    if rebuild is not None:
+        raise rebuild(payload)
+    raise RemoteError(
+        f"{error_type}: {payload.get('message', '')}",
+        error_type=error_type, payload=payload,
+    )

@@ -1512,7 +1512,22 @@ class Machine:
     # Precise state (PC:DISEPC checkpoints, Section 2.1/2.2)
     # ------------------------------------------------------------------
     def checkpoint(self) -> dict:
-        """Capture precise state at the current PC:DISEPC boundary."""
+        """Capture precise state at the current PC:DISEPC boundary.
+
+        The checkpoint carries the execution counters too, so restoring
+        into a *fresh* machine (fork semantics — a new controller/session
+        resuming someone else's run) continues ``instructions`` /
+        ``app_instructions`` / ``expansions`` and the PT/RT miss tallies
+        from the checkpoint instead of restarting them at zero; an
+        :class:`ExecutionTimeout` budget therefore fires at the same
+        cumulative retirement count whether or not the run was migrated.
+        A fresh machine built on the same image and an equivalent
+        production set also re-binds to the warm
+        ``image._translation_store`` entry (keyed by the engine's
+        content-based ``production_signature``), so the restored run
+        skips interpretive warmup entirely — see
+        :meth:`_attach_translations`.
+        """
         return {
             "regs": list(self.regs),
             "mem": self.mem.snapshot(),
@@ -1522,16 +1537,42 @@ class Machine:
             "halted": self.halted,
             "fault_code": self.fault_code,
             "outputs": list(self.outputs),
+            "counters": {
+                "instructions": self.instructions,
+                "app_instructions": self.app_instructions,
+                "expansions": self.expansions,
+                "pt_misses": self.pt_misses,
+                "rt_misses": self.rt_misses,
+            },
         }
 
     def restore(self, state: dict):
-        """Resume from a checkpoint, re-expanding a mid-sequence trigger."""
+        """Resume from a checkpoint, re-expanding a mid-sequence trigger.
+
+        Checkpoints written by older builds lack the ``counters`` key;
+        those restore architectural state only and leave this machine's
+        counters untouched (the pre-fork behaviour).
+        """
         self.regs = list(state["regs"])
         self.mem.restore(state["mem"])
         self.idx = state["idx"]
         self.halted = state["halted"]
         self.fault_code = state["fault_code"]
         self.outputs = list(state["outputs"])
+        counters = state.get("counters")
+        if counters is not None:
+            self.instructions = counters["instructions"]
+            self.app_instructions = counters["app_instructions"]
+            self.expansions = counters["expansions"]
+            self.pt_misses = counters["pt_misses"]
+            self.rt_misses = counters["rt_misses"]
+            if self._tm_prev is not None:
+                # Only growth *after* the restore publishes to telemetry:
+                # the checkpointing machine already published (or will
+                # publish) everything up to the checkpoint.
+                for field in ("instructions", "app_instructions",
+                              "expansions", "pt_misses", "rt_misses"):
+                    self._tm_prev[field] = counters[field]
         self._exp = None
         self._disepc = 0
         self._pending = None

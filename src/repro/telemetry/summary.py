@@ -199,6 +199,38 @@ def render_summary(run: RunView) -> str:
         lines.append(f"  re-admissions          {readmitted}")
         lines.append("")
 
+    # -- serve sessions ------------------------------------------------
+    serve_names = [name for name in run.metrics if name.startswith("serve.")]
+    if serve_names:
+        lines.append("## Serve sessions")
+        lines.append(f"  requests               {run.value('serve.requests')}"
+                     f" ({run.value('serve.errors')} errors)")
+        ops = run.counters_with_prefix("serve.requests.")
+        for op, count in ops:
+            label = f"op {op}"
+            lines.append(f"  {label:<22s} {count}")
+        lines.append(f"  sessions opened        "
+                     f"{run.value('serve.sessions.opened')} "
+                     f"({run.value('serve.sessions.forked')} forked, "
+                     f"{run.value('serve.sessions.closed')} closed, "
+                     f"{run.value('serve.sessions.resumed')} resumed)")
+        warm_builds = run.value("serve.pool.warm_builds")
+        builds = warm_builds + run.value("serve.pool.cold_builds")
+        if builds:
+            lines.append(f"  machine builds         {builds} "
+                         f"({_pct(_ratio(warm_builds, builds))} warm)")
+        for name, label in (
+            ("serve.pool.evictions", "pool evictions"),
+            ("serve.retired", "retirements served"),
+            ("serve.errors.BudgetExceededError", "budget rejections"),
+            ("serve.campaigns.started", "campaigns started"),
+            ("serve.shutdowns", "graceful shutdowns"),
+        ):
+            value = run.value(name)
+            if value:
+                lines.append(f"  {label:<22s} {value}")
+        lines.append("")
+
     # -- harness tasks -------------------------------------------------
     lines.append("## Harness tasks")
     if run.tasks:

@@ -106,7 +106,19 @@ def cmd_run(args):
         installation = attach_mfi(image, args.mfi)
     else:
         installation = plain_installation(image)
-    result = installation.run(max_steps=args.max_steps)
+    observer = None
+    if args.digest:
+        from repro.verify.observe import ChainedObserver
+
+        observer = ChainedObserver(args.projection)
+    result = installation.run(max_steps=args.max_steps, observer=observer)
+    if observer is not None:
+        # The chained observation digest — the batch side of the serving
+        # layer's reproducibility oracle (a served run of the same spec
+        # must print the identical value; see docs/serving.md).
+        print(f"digest: {observer.hexdigest()} "
+              f"({observer.count} observations, "
+              f"projection {observer.projection})")
     print(f"halted: {result.halted}  fault: {result.fault_code}")
     print(f"outputs: {result.outputs}")
     print(f"dynamic instructions: {result.instructions} "
@@ -351,6 +363,23 @@ def cmd_fabric(args):
         return 0
 
     if args.action == "status":
+        if getattr(args, "json", False):
+            doc = {"checkpoint": None, "store": None}
+            code = 0
+            if args.checkpoint:
+                header = read_checkpoint_header(args.checkpoint)
+                if header is None:
+                    doc["checkpoint"] = {"path": args.checkpoint,
+                                         "readable": False}
+                    code = 1
+                else:
+                    doc["checkpoint"] = dict(header, path=args.checkpoint,
+                                             readable=True)
+            store = resolve_store(args.store if args.store else "auto")
+            if store is not None:
+                doc["store"] = store.stats()
+            print(json.dumps(doc, sort_keys=True))
+            return code
         code = 0
         if args.checkpoint:
             header = read_checkpoint_header(args.checkpoint)
@@ -611,17 +640,27 @@ def cmd_telemetry(args):
 
 def cmd_cache(args):
     """``cache``: inspect or clear the persistent trace cache."""
+    import json
+
     from repro.harness.trace_cache import default_cache_root, open_cache
 
     cache = open_cache(args.dir if args.dir else "auto")
     if cache is None:
         root = default_cache_root()
+        if getattr(args, "json", False):
+            print(json.dumps({"enabled": False,
+                              "root": str(root) if root else None},
+                             sort_keys=True))
+            return 1
         print("trace cache is disabled"
               + (f" (REPRO_TRACE_CACHE={root})" if root else
                  " (REPRO_TRACE_CACHE)"))
         return 1
     if args.action == "stats":
         stats = cache.stats()
+        if getattr(args, "json", False):
+            print(json.dumps(dict(stats, enabled=True), sort_keys=True))
+            return 0
         print(f"cache root: {stats['root']} "
               f"(current schema v{stats['schema_version']})")
         for kind in ("traces", "cycles", "quarantined"):
@@ -640,6 +679,43 @@ def cmd_cache(args):
     print(f"removed {removed} entries from {cache.root} "
           "(entries newer than this build's schema are kept)")
     return 0
+
+
+def cmd_serve(args):
+    """``serve``: run the multi-tenant simulation server (docs/serving.md).
+
+    With ``REPRO_TELEMETRY=1`` the run's JSONL event log doubles as the
+    access log: one ``serve.request`` span per request plus the
+    ``serve.*`` counter catalog; the log lands in
+    ``REPRO_SERVE_ACCESS_LOG`` (or the usual telemetry directory).
+    """
+    from repro.serve.server import run_server
+
+    log_dir = os.environ.get("REPRO_SERVE_ACCESS_LOG") or None
+    state_dir = args.state_dir or os.environ.get("REPRO_SERVE_STATE") or None
+
+    def ready(host, port):
+        print(f"serving on {host}:{port}", flush=True)
+
+    from repro import telemetry
+
+    telemetry.start_run(log_dir=log_dir, argv=sys.argv[1:])
+    status = "ok"
+    try:
+        return run_server(
+            host=args.host, port=args.port, ready=ready,
+            pool_capacity=args.pool,
+            retirement_limit=args.retirements,
+            wall_limit=args.wall,
+            state_dir=state_dir,
+        )
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        path = telemetry.finish_run(status)
+        if path is not None:
+            print(f"telemetry: {path}", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -670,6 +746,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timing", action="store_true",
                    help="also replay under the cycle model")
     p.add_argument("--max-steps", type=int, default=30_000_000)
+    p.add_argument("--digest", action="store_true",
+                   help="print the chained observation digest (the batch "
+                   "side of the serving reproducibility oracle)")
+    p.add_argument("--projection", default="full",
+                   choices=["full", "app", "user", "retire"],
+                   help="observation projection for --digest "
+                   "(default full)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compress", help="compress a program")
@@ -839,6 +922,9 @@ def build_parser() -> argparse.ArgumentParser:
                    "quarantined ones")
     p.add_argument("--out", help="resume: write the finished report "
                    "JSON here")
+    p.add_argument("--json", action="store_true",
+                   help="status: print machine-readable JSON instead of "
+                   "text")
     p.add_argument("-j", "--jobs", type=int,
                    help="parallel workers (default: REPRO_JOBS or 1)")
     p.add_argument("--progress", action="store_true",
@@ -850,7 +936,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=["stats", "clear"])
     p.add_argument("--dir", help="cache directory "
                    "(default: REPRO_TRACE_CACHE or ~/.cache/repro-dise)")
+    p.add_argument("--json", action="store_true",
+                   help="stats: print machine-readable JSON instead of "
+                   "text")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant simulation server (see docs/serving.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = pick an ephemeral port; "
+                   "the bound address is printed on stdout)")
+    p.add_argument("--pool", type=int, default=None,
+                   help="live-machine pool capacity "
+                   "(default: REPRO_SERVE_POOL or 8)")
+    p.add_argument("--retirements", type=int, default=None,
+                   help="per-tenant retirement budget "
+                   "(default: REPRO_SERVE_RETIREMENTS or unlimited)")
+    p.add_argument("--wall", type=float, default=None,
+                   help="per-tenant wall-clock budget in seconds "
+                   "(default: REPRO_SERVE_WALL or unlimited)")
+    p.add_argument("--state-dir",
+                   help="directory for graceful-shutdown session "
+                   "snapshots (default: REPRO_SERVE_STATE or off)")
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

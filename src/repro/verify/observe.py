@@ -135,6 +135,61 @@ class Observer:
         return self._h.hexdigest()
 
 
+class ChainedObserver(Observer):
+    """An :class:`Observer` whose digest state is an explicit 32-byte value.
+
+    Instead of one long-lived ``sha256()`` stream (whose internal state
+    cannot be serialized), each observation is folded as
+    ``digest_n = sha256(digest_{n-1} || repr(obs))`` starting from 32 zero
+    bytes.  The running digest is therefore a plain ``(count, hex)`` pair
+    that survives JSON round-trips: the serving layer checkpoints it when
+    a session is evicted, forked, or carried across a server restart, and
+    ``repro-cli run --digest`` folds the identical chain so a served run's
+    digest can be compared byte-for-byte against the batch CLI's.
+
+    The chained fold produces a *different* digest than :class:`Observer`
+    for the same stream — compare chained against chained only.
+    """
+
+    __slots__ = ("_digest",)
+
+    #: Chain seed: 32 zero bytes (the width of one sha256 link).
+    SEED = b"\x00" * 32
+
+    def __init__(self, projection: str = "full",
+                 state: Optional[dict] = None):
+        super().__init__(projection)
+        self._digest = self.SEED
+        if state is not None:
+            if state.get("projection", projection) != self.projection:
+                raise ValueError(
+                    f"observer state was captured under projection "
+                    f"{state.get('projection')!r}, not {self.projection!r}"
+                )
+            self.count = int(state["count"])
+            self._digest = bytes.fromhex(state["digest"])
+            if len(self._digest) != 32:
+                raise ValueError("observer digest state must be 32 bytes")
+
+    def _emit(self, obs, machine, instr, pc, disepc):
+        self._digest = hashlib.sha256(
+            self._digest + repr(obs).encode("ascii")
+        ).digest()
+        self.count += 1
+
+    def hexdigest(self) -> str:
+        return self._digest.hex()
+
+    def state(self) -> dict:
+        """JSON-serializable digest state; feed back via ``state=``."""
+        return {"projection": self.projection, "count": self.count,
+                "digest": self.hexdigest()}
+
+    def clone(self) -> "ChainedObserver":
+        """An independent observer continuing this digest chain (fork)."""
+        return ChainedObserver(self.projection, state=self.state())
+
+
 class WindowedObserver(Observer):
     """An :class:`Observer` that also records the rolling digest at every
     ``window`` observations, so a later pass can locate the first divergent

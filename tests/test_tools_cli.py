@@ -112,3 +112,60 @@ class TestReport:
         assert main(["report", "--benchmarks", "mcf", "--scale", "0.1",
                      "--experiments", "fig7_ratio"]) == 0
         assert "Figure 7 (top)" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    """``--json`` variants of the inspection subcommands (scripting)."""
+
+    def test_fabric_status_json(self, capsys, monkeypatch):
+        import json
+
+        monkeypatch.delenv("REPRO_FABRIC_STORE", raising=False)
+        assert main(["fabric", "status", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == {"checkpoint": None, "store": None}
+
+    def test_fabric_status_json_unreadable_checkpoint(self, tmp_path,
+                                                      capsys):
+        import json
+
+        missing = str(tmp_path / "nope.ckpt")
+        assert main(["fabric", "status", "--json",
+                     "--checkpoint", missing]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["checkpoint"] == {"path": missing, "readable": False}
+
+    def test_cache_stats_json(self, capsys):
+        import json
+
+        # conftest points REPRO_TRACE_CACHE at a temp dir, so it's on.
+        assert main(["cache", "stats", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["enabled"] is True
+        for kind in ("traces", "cycles", "quarantined"):
+            assert "entries" in doc[kind]
+
+    def test_cache_stats_json_disabled(self, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "")
+        assert main(["cache", "stats", "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["enabled"] is False
+
+
+class TestServeParser:
+    def test_serve_subcommand_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "7337", "--pool", "4",
+                                  "--retirements", "1000000",
+                                  "--wall", "60", "--state-dir", "/tmp/x"])
+        assert args.port == 7337 and args.pool == 4
+        assert args.retirements == 1000000
+        assert args.wall == 60.0 and args.state_dir == "/tmp/x"
+
+    def test_run_digest_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--benchmark", "gzip", "--digest",
+                                  "--projection", "app"])
+        assert args.digest is True and args.projection == "app"

@@ -135,6 +135,20 @@ class TenantLedger:
             "requests": self.requests,
         }
 
+    def restore(self, snapshot: dict):
+        """Re-charge usage from a :meth:`snapshot` of a previous server.
+
+        Limits stay whatever this server was configured with (operators
+        may legitimately change them across restarts); only *usage*
+        carries over, so a graceful restart never refills a tenant's
+        spent retirement or wall-clock allowance.
+        """
+        self.retired += int(snapshot.get("retired", 0))
+        self.requests += int(snapshot.get("requests", 0))
+        # Back-date the meter's start so elapsed() continues from the
+        # persisted value (works with injected clocks too).
+        self._started -= float(snapshot.get("elapsed", 0.0))
+
 
 class BudgetBook:
     """All tenants' ledgers, created lazily with the server's defaults."""
@@ -158,3 +172,10 @@ class BudgetBook:
 
     def snapshot(self) -> list:
         return [ledger.snapshot() for ledger in self._ledgers.values()]
+
+    def restore(self, snapshots) -> None:
+        """Revive per-tenant usage persisted at graceful shutdown."""
+        for snapshot in snapshots or []:
+            tenant = snapshot.get("tenant")
+            if isinstance(tenant, str) and tenant:
+                self.ledger(tenant).restore(snapshot)

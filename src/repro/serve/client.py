@@ -105,8 +105,9 @@ class BaseClient:
     def stats(self) -> dict:
         return self.call("stats")
 
-    def shutdown(self) -> dict:
-        return self.call("shutdown")
+    def shutdown(self, token: Optional[str] = None) -> dict:
+        """Operator-only: requires the server's admin token."""
+        return self.call("shutdown", token=token)
 
     # -- context -------------------------------------------------------
     def close(self):
@@ -132,7 +133,14 @@ class InProcessClient(BaseClient):
         # fails here exactly as it would on the wire.
         frame = protocol.encode_message(request)
         response = self.core.handle(protocol.decode_message(frame))
-        return protocol.decode_message(protocol.encode_message(response))
+        try:
+            frame = protocol.encode_message(response)
+        except ProtocolError as exc:
+            # Same behaviour as the TCP shell when a result outgrows
+            # the frame cap: a small typed error, not a raised encode.
+            frame = protocol.encode_message(
+                protocol.error_response(response.get("id"), exc))
+        return protocol.decode_message(frame)
 
 
 class TcpClient(BaseClient):

@@ -130,7 +130,11 @@ def main(argv=None) -> int:
     parser.add_argument("--check-batch", action="store_true",
                         help="verify served digests against the batch run")
     parser.add_argument("--shutdown", action="store_true",
-                        help="send a shutdown request when done (TCP mode)")
+                        help="send a shutdown request when done (TCP mode; "
+                        "needs --admin-token)")
+    parser.add_argument("--admin-token", default=None,
+                        help="operator token for --shutdown (default: "
+                        "REPRO_SERVE_ADMIN_TOKEN)")
     args = parser.parse_args(argv)
 
     spec = {"benchmark": args.benchmark, "scale": args.scale,
@@ -153,11 +157,15 @@ def main(argv=None) -> int:
                        sessions=args.sessions, spec=spec, steps=args.steps,
                        check_batch=args.check_batch)
     if args.shutdown and args.connect:
+        import os
+
         from repro.serve.client import connect
 
+        token = args.admin_token or \
+            os.environ.get("REPRO_SERVE_ADMIN_TOKEN") or None
         host, _, port = args.connect.rpartition(":")
         with connect(host or "127.0.0.1", int(port)) as client:
-            summary["shutdown"] = client.shutdown()
+            summary["shutdown"] = client.shutdown(token)
     print(json.dumps(summary, indent=2, sort_keys=True))
     if summary["failures"]:
         print(f"DIGEST MISMATCH in {len(summary['failures'])} session(s)",

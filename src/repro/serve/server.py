@@ -22,7 +22,9 @@ log doubles as the access log (see docs/serving.md).
 
 from __future__ import annotations
 
+import hmac
 import json
+import os
 import threading
 from pathlib import Path
 from typing import Dict, Optional
@@ -46,9 +48,10 @@ _STATE_FILE = "sessions.json"
 class _Campaign:
     """One background campaign: a driver running on its own thread."""
 
-    def __init__(self, campaign_id: str, kind: str, thread):
+    def __init__(self, campaign_id: str, kind: str, tenant: str, thread):
         self.campaign_id = campaign_id
         self.kind = kind
+        self.tenant = tenant
         self.thread = thread
         self.status = "running"
         self.report = None
@@ -151,8 +154,17 @@ class ServerCore:
     def __init__(self, *, pool_capacity: Optional[int] = None,
                  retirement_limit: Optional[int] = None,
                  wall_limit: Optional[float] = None,
-                 state_dir=None, clock=None):
+                 state_dir=None, clock=None,
+                 admin_token: Optional[str] = None):
         self._lock = threading.RLock()
+        # Operator credential for the wire `shutdown` op: explicit
+        # argument > REPRO_SERVE_ADMIN_TOKEN > disabled.  With no token
+        # the op is refused outright — an anonymous tenant must not be
+        # able to park the server for everyone (operators signal the
+        # process instead; `ServerCore.shutdown()` stays callable).
+        if admin_token is None:
+            admin_token = os.environ.get("REPRO_SERVE_ADMIN_TOKEN") or None
+        self.admin_token = admin_token
         self.catalog = ImageCatalog()
         self.pool = MachinePool(pool_capacity)
         kwargs = {} if clock is None else {"clock": clock}
@@ -180,6 +192,9 @@ class ServerCore:
                 f"{path}: unsupported serve state schema "
                 f"{doc.get('schema')!r}"
             )
+        # Revive budget ledgers first: a restart must not refill a
+        # tenant's spent retirement/wall-clock allowance.
+        self.budgets.restore(doc.get("budgets", []))
         for state in doc.get("sessions", []):
             session = Session.from_state(state, self.catalog)
             self.sessions[session.session_id] = session
@@ -200,7 +215,8 @@ class ServerCore:
             self.pool.park_all()
             persisted = 0
             if self.state_dir is not None:
-                doc = {"schema": STATE_SCHEMA, "sessions": []}
+                doc = {"schema": STATE_SCHEMA, "sessions": [],
+                       "budgets": self.budgets.snapshot()}
                 for session in self.sessions.values():
                     if session.closed:
                         continue
@@ -370,7 +386,7 @@ class ServerCore:
         self._campaign_seq += 1
         campaign_id = f"c{self._campaign_seq}"
 
-        campaign = _Campaign(campaign_id, kind, None)
+        campaign = _Campaign(campaign_id, kind, tenant, None)
 
         def _run():
             try:
@@ -390,7 +406,10 @@ class ServerCore:
 
     def _op_campaign_poll(self, tenant, request):
         campaign = self.campaigns.get(request.get("campaign"))
-        if campaign is None:
+        if campaign is None or campaign.tenant != tenant:
+            # Deliberately the same error as "never existed": campaign
+            # ids are sequential, and tenants must not be able to probe
+            # (let alone read) each other's campaign reports.
             raise ProtocolError(
                 f"no such campaign: {request.get('campaign')!r}")
         return campaign.poll()
@@ -404,11 +423,23 @@ class ServerCore:
             "catalog": self.catalog.stats(),
             "budgets": self.budgets.snapshot(),
             "campaigns": {
-                cid: c.status for cid, c in self.campaigns.items()},
+                cid: c.status for cid, c in self.campaigns.items()
+                if c.tenant == tenant},
             "closed": self.closed,
         }
 
     def _op_shutdown(self, tenant, request):
+        if self.admin_token is None:
+            raise ProtocolError(
+                "shutdown over the wire is disabled; start the server "
+                "with --admin-token/REPRO_SERVE_ADMIN_TOKEN or signal "
+                "the process (SIGINT/SIGTERM)"
+            )
+        token = request.get("token")
+        if not isinstance(token, str) or \
+                not hmac.compare_digest(token, self.admin_token):
+            raise ProtocolError("shutdown requires the operator "
+                                "admin token")
         return self.shutdown()
 
 
@@ -425,6 +456,39 @@ class ReproServer:
         self.port = port
         self._server = None
 
+    @staticmethod
+    async def _read_frame(reader):
+        """One newline-terminated frame, or ``None`` at EOF.
+
+        Raises :class:`ProtocolError` when a frame overruns the stream
+        limit, after consuming the oversized frame up to its newline —
+        so the caller can report the error on the wire and keep serving
+        the connection (pipelined frames behind it are untouched).
+        """
+        import asyncio
+
+        try:
+            return await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as exc:
+            # EOF: a final unterminated frame is still decoded.
+            return exc.partial or None
+        except asyncio.LimitOverrunError as exc:
+            discarded = 0
+            consumed = exc.consumed
+            while True:
+                discarded += len(await reader.readexactly(max(1, consumed)))
+                try:
+                    discarded += len(await reader.readuntil(b"\n"))
+                    break
+                except asyncio.LimitOverrunError as again:
+                    consumed = again.consumed
+                except asyncio.IncompleteReadError:
+                    break
+            raise ProtocolError(
+                f"frame of {discarded} bytes exceeds the "
+                f"{protocol.MAX_FRAME_BYTES}-byte limit"
+            ) from None
+
     async def _handle_connection(self, reader, writer):
         import asyncio
 
@@ -432,8 +496,13 @@ class ReproServer:
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except (ConnectionError, asyncio.LimitOverrunError):
+                    line = await self._read_frame(reader)
+                except ProtocolError as exc:
+                    response = protocol.error_response(None, exc)
+                    writer.write(protocol.encode_message(response))
+                    await writer.drain()
+                    continue
+                except ConnectionError:
                     break
                 if not line:
                     break
@@ -448,7 +517,15 @@ class ReproServer:
                     # of steps); keep the loop free to accept/read.
                     response = await loop.run_in_executor(
                         None, self.core.handle, request)
-                writer.write(protocol.encode_message(response))
+                try:
+                    payload = protocol.encode_message(response)
+                except ProtocolError as exc:
+                    # The result outgrew the frame cap (huge campaign
+                    # report / events backlog): the client gets a small
+                    # typed error, not a dead connection.
+                    payload = protocol.encode_message(
+                        protocol.error_response(response.get("id"), exc))
+                writer.write(payload)
                 await writer.drain()
         finally:
             writer.close()
@@ -462,8 +539,13 @@ class ReproServer:
     async def start(self):
         import asyncio
 
+        # The stream limit must cover a full protocol frame (asyncio's
+        # default is 64 KiB, which would reject the 16 MiB frames the
+        # protocol promises — large restore checkpoints, source
+        # uploads); slack covers the newline terminator.
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port)
+            self._handle_connection, self.host, self.port,
+            limit=protocol.MAX_FRAME_BYTES + 1024)
         self.port = self._server.sockets[0].getsockname()[1]
         return self
 

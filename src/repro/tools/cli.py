@@ -708,6 +708,7 @@ def cmd_serve(args):
             retirement_limit=args.retirements,
             wall_limit=args.wall,
             state_dir=state_dir,
+            admin_token=args.admin_token,
         )
     except BaseException:
         status = "error"
@@ -961,6 +962,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--state-dir",
                    help="directory for graceful-shutdown session "
                    "snapshots (default: REPRO_SERVE_STATE or off)")
+    p.add_argument("--admin-token", default=None,
+                   help="operator token enabling the wire `shutdown` op "
+                   "(default: REPRO_SERVE_ADMIN_TOKEN; unset = op "
+                   "disabled, signal the process instead)")
     p.set_defaults(func=cmd_serve)
 
     return parser

@@ -60,7 +60,8 @@ def _hermetic_serve_env(monkeypatch):
     """Serve knobs come from arguments, not the ambient environment."""
     for name in ("REPRO_SERVE_POOL", "REPRO_SERVE_RETIREMENTS",
                  "REPRO_SERVE_WALL", "REPRO_SERVE_ACCESS_LOG",
-                 "REPRO_SERVE_STATE", "REPRO_DISPATCH"):
+                 "REPRO_SERVE_STATE", "REPRO_SERVE_ADMIN_TOKEN",
+                 "REPRO_DISPATCH"):
         monkeypatch.delenv(name, raising=False)
 
 
@@ -299,6 +300,18 @@ class TestSessionLifecycle:
         assert response["error"]["type"] == "ProtocolError"
         assert core.handle({"op": "hello", "tenant": ""})["ok"] is False
 
+    def test_oversized_result_enveloped_in_process(self):
+        class _HugeCore:
+            def handle(self, request):
+                return protocol.ok_response(
+                    request.get("id"),
+                    {"blob": "x" * protocol.MAX_FRAME_BYTES})
+
+        client = InProcessClient(_HugeCore(), tenant="t0")
+        with pytest.raises(ProtocolError) as info:
+            client.call("stats")
+        assert "limit" in str(info.value)
+
 
 # ----------------------------------------------------------------------
 # Cross-tenant warm starts through the shared catalog
@@ -507,11 +520,11 @@ class TestBudgets:
 # ----------------------------------------------------------------------
 class TestShutdownResume:
     def test_shutdown_parks_and_resume_continues(self, tmp_path, batch):
-        core = make_core(state_dir=tmp_path)
+        core = make_core(state_dir=tmp_path, admin_token="op-secret")
         client = InProcessClient(core, tenant="t0")
         sid = client.open_session(dict(SPEC))
         view = client.step(sid, steps=5000)
-        summary = client.shutdown()
+        summary = client.shutdown("op-secret")
         assert summary["persisted"] == 1
         assert (tmp_path / "sessions.json").is_file()
         # A closing server refuses work but still answers hello/stats.
@@ -530,12 +543,50 @@ class TestShutdownResume:
         assert client2.run(sid)["digest"] == batch["digest"]
         # New ids keep clear of revived ones.
         assert client2.open_session(dict(SPEC)) != sid
+        # Budget usage survived the restart alongside the sessions.
+        assert revived.budgets.ledger("t0").retired >= 5000
 
     def test_shutdown_without_state_dir(self):
-        client = InProcessClient(make_core(), tenant="t0")
+        client = InProcessClient(make_core(admin_token="op-secret"),
+                                 tenant="t0")
         client.open_session(dict(SPEC))
-        summary = client.shutdown()
+        summary = client.shutdown("op-secret")
         assert summary["persisted"] == 0 and summary["state_dir"] is None
+
+    def test_shutdown_requires_admin_token(self):
+        core = make_core(admin_token="op-secret")
+        client = InProcessClient(core, tenant="mallory")
+        with pytest.raises(ProtocolError):
+            client.shutdown()  # no token
+        with pytest.raises(ProtocolError):
+            client.shutdown("guess")  # wrong token
+        assert core.closed is False
+        assert client.stats()["closed"] is False
+
+    def test_shutdown_disabled_without_configured_token(self):
+        core = make_core()  # no admin_token, env cleared by fixture
+        client = InProcessClient(core, tenant="anyone")
+        with pytest.raises(ProtocolError):
+            client.shutdown()
+        assert core.closed is False
+        # The operator-side entry point still works (SIGINT path).
+        assert core.shutdown()["persisted"] == 0
+
+    def test_restart_does_not_refill_budgets(self, tmp_path):
+        core = make_core(state_dir=tmp_path, retirement_limit=10_000,
+                         admin_token="op-secret")
+        client = InProcessClient(core, tenant="t0")
+        sid = client.open_session(dict(SPEC))
+        client.step(sid, steps=6000)
+        client.shutdown("op-secret")
+
+        revived = make_core(state_dir=tmp_path, retirement_limit=10_000)
+        client2 = InProcessClient(revived, tenant="t0")
+        with pytest.raises(BudgetExceededError) as info:
+            client2.step(sid, steps=6000)
+        # The meter continued from 6000: exactly 4000 more retire.
+        assert info.value.used == info.value.limit == 10_000
+        assert client2.state(sid)["instructions"] == 10_000
 
     def test_unsupported_state_schema_rejected(self, tmp_path):
         (tmp_path / "sessions.json").write_text(
@@ -614,6 +665,43 @@ class TestTcpTransport:
         finally:
             client.close()
 
+    def test_large_frames_cross_the_wire(self, tcp_server):
+        # Frames well past asyncio's 64 KiB default stream limit (e.g.
+        # restore checkpoints, source uploads) must round-trip; handlers
+        # ignore the unknown padding field.
+        with TcpClient("127.0.0.1", tcp_server.port, tenant="t0") as client:
+            view = client.call("hello", pad="x" * (512 * 1024))
+            assert view["server"] == "repro-serve"
+
+    def test_oversized_frame_gets_error_not_hangup(self, tcp_server):
+        client = TcpClient("127.0.0.1", tcp_server.port, tenant="t0",
+                           timeout=120.0)
+        try:
+            client._sock.sendall(
+                b"x" * (protocol.MAX_FRAME_BYTES + 64 * 1024) + b"\n")
+            line = client._file.readline()
+            response = protocol.decode_message(line)
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ProtocolError"
+            assert "limit" in response["error"]["message"]
+            # The connection survives and keeps serving.
+            assert client.hello()["server"] == "repro-serve"
+        finally:
+            client.close()
+
+    def test_oversized_response_gets_error_envelope(self, tcp_server):
+        blob = {"blob": "x" * protocol.MAX_FRAME_BYTES}
+        tcp_server.core.handle = lambda request: protocol.ok_response(
+            request.get("id"), blob)
+        try:
+            with TcpClient("127.0.0.1", tcp_server.port, tenant="t0",
+                           timeout=120.0) as client:
+                with pytest.raises(ProtocolError) as info:
+                    client.call("stats")
+                assert "limit" in str(info.value)
+        finally:
+            del tcp_server.core.handle  # restore the real bound method
+
 
 # ----------------------------------------------------------------------
 # Campaigns through the service
@@ -669,6 +757,20 @@ class TestCampaigns:
         view = _poll_until_done(client, campaign)
         assert view["status"] == "error"
         assert view["error"]["type"] == "ProtocolError"
+
+    def test_campaigns_are_tenant_scoped(self):
+        core = make_core()
+        alice = InProcessClient(core, tenant="alice")
+        mallory = InProcessClient(core, tenant="mallory")
+        campaign = alice.campaign_start("experiment", {"name": "bogus"})
+        # Another tenant polling the (sequential) id gets the same error
+        # as a nonexistent campaign — no probing, no report reads.
+        with pytest.raises(ProtocolError):
+            mallory.campaign_poll(campaign)
+        view = _poll_until_done(alice, campaign)
+        assert view["status"] == "error"
+        assert campaign in alice.stats()["campaigns"]
+        assert campaign not in mallory.stats()["campaigns"]
 
     def test_unknown_campaign_kind_rejected(self):
         client = InProcessClient(make_core(), tenant="t0")

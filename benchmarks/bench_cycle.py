@@ -1,0 +1,231 @@
+"""Warm config-sweep throughput: outcome engine vs the reference loop.
+
+The figure harness replays each trace under dozens of machine
+configurations (Figures 6-8: placements, widths, RT geometries, cache
+sizes).  This benchmark measures that regime directly: per SPECint
+profile it builds one MFI trace, checks every ``CycleResult`` field is
+bit-identical between the two engines over a 12-config sweep, then
+times warm full-sweep replays for each engine (interleaved, best-of-k)
+and reports replays per second.  A separate telemetry pass over a
+fresh (serialization round-tripped, so memo-free) trace records the
+per-component outcome-memo hit rates the sweep achieves.
+
+Merges a ``cycle`` section into ``benchmarks/BENCH_sim.json`` and a
+``cycle_engine`` summary into ``benchmarks/BENCH_harness.json`` (both
+read-merge-write: other sections are preserved).  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_cycle.py [--scale 0.3]
+
+or via pytest (``pytest benchmarks/bench_cycle.py``), which uses the
+``REPRO_*`` environment knobs.  Under ``REPRO_BENCH_STRICT=1`` the
+geomean warm-sweep speedup must be >= 3x with every result identical.
+"""
+
+import argparse
+import dataclasses
+import json
+import math
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.acf.mfi import attach_mfi
+from repro.core.config import DiseConfig
+from repro.harness.trace_cache import deserialize_trace, serialize_trace
+from repro.sim.config import KB, MachineConfig
+from repro.sim.cycle import simulate_trace
+from repro.telemetry import registry as _telemetry
+from repro.workloads import BENCHMARK_NAMES
+from repro.workloads.generator import generate_benchmark
+from repro.workloads.specint import get_profile
+
+_BENCH_DIR = Path(__file__).parent
+
+_COMPONENTS = ("mem", "ctrl", "rt", "merged")
+
+
+def sweep_grid():
+    """A Figure 6-8 style 12-config sweep over one trace."""
+    base = MachineConfig()
+    return (
+        ("base", base),
+        ("placement-free", MachineConfig(dise=DiseConfig(placement="free"))),
+        ("placement-stall",
+         MachineConfig(dise=DiseConfig(placement="stall"))),
+        ("placement-pipe", MachineConfig(dise=DiseConfig(placement="pipe"))),
+        ("width-2", base.with_changes(width=2)),
+        ("width-8", base.with_changes(width=8)),
+        ("rt-tiny", MachineConfig(
+            dise=DiseConfig(rt_entries=4, rt_assoc=1))),
+        ("rt-64", MachineConfig(dise=DiseConfig(rt_entries=64, rt_assoc=1))),
+        ("rt-perfect", MachineConfig(dise=DiseConfig(rt_perfect=True))),
+        ("il1-4k", base.with_il1_size(4 * KB)),
+        ("perfect-caches", base.with_changes(il1=None, dl1=None, l2=None)),
+        ("no-predict-replacement",
+         base.with_changes(predict_replacement_branches=False)),
+    )
+
+
+def _result_fields(result):
+    return {f.name: getattr(result, f.name)
+            for f in dataclasses.fields(result)}
+
+
+def _sweep(trace, configs, engine):
+    for _label, config in configs:
+        simulate_trace(trace, config, warm_start=True, engine=engine)
+
+
+def _memo_hit_rates(trace, configs):
+    """One cold-to-warm outcome sweep on a memo-free trace copy."""
+    fresh = deserialize_trace(serialize_trace(trace))
+    with _telemetry.enabled_scope(True):
+        before = _telemetry.snapshot()
+        _sweep(fresh, configs, "outcome")
+        delta = _telemetry.snapshot_delta(before, _telemetry.snapshot())
+
+    def count(name):
+        entry = delta.get(name)
+        return entry["value"] if entry else 0
+
+    rates = {}
+    for component in _COMPONENTS:
+        hits = count(f"cycle.outcome.{component}.hits")
+        misses = count(f"cycle.outcome.{component}.misses")
+        rates[component] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / (hits + misses), 3)
+            if hits + misses else None,
+        }
+    return rates
+
+
+def _profile_cycle(name, scale, repeats):
+    """Equality check + warm-sweep timings for one benchmark profile."""
+    image = generate_benchmark(get_profile(name), scale=scale)
+    trace = attach_mfi(image, "dise4").run()
+    configs = sweep_grid()
+
+    # Equality pass over the whole grid (also warms both engines' memos,
+    # so the timed sweeps below measure the steady state the harness
+    # runs in).
+    identical = True
+    for _label, config in configs:
+        ref = simulate_trace(trace, config, warm_start=True,
+                             engine="reference")
+        out = simulate_trace(trace, config, warm_start=True,
+                             engine="outcome")
+        if _result_fields(ref) != _result_fields(out):
+            identical = False
+
+    best = {"reference": math.inf, "outcome": math.inf}
+    for _ in range(repeats):
+        # Interleave the engines so clock drift lands on both equally.
+        for engine in best:
+            t0 = time.perf_counter()
+            _sweep(trace, configs, engine)
+            best[engine] = min(best[engine], time.perf_counter() - t0)
+
+    replays = len(configs)
+    return {
+        "trace_ops": len(trace.columns.pc),
+        "configs": replays,
+        "replays_per_sec": {
+            engine: round(replays / elapsed, 1)
+            for engine, elapsed in best.items()
+        },
+        "speedup": round(best["reference"] / best["outcome"], 2),
+        "results_identical": identical,
+        "memo_hit_rates": _memo_hit_rates(trace, configs),
+    }
+
+
+def _geomean(values):
+    return round(math.exp(sum(math.log(v) for v in values) / len(values)), 2)
+
+
+def run_cycle_benchmark(scale=0.3, repeats=3, benchmarks=None):
+    """Warm config-sweep throughput across benchmark profiles."""
+    names = tuple(benchmarks) if benchmarks else BENCHMARK_NAMES
+    profiles = {name: _profile_cycle(name, scale, repeats)
+                for name in names}
+    speedups = [p["speedup"] for p in profiles.values()]
+    return {
+        "meta": {
+            "scale": scale,
+            "repeats": repeats,
+            "benchmarks": list(names),
+            "configs_per_sweep": len(sweep_grid()),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "profiles": profiles,
+        "summary": {
+            "geomean_speedup": _geomean(speedups),
+            "profiles_ge_3x": sum(1 for s in speedups if s >= 3.0),
+            "profiles_total": len(names),
+            "all_results_identical": all(
+                p["results_identical"] for p in profiles.values()),
+        },
+    }
+
+
+def _merge_payload(payload):
+    """Read-merge-write: only this benchmark's sections are replaced."""
+    sim_path = _BENCH_DIR / "BENCH_sim.json"
+    sim = json.loads(sim_path.read_text()) if sim_path.exists() else {}
+    sim["cycle"] = payload
+    sim_path.write_text(json.dumps(sim, indent=2) + "\n")
+    harness_path = _BENCH_DIR / "BENCH_harness.json"
+    harness = (json.loads(harness_path.read_text())
+               if harness_path.exists() else {})
+    harness["cycle_engine"] = payload["summary"]
+    harness_path.write_text(json.dumps(harness, indent=2) + "\n")
+    return sim_path
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+def test_cycle_sweep_throughput():
+    names = os.environ.get("REPRO_BENCHMARKS")
+    benchmarks = (
+        tuple(n.strip() for n in names.split(",") if n.strip()) if names
+        else None
+    )
+    payload = run_cycle_benchmark(
+        scale=float(os.environ.get("REPRO_SCALE", "0.3")),
+        repeats=int(os.environ.get("REPRO_BENCH_REPEATS", "3")),
+        benchmarks=benchmarks,
+    )
+    _merge_payload(payload)
+    assert payload["summary"]["all_results_identical"], \
+        "outcome engine diverged from the reference loop"
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        summary = payload["summary"]
+        assert summary["geomean_speedup"] >= 3.0, summary
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--benchmarks", help="comma-separated subset")
+    args = parser.parse_args(argv)
+    benchmarks = (
+        tuple(args.benchmarks.split(",")) if args.benchmarks else None
+    )
+    payload = run_cycle_benchmark(
+        scale=args.scale, repeats=args.repeats, benchmarks=benchmarks
+    )
+    out = _merge_payload(payload)
+    print(json.dumps(payload, indent=2))
+    print(f"merged 'cycle' into {out}")
+    return 0 if payload["summary"]["all_results_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -116,7 +116,13 @@ def run_harness_benchmark(jobs=4, scale=1.0, benchmarks=None):
 
 
 def _write_payload(payload):
+    # Read-merge-write: other benchmark modules (bench_batch,
+    # bench_cycle) merge their own sections (sim_batch, cycle_engine)
+    # into this file — preserve them regardless of run order.
     out = _BENCH_DIR / "BENCH_harness.json"
+    previous = json.loads(out.read_text()) if out.exists() else {}
+    for key, value in previous.items():
+        payload.setdefault(key, value)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     return out
 

@@ -79,8 +79,15 @@ class _EngineTelemetry:
 
     def record(self, engine, production, expansion):
         counter = self.match_counters.get(id(production))
-        if counter is not None:
-            counter.inc()
+        if counter is None:
+            # Pre-translated trigger sites can carry the production object
+            # of another equal-signature installation (superblocks are
+            # shared image-wide); resolve by the stable counter name.
+            counter = _telemetry.counter(
+                "engine.production."
+                f"{production.name or f'seq{production.seq_id}'}"
+            )
+        counter.inc()
         self.replacement_length.observe(len(expansion.instrs))
         self.pt_occupancy.set(len(engine.pt._resident))
         self.rt_occupancy.set(

@@ -160,3 +160,34 @@ class ReplacementTable:
     @property
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
+
+
+# ----------------------------------------------------------------------
+# Phase-A outcome pass (see repro.sim.cycle, "outcome" engine)
+# ----------------------------------------------------------------------
+def replay_rt(events, entries=2048, assoc=2, perfect=False, block_size=1,
+              passes=1) -> bytes:
+    """Replay an expansion stream through a fresh physical RT.
+
+    ``events`` is the trace's expansion stream in program order, one
+    ``(seq_id, length)`` pair per expansion.  Returns one byte per event:
+    1 where the sequence missed the RT (the whole sequence is refilled, as
+    in :meth:`ReplacementTable.access_sequence`), 0 on a hit.  RT miss
+    behaviour is a pure function of this stream and the RT geometry, so
+    the cycle simulator's "outcome" engine computes it once per (trace,
+    geometry) — a Figure-7 RT sweep recomputes only this column.
+
+    ``passes=2`` models ``warm_start`` (first pass fills only, second
+    records).
+    """
+    rt = ReplacementTable(entries=entries, assoc=assoc, perfect=perfect,
+                          block_size=block_size)
+    access = rt.access_sequence
+    flags = bytearray(len(events))
+    for p in range(passes):
+        record = p == passes - 1
+        for j, (seq_id, length) in enumerate(events):
+            missed = access(seq_id, length)
+            if record and missed:
+                flags[j] = 1
+    return bytes(flags)

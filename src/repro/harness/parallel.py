@@ -61,7 +61,7 @@ from repro.harness.trace_cache import (
 )
 from repro.sim.batch import BatchMachine, resolve_batch
 from repro.sim.config import MachineConfig
-from repro.sim.cycle import CycleResult, simulate_trace
+from repro.sim.cycle import CycleResult, resolve_cycle_engine, simulate_trace
 from repro.sim.trace import TraceResult
 from repro.telemetry import events as _events
 from repro.telemetry import get_logger
@@ -235,6 +235,9 @@ def _run_task(task: TraceTask, configs: Sequence[MachineConfig],
     trace.cache_key = digest
 
     cycles: Dict[str, CycleResult] = {}
+    # Workers inherit REPRO_CYCLE from the parent environment; resolving
+    # once per task keeps every replay of a sweep on the same engine.
+    engine = resolve_cycle_engine()
     for config in configs:
         config_repr = repr(config)
         if config_repr in cycles:
@@ -244,7 +247,8 @@ def _run_task(task: TraceTask, configs: Sequence[MachineConfig],
         if cache is not None and ck is not None:
             result = cache.load_cycles(ck)
         if result is None:
-            result = simulate_trace(trace, config, warm_start=True)
+            result = simulate_trace(trace, config, warm_start=True,
+                                    engine=engine)
             if cache is not None and ck is not None:
                 cache.store_cycles(ck, result)
         cycles[config_repr] = result
@@ -360,6 +364,7 @@ def _run_tasks_cohort(merged: Dict[TraceTask, List[MachineConfig]],
             if cache is not None and digest is not None:
                 cache.store_trace_bytes(digest, trace_bytes)
         cycles: Dict[str, CycleResult] = {}
+        engine = resolve_cycle_engine()
         for config in configs:
             config_repr = repr(config)
             if config_repr in cycles:
@@ -369,7 +374,8 @@ def _run_tasks_cohort(merged: Dict[TraceTask, List[MachineConfig]],
             if cache is not None and ck is not None:
                 result = cache.load_cycles(ck)
             if result is None:
-                result = simulate_trace(trace, config, warm_start=True)
+                result = simulate_trace(trace, config, warm_start=True,
+                                        engine=engine)
                 if cache is not None and ck is not None:
                     cache.store_cycles(ck, result)
             cycles[config_repr] = result

@@ -45,7 +45,7 @@ from repro.harness.trace_cache import (
 )
 from repro.program.image import ProgramImage
 from repro.sim.config import MachineConfig
-from repro.sim.cycle import CycleResult, simulate_trace
+from repro.sim.cycle import CycleResult, resolve_cycle_engine, simulate_trace
 from repro.sim.trace import TraceResult
 from repro.telemetry import events as _events
 from repro.workloads.generator import generate_benchmark
@@ -68,10 +68,14 @@ class Suite:
 
     def __init__(self, benchmarks: Optional[Sequence[str]] = None,
                  scale: float = 1.0, jobs: Optional[int] = None,
-                 cache="auto"):
+                 cache="auto", cycle_engine: Optional[str] = None):
         self.benchmarks = tuple(benchmarks or BENCHMARK_NAMES)
         self.scale = scale
         self.jobs = jobs
+        #: Timing-replay engine (None honours ``REPRO_CYCLE``).  Both
+        #: engines are bit-identical, so the persistent cycle cache and the
+        #: in-memory memo are engine-agnostic.
+        self.cycle_engine = resolve_cycle_engine(cycle_engine)
         self.cache = open_cache(cache)
         self._images: Dict[str, ProgramImage] = {}
         self._traces: Dict[Tuple, TraceResult] = {}
@@ -186,7 +190,8 @@ class Suite:
                                            True)
                 result = self.cache.load_cycles(persistent_key)
             if result is None:
-                result = simulate_trace(trace, config, warm_start=True)
+                result = simulate_trace(trace, config, warm_start=True,
+                                        engine=self.cycle_engine)
                 if persistent_key is not None:
                     self.cache.store_cycles(persistent_key, result)
             self._cycles[key] = result

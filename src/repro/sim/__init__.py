@@ -10,7 +10,12 @@ from repro.sim.config import (
     il1_config,
     l2_config,
 )
-from repro.sim.cycle import CycleResult, CycleSimulator, simulate_trace
+from repro.sim.cycle import (
+    CycleResult,
+    CycleSimulator,
+    resolve_cycle_engine,
+    simulate_trace,
+)
 from repro.sim.functional import (
     ExecutionError,
     FAULT_BAD_JUMP,
@@ -35,6 +40,7 @@ __all__ = [
     "l2_config",
     "CycleResult",
     "CycleSimulator",
+    "resolve_cycle_engine",
     "simulate_trace",
     "ExecutionError",
     "FAULT_BAD_JUMP",

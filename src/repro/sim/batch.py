@@ -577,7 +577,7 @@ def _compile_trig(g: _Codegen, st, image) -> bool:
     materialise at exit points, so there is no handler fallback here.
     """
     _, tinstr, pc, idx, _, _, _, _, payload = st
-    opcode, seq_id, spec_len, exp, body = payload
+    opcode, seq_id, spec_len, exp, body = payload[:5]
     for belem in body:
         bkind, binstr = belem[0], belem[1]
         if bkind == _B_DISE:
@@ -879,6 +879,11 @@ class BatchMachine:
             return None, "fault"
         if not m._translated:
             return None, "cold"
+        if m._opcode_counts is not None:
+            # Telemetry wants the per-instruction opcode and per-expansion
+            # engine attribution that compiled superblocks don't record;
+            # the scalar translated tier counts exactly.
+            return None, "observer"
         if m._exp is not None:
             return None, "branch"
         engine = m.engine

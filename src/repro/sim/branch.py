@@ -94,3 +94,131 @@ class BranchPredictor:
         if not self.cond_lookups:
             return 0.0
         return self.cond_mispredicts / self.cond_lookups
+
+
+# ----------------------------------------------------------------------
+# Phase-A outcome pass (see repro.sim.cycle, "outcome" engine)
+# ----------------------------------------------------------------------
+#: Per-op control actions for the timing kernel.  The kernel never sees
+#: the predictor — only these codes.
+ACT_NONE = 0          # no control effect on the front end
+ACT_MISPREDICT = 1    # redirect fetch after resolve; counts as a mispredict
+ACT_DISE_REDIRECT = 2  # taken DISE branch: same redirect, separate counter
+ACT_END_GROUP = 3     # correctly-predicted taken transfer ends the group
+
+
+class ControlOutcomes:
+    """Result of one :func:`replay_control` pass: the per-op action column
+    plus the branch-statistics totals the timing model reports."""
+
+    __slots__ = ("actions", "cond_branches", "mispredicts", "dise_redirects")
+
+    def __init__(self, actions, cond_branches, mispredicts, dise_redirects):
+        self.actions = actions
+        self.cond_branches = cond_branches
+        self.mispredicts = mispredicts
+        self.dise_redirects = dise_redirects
+
+
+def replay_control(columns, predictor_config, predict_replacement,
+                   passes=1) -> ControlOutcomes:
+    """Replay a trace's control stream through a fresh predictor.
+
+    Prediction outcomes are a pure function of the control-transfer stream
+    and the predictor geometry — independent of caches, placement, widths
+    and windows — so the cycle simulator's "outcome" engine runs this once
+    per (trace, predictor config, replacement-prediction flag) and replays
+    the action column under every other configuration axis.
+
+    ``passes=2`` models ``warm_start`` (first pass trains only, second
+    records).  Call set, arguments and ordering match the reference
+    engine's replay loop exactly, so predictor state evolves identically.
+    """
+    from repro.sim.trace import (
+        CC_CALL,
+        CC_COND,
+        CC_DISE,
+        CC_INDIRECT,
+        CC_RET,
+        CTRL_SHIFT,
+        DISEPC_SHIFT,
+        META_TAKEN,
+        META_TARGET,
+        META_TRIGGER,
+    )
+
+    indirect = (CC_INDIRECT, CC_RET, CC_CALL)
+    predictor = BranchPredictor(predictor_config)
+    predict_cond = predictor.predict_and_update
+    predict_target = predictor.predict_indirect
+    pc_col = columns.pc
+    meta_col = columns.meta
+    tgt_col = columns.target
+    n = len(pc_col)
+    actions = bytearray(n)
+    cond_branches = mispredicts = dise_redirects = 0
+    for p in range(passes):
+        record = p == passes - 1
+        cond_branches = mispredicts = dise_redirects = 0
+        for i in range(n):
+            meta = meta_col[i]
+            cc = (meta >> CTRL_SHIFT) & 0xF
+            if not cc:
+                continue
+            pc = pc_col[i]
+            taken = bool(meta & META_TAKEN)
+            act = ACT_NONE
+            if cc == CC_DISE:
+                # Never predicted; a taken DISE branch redirects fetch.
+                if taken:
+                    act = ACT_DISE_REDIRECT
+                    dise_redirects += 1
+            elif not meta & META_TRIGGER:
+                if predict_replacement and cc == CC_COND:
+                    # Enhanced design: the predictor learns replacement
+                    # branches, indexed by the PC:DISEPC pair.
+                    cond_branches += 1
+                    if predict_cond(
+                        pc ^ ((meta >> DISEPC_SHIFT) << 4), taken
+                    ):
+                        act = ACT_MISPREDICT
+                    elif taken:
+                        act = ACT_END_GROUP
+                elif predict_replacement and taken:
+                    # Unconditional/indirect replacement transfer: the BTB
+                    # learns the codeword's PC:DISEPC.
+                    if predict_target(
+                        pc ^ ((meta >> DISEPC_SHIFT) << 4), tgt_col[i]
+                    ):
+                        act = ACT_MISPREDICT
+                    else:
+                        act = ACT_END_GROUP
+                elif taken:
+                    # Paper's design: prediction suppressed, effectively
+                    # predicted not-taken.
+                    act = ACT_MISPREDICT
+            elif cc == CC_COND:
+                cond_branches += 1
+                if predict_cond(pc, taken):
+                    act = ACT_MISPREDICT
+                elif taken:
+                    act = ACT_END_GROUP
+            elif cc in indirect:
+                if meta & META_TARGET:
+                    if predict_target(
+                        pc, tgt_col[i],
+                        is_return=cc == CC_RET, is_call=cc == CC_CALL,
+                        return_addr=pc + 4,
+                    ):
+                        act = ACT_MISPREDICT
+                    else:
+                        act = ACT_END_GROUP
+                else:
+                    act = ACT_END_GROUP
+            if act:
+                if act == ACT_MISPREDICT:
+                    mispredicts += 1
+                if record:
+                    actions[i] = act
+    return ControlOutcomes(bytes(actions), cond_branches, mispredicts,
+                           dise_redirects)

@@ -96,6 +96,103 @@ class Cache:
         return self.misses / self.accesses if self.accesses else 0.0
 
 
+# ----------------------------------------------------------------------
+# Phase-A outcome pass (see repro.sim.cycle, "outcome" engine)
+# ----------------------------------------------------------------------
+#: Packed per-op hierarchy outcome codes.  Bits 0..1 describe the fetch
+#: access (0 = no access or IL1 hit, 1 = L2 hit, 2 = L2 miss); bits 2..3
+#: describe the load access the same way (stores and DL1 hits are 0 —
+#: stores retire via the store buffer and add no latency).
+FETCH_L2_HIT = 1
+FETCH_L2_MISS = 2
+MEM_SHIFT = 2
+
+
+class HierarchyOutcomes:
+    """Result of one :func:`replay_hierarchy` pass: the packed per-op
+    outcome column plus the access/miss totals the timing model reports."""
+
+    __slots__ = ("codes", "il1_accesses", "il1_misses", "dl1_accesses",
+                 "dl1_misses", "l2_misses")
+
+    def __init__(self, codes, il1_accesses, il1_misses, dl1_accesses,
+                 dl1_misses, l2_misses):
+        self.codes = codes
+        self.il1_accesses = il1_accesses
+        self.il1_misses = il1_misses
+        self.dl1_accesses = dl1_accesses
+        self.dl1_misses = dl1_misses
+        self.l2_misses = l2_misses
+
+
+def replay_hierarchy(columns, il1_config, dl1_config, l2_config,
+                     passes=1) -> HierarchyOutcomes:
+    """Replay a trace's address stream through the {IL1, DL1, L2} hierarchy.
+
+    Cache behaviour is a pure function of the address stream and the
+    geometry, so it can be simulated once per (trace, geometry) and the
+    resulting outcome column replayed under any placement/width/window
+    configuration — the decoupled-outcome move of the cycle simulator's
+    "outcome" engine.  The three levels form *one* component: L2 contents
+    depend on the interleaving of IL1 and DL1 misses, so they cannot be
+    split further.
+
+    ``passes=2`` models ``warm_start``: the first pass only evolves cache
+    state, the second records outcomes and counters — exactly the
+    reference engine's warm pass followed by its measured pass.  Access
+    order per op matches the reference loop: fetch first, then the data
+    access.
+    """
+    # Imported here (not at module level) to keep this leaf module free of
+    # an import cycle with repro.sim.trace consumers.
+    from repro.sim.trace import META_FETCH, META_MEM, META_STORE
+
+    il1 = Cache(il1_config) if il1_config is not None else PerfectCache()
+    dl1 = Cache(dl1_config) if dl1_config is not None else PerfectCache()
+    l2 = Cache(l2_config) if l2_config is not None else PerfectCache()
+    pc_col = columns.pc
+    meta_col = columns.meta
+    mem_col = columns.mem
+    n = len(pc_col)
+    codes = bytearray(n)
+    l2_misses = 0
+    for p in range(passes):
+        record = p == passes - 1
+        if record:
+            # The recorded pass reports its own counts (the reference
+            # engine resets statistics after its warm pass).
+            il1.accesses = il1.misses = 0
+            dl1.accesses = dl1.misses = 0
+            l2.accesses = l2.misses = 0
+            l2_misses = 0
+        il1_access = il1.access
+        dl1_access = dl1.access
+        l2_access = l2.access
+        for i in range(n):
+            meta = meta_col[i]
+            code = 0
+            if meta & META_FETCH and not il1_access(pc_col[i]):
+                if l2_access(pc_col[i]):
+                    code = FETCH_L2_HIT
+                else:
+                    code = FETCH_L2_MISS
+                    l2_misses += 1
+            if meta & META_MEM:
+                addr = mem_col[i]
+                if meta & META_STORE:
+                    dl1_access(addr)
+                elif not dl1_access(addr):
+                    if l2_access(addr):
+                        code |= FETCH_L2_HIT << MEM_SHIFT
+                    else:
+                        code |= FETCH_L2_MISS << MEM_SHIFT
+                        l2_misses += 1
+            if record and code:
+                codes[i] = code
+    return HierarchyOutcomes(bytes(codes), il1.accesses, il1.misses,
+                             dl1.accesses, dl1.misses, l2_misses)
+
+
 class PerfectCache:
     """A cache that always hits (the paper's 'perfect' I-cache points)."""
 

@@ -649,9 +649,12 @@ class Machine:
         self.fast_dispatch = dispatch != "generic"
         self._execute = (self._execute_fast if self.fast_dispatch
                          else self._execute_generic)
-        # The translated tier falls back to interpretive-fast when telemetry
-        # is on: the per-opcode counting wrapper must see every dispatch.
-        self._translated = dispatch == "translated" and not _telemetry.enabled()
+        # The translated tier keeps running under telemetry: superblock
+        # dispatches bypass the counting wrapper, so _exec_block counts
+        # opcodes itself — app steps batched at block boundaries, body
+        # instructions inline — and only the interpretive fallback steps
+        # go through the wrapper.
+        self._translated = dispatch == "translated"
         # Telemetry and verification observers are wired at construction
         # time: when absent, no wrapper is installed and the dispatch path
         # is identical to the uninstrumented machine (bench_telemetry.py
@@ -1198,12 +1201,12 @@ class Machine:
                 # Raises only when executed on the interpretive path.
                 return False
             if pre is not None:
-                _, seq_id, spec, exp = pre
+                production, seq_id, spec, exp = pre
                 body = self._translate_body(exp)
                 if body is None:
                     return False
                 return (_T_TRIG, instr, pc, idx, None, 0, 0, None,
-                        (opcode, seq_id, len(spec), exp, body))
+                        (opcode, seq_id, len(spec), exp, body, production))
             # Trigger opcode, but no production matches this site: the
             # PT is still probed per dynamic instance.
             probe = opcode
@@ -1288,6 +1291,7 @@ class Machine:
         addresses = self.image.addresses
         n_addr = len(addresses)
         profile = self._profile
+        counts = self._opcode_counts
         executed = 0
         retired = 0
         app = 0
@@ -1392,7 +1396,7 @@ class Machine:
                 # the stateful PT/RT accesses and the counters remain from
                 # engine.process(); match + instantiation happened at
                 # translation time.
-                opcode, seq_id, spec_len, exp, body = st[8]
+                opcode, seq_id, spec_len, exp, body, production = st[8]
                 pt_miss = engine.pt.access(opcode)
                 if pt_miss:
                     self.pt_misses += 1
@@ -1401,6 +1405,10 @@ class Machine:
                     self.rt_misses += 1
                 engine.expansions += 1
                 self.expansions += 1
+                if engine._tm is not None:
+                    # Same per-dynamic-expansion telemetry as
+                    # engine.process() on the interpretive tiers.
+                    engine._tm.record(engine, production, exp)
                 if profile is not None:
                     ptrig = profile["trigger"]
                     ptrig[pc] = ptrig.get(pc, 0) + 1
@@ -1423,6 +1431,13 @@ class Machine:
                     self._disepc = disepc
                     binstr = belem[1]
                     is_copy = belem[5]
+                    if counts is not None:
+                        # Inline (not batched): body length varies with
+                        # mid-sequence exits, and like the interpretive
+                        # counting wrapper the bump precedes the handler
+                        # call so faulting dispatches are counted.
+                        bop = binstr.opcode
+                        counts[bop] = counts.get(bop, 0) + 1
                     res = belem[2](self, binstr, pc, idx, idx, is_copy)
                     retired += 1
                     executed += 1
@@ -1503,6 +1518,19 @@ class Machine:
             self.app_instructions += app
             if engine is not None:
                 engine.inspected += app
+            if counts is not None:
+                # Per-opcode telemetry for the app-level steps, batched at
+                # the block boundary.  ``app`` was bumped before each
+                # dispatch, so a faulting step is included — the same
+                # semantics as the interpretive counting wrapper.  Trigger
+                # steps are skipped: the trigger instruction itself never
+                # passes through dispatch (its replacement body, counted
+                # inline above, retires in its place).
+                for k in range(app):
+                    st_k = steps[k]
+                    if st_k[0] != _T_TRIG:
+                        op = st_k[1].opcode
+                        counts[op] = counts.get(op, 0) + 1
             if profile is not None and retired:
                 entry_pc = steps[0][2]
                 pblocks = profile["block"]

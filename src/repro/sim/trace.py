@@ -222,6 +222,7 @@ class TraceResult:
         "columns", "outputs", "fault_code", "halted", "instructions",
         "app_instructions", "expansions", "final_regs", "final_memory",
         "cache_key", "_fingerprint", "_warm_states", "_ops",
+        "_outcome_memos", "_static_cols",
     )
 
     def __init__(self, columns, outputs, fault_code, halted, instructions,
@@ -248,6 +249,16 @@ class TraceResult:
         #: that differ only in placement, width, or window share warmed
         #: state, so sweeps skip redundant warm passes.
         self._warm_states = None
+        #: Component-keyed outcome memos (see cycle's "outcome" engine):
+        #: (component, geometry, warm) -> packed outcome column, bounded
+        #: LRU.  Like ``_warm_states`` these are transient accelerator
+        #: state — never serialized, so a trace round-tripped through the
+        #: persistent cache starts with empty memos and recomputes.
+        self._outcome_memos = None
+        #: Config-independent derived columns (latency/dest/src lists and
+        #: the expansion event list), materialised once per trace by the
+        #: outcome engine.
+        self._static_cols = None
         #: Cached Op materialisation (one shared list, so identity-based
         #: consumers — e.g. the retire-observer oracle — see the same
         #: objects the trace exposes).

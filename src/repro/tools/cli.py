@@ -124,7 +124,8 @@ def cmd_run(args):
     print(f"dynamic instructions: {result.instructions} "
           f"({result.expansions} expansions)")
     if args.timing:
-        timing = simulate_trace(result, MachineConfig(), warm_start=True)
+        timing = simulate_trace(result, MachineConfig(), warm_start=True,
+                                engine=args.cycle_engine)
         print(f"cycles: {timing.cycles}  IPC: {timing.ipc:.2f}  "
               f"I$ misses: {timing.il1_misses}  "
               f"mispredicts: {timing.mispredicts}")
@@ -744,6 +745,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", choices=BENCHMARK_NAMES)
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--mfi", choices=["dise3", "dise4", "rewrite"])
+    p.add_argument("--cycle-engine", choices=["outcome", "reference"],
+                   help="timing replay engine (default: REPRO_CYCLE or "
+                        "'outcome'; both are bit-identical)")
     p.add_argument("--timing", action="store_true",
                    help="also replay under the cycle model")
     p.add_argument("--max-steps", type=int, default=30_000_000)

@@ -383,6 +383,9 @@ def oracle_functional_vs_cycle(benchmark: str, scale: float,
     trace = run_program(image, record_trace=True, max_steps=max_steps,
                         observer=functional_obs)
 
+    # Run BOTH replay engines: the reference scalar loop defines the
+    # semantics, the outcome engine must match it bit-for-bit — results,
+    # retire streams and timestamps alike.
     retired: List[tuple] = []
     retire_times: List[int] = []
 
@@ -390,9 +393,45 @@ def oracle_functional_vs_cycle(benchmark: str, scale: float,
         retired.append(_op_observation(op))
         retire_times.append(when)
 
-    simulate_trace(trace, retire_observer=retire_observer)
+    outcome_retired: List[tuple] = []
+    outcome_times: List[int] = []
 
-    checks = 3
+    def outcome_observer(op, when):
+        outcome_retired.append(_op_observation(op))
+        outcome_times.append(when)
+
+    ref_result = simulate_trace(trace, retire_observer=retire_observer,
+                                engine="reference")
+    out_result = simulate_trace(trace, retire_observer=outcome_observer,
+                                engine="outcome")
+
+    checks = 5
+    if ref_result != out_result:
+        diffs = [
+            f"{field}: reference {lhs} vs outcome {rhs}"
+            for field, lhs, rhs in (
+                (name, getattr(ref_result, name), getattr(out_result, name))
+                for name in vars(ref_result)
+            )
+            if lhs != rhs
+        ]
+        return OracleOutcome(
+            "functional_vs_cycle", benchmark, "diverged", checks=checks,
+            detail="cycle engines disagree: " + "; ".join(diffs),
+        )
+    if retired != outcome_retired or retire_times != outcome_times:
+        index = next(
+            (i for i, (lhs, rhs) in enumerate(
+                zip(zip(retired, retire_times),
+                    zip(outcome_retired, outcome_times)))
+             if lhs != rhs),
+            min(len(retired), len(outcome_retired)),
+        )
+        return OracleOutcome(
+            "functional_vs_cycle", benchmark, "diverged", checks=checks,
+            detail=(f"cycle engines disagree on retirement {index}: "
+                    "reference vs outcome retire streams differ"),
+        )
     if functional_obs.count != len(trace.ops):
         return OracleOutcome(
             "functional_vs_cycle", benchmark, "diverged", checks=checks,

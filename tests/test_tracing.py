@@ -384,12 +384,13 @@ class TestProfiler:
         assert outputs[0] == outputs[1] and outputs[0]
 
     def test_interpretive_tier_publishes_registry_counters(self):
-        # Telemetry on forces the interpretive fast tier; the profiler
+        # On the interpretive fast tier (requested explicitly — telemetry
+        # no longer forces a translated machine off its tier) the profiler
         # must attribute to dynamic leaders and publish profile.* counters
         # so worker deltas merge like any other metric.
         with enabled_scope(True), profile_mod.profile_scope(True):
             registry_mod.get_registry().reset()
-            machine = _loop_machine()
+            machine = _loop_machine(dispatch="fast")
             assert machine._profile["tier"] == "fast"
             machine.run()
             snap = registry_mod.snapshot()
@@ -520,7 +521,9 @@ class TestCliExport:
             path = events_mod.finish_run("ok")
         assert cli_main(["telemetry", "profile", str(path)]) == 0
         out = capsys.readouterr().out
-        assert "sim;fast;sb_0x" in out
+        # Telemetry no longer drops the machine off the translated tier,
+        # so the profile attributes to translated superblocks.
+        assert "sim;translated;sb_0x" in out
 
     def test_profile_action_without_counters_fails(self, tmp_path, capsys):
         path = self._traced_run(tmp_path)
